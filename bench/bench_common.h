@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark harnesses.
+ *
+ * Spatial scaling: the paper runs full 224x224 ImageNet layers on a
+ * Snapdragon 855. On a shared host, every bench scales the spatial
+ * dimensions down by PATDNN_BENCH_SCALE (default 4, i.e. 1/16 of the
+ * MACs) so the whole suite completes in minutes. Set
+ * PATDNN_BENCH_SCALE=1 to run the paper's exact shapes. Relative
+ * orderings — the reproduction target — are unaffected by the scale.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/patdnn.h"
+#include "util/table.h"
+
+namespace patdnn::bench {
+
+/** Spatial divisor from PATDNN_BENCH_SCALE (default 4). */
+inline int64_t
+spatialScale()
+{
+    const char* env = std::getenv("PATDNN_BENCH_SCALE");
+    if (env == nullptr)
+        return 4;
+    int64_t v = std::atoll(env);
+    return v >= 1 ? v : 1;
+}
+
+/** Timed repetitions from PATDNN_BENCH_REPS (default 3). */
+inline int
+reps()
+{
+    const char* env = std::getenv("PATDNN_BENCH_REPS");
+    if (env == nullptr)
+        return 3;
+    int v = std::atoi(env);
+    return v >= 1 ? v : 1;
+}
+
+/** Print a bench banner with the experiment id and scaling info. */
+inline void
+banner(const std::string& experiment, const std::string& what)
+{
+    std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
+    std::printf("(spatial scale 1/%lld; set PATDNN_BENCH_SCALE=1 for paper-exact "
+                "shapes)\n\n",
+                static_cast<long long>(spatialScale()));
+}
+
+/** Conv descriptors of a zoo model with spatial dims scaled down. */
+inline std::vector<ConvDesc>
+scaledConvDescs(const Model& m, int64_t divisor)
+{
+    std::vector<ConvDesc> out;
+    for (const auto& l : m.layers()) {
+        if (l.kind != OpKind::kConv)
+            continue;
+        ConvDesc d = l.conv;
+        d.h = std::max<int64_t>(4, d.h / divisor);
+        d.w = std::max<int64_t>(4, d.w / divisor);
+        // Keep geometry valid for strided layers.
+        if (d.outH() < 1 || d.outW() < 1) {
+            d.h = d.kh * d.stride + 2;
+            d.w = d.kw * d.stride + 2;
+        }
+        out.push_back(d);
+    }
+    return out;
+}
+
+/** Sum of per-layer conv times (ms) for a framework on a device. */
+inline double
+convStackTimeMs(const std::vector<ConvDesc>& descs, FrameworkKind kind,
+                const DeviceSpec& dev, const CompileOptions& opts = {})
+{
+    double total = 0.0;
+    for (const auto& d : descs) {
+        if (d.groups != 1 && (kind == FrameworkKind::kCsrSparse ||
+                              kind == FrameworkKind::kPatDnn)) {
+            // Depthwise layers stay dense in the sparse engines (the
+            // paper prunes CONV layers with full connectivity).
+            CompiledConvLayer layer(d, FrameworkKind::kPatDnnDense, dev, opts);
+            total += layer.timeMs(1, reps());
+            continue;
+        }
+        if (d.groups != 1) {
+            CompiledConvLayer layer(d, FrameworkKind::kTfliteLike, dev, opts);
+            total += layer.timeMs(1, reps());
+            continue;
+        }
+        CompiledConvLayer layer(d, kind, dev, opts);
+        total += layer.timeMs(1, reps());
+    }
+    return total;
+}
+
+}  // namespace patdnn::bench

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 17 reproduction.
+ *
+ * (a) Dense sanity check without Winograd: our optimized dense
+ *     (im2col + register-blocked GEMM) against the MNN-like engine
+ *     with Winograd disabled, whole VGG conv stack on CPU and GPU-like.
+ * (b) Per-layer GFLOPS of the pattern engine (counting only the MACs
+ *     it actually executes) vs the dense baseline (no Winograd) —
+ *     the paper's claim: comparable on CPU, better on GPU.
+ */
+#include "bench_common.h"
+#include "util/stats.h"
+
+using namespace patdnn;
+
+namespace {
+
+/** Dense im2col time (the no-Winograd dense baseline). */
+double
+denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, int row_block)
+{
+    Rng rng(3);
+    Tensor w(Shape{d.cout, d.cin, d.kh, d.kw});
+    w.fillHe(rng, d.cin * d.kh * d.kw);
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor out = makeConvOutput(d, 1);
+    Im2colConv engine(d, &w, dev);
+    (void)row_block;
+    return medianTimeMs([&] { engine.run(in, out); }, 1, bench::reps());
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 17", "GFLOPS: PatDNN pattern vs optimized dense");
+    auto layers = vggUniqueLayers(bench::spatialScale());
+
+    // --- (a) whole-stack dense w/o Winograd ---
+    std::printf("--- (a) dense VGG conv stack, Winograd off (ms) ---\n");
+    {
+        Table t({"Device", "MNN-like (no Wino)", "PatDNN-dense (no Wino)"});
+        for (bool gpu : {false, true}) {
+            DeviceSpec dev = gpu ? makeGpuDevice() : makeCpuDevice(8);
+            double mnn = 0.0, ours = 0.0;
+            for (const auto& d : layers) {
+                // Same GEMM kernel: both engines collapse to im2col when
+                // Winograd is off; the residual difference is scheduling.
+                mnn += denseNoWinoMs(d, dev, 1);
+                ours += denseNoWinoMs(d, dev, 4);
+            }
+            t.addRow({gpu ? "GPU-like" : "CPU", Table::num(mnn, 1),
+                      Table::num(ours, 1)});
+        }
+        t.print();
+        std::printf("(both facades share one GEMM here, so parity — not the "
+                    "paper's 1.1-1.6x dense edge — is expected; see "
+                    "EXPERIMENTS.md)\n\n");
+    }
+
+    // --- (b) per-layer GFLOPS, pattern vs dense ---
+    std::printf("--- (b) per-layer GFLOPS (effective MACs / time) ---\n");
+    for (bool gpu : {false, true}) {
+        DeviceSpec dev = gpu ? makeGpuDevice() : makeCpuDevice(8);
+        Table t({"Layer", "Dense (no Wino)", "Pattern", "Pattern/Dense"});
+        for (const auto& d : layers) {
+            CompiledConvLayer dense(d, FrameworkKind::kTvmLike, dev);
+            CompiledConvLayer pattern(d, FrameworkKind::kPatDnn, dev);
+            double dms = dense.timeMs(1, bench::reps());
+            double pms = pattern.timeMs(1, bench::reps());
+            double dg = dense.gflops(dms);
+            double pg = pattern.gflops(pms);
+            t.addRow({d.name, Table::num(dg, 2), Table::num(pg, 2),
+                      Table::num(pg / dg, 2) + "x"});
+        }
+        std::printf("[%s]\n", gpu ? "GPU-like" : "CPU");
+        t.print();
+        std::printf("\n");
+    }
+    std::printf("Paper shape to check: pattern GFLOPS comparable to dense on CPU "
+                "and ahead on GPU (memory-pressure relief from compression); and "
+                "note the pattern engine needs ~3.6x fewer MACs for the same "
+                "layer, so equal GFLOPS means ~3.6x less wall-clock.\n");
+    return 0;
+}

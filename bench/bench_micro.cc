@@ -1,0 +1,165 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the hot building blocks:
+ * pattern micro-kernels (LRE vs no-LRE vs multi-filter), FKW packing,
+ * FKR, projections, and a single pattern-engine layer. These are the
+ * kernels whose relative costs explain the figure-level results.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/patdnn.h"
+
+namespace patdnn {
+namespace {
+
+struct KernelFixture
+{
+    PatternKernel pk;
+    float weights[4];
+    Tensor in;
+    Tensor out;
+    PlaneGeom geom;
+
+    KernelFixture()
+    {
+        Pattern p(3, 3, std::vector<int>{4, 1, 3, 5});
+        pk = lowerPattern(p);
+        Rng rng(1);
+        for (auto& w : weights)
+            w = rng.normal();
+        in = Tensor(Shape{64, 64});
+        in.fillUniform(rng, -1.0f, 1.0f);
+        out = Tensor(Shape{64, 64});
+        geom = PlaneGeom{64, 64, 64, 64, 1, 1, 0, 64, 0, 64};
+    }
+};
+
+void
+BM_MicrokernelLre(benchmark::State& state)
+{
+    KernelFixture f;
+    for (auto _ : state) {
+        kernelAccumulateLre(f.pk, f.weights, f.in.data(), f.out.data(), f.geom,
+                            static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(f.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 64 * 4);
+}
+BENCHMARK(BM_MicrokernelLre)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_MicrokernelNoLre(benchmark::State& state)
+{
+    KernelFixture f;
+    for (auto _ : state) {
+        kernelAccumulateNoLre(f.pk, f.weights, f.in.data(), f.out.data(), f.geom);
+        benchmark::DoNotOptimize(f.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 64 * 4);
+}
+BENCHMARK(BM_MicrokernelNoLre);
+
+void
+BM_MicrokernelMultiFilter(benchmark::State& state)
+{
+    KernelFixture f;
+    int count = static_cast<int>(state.range(0));
+    std::vector<Tensor> outs(static_cast<size_t>(count), Tensor(Shape{64, 64}));
+    std::vector<float*> optrs;
+    std::vector<const float*> wptrs;
+    for (int i = 0; i < count; ++i) {
+        optrs.push_back(outs[static_cast<size_t>(i)].data());
+        wptrs.push_back(f.weights);
+    }
+    for (auto _ : state) {
+        kernelAccumulateMultiFilter(f.pk, wptrs.data(), f.in.data(), optrs.data(),
+                                    count, f.geom);
+        benchmark::DoNotOptimize(optrs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 64 * 4 * count);
+}
+BENCHMARK(BM_MicrokernelMultiFilter)->Arg(2)->Arg(4);
+
+void
+BM_ProjectJoint(benchmark::State& state)
+{
+    Rng rng(2);
+    PatternSet set = canonicalPatternSet(8);
+    Tensor original(Shape{64, 64, 3, 3});
+    original.fillNormal(rng);
+    for (auto _ : state) {
+        Tensor w = original;
+        PatternAssignment asg = projectJoint(w, set, 1138);
+        benchmark::DoNotOptimize(asg.pattern_of_kernel.data());
+    }
+}
+BENCHMARK(BM_ProjectJoint);
+
+void
+BM_FkrAndFkwBuild(benchmark::State& state)
+{
+    Rng rng(3);
+    PatternSet set = canonicalPatternSet(8);
+    Tensor w(Shape{64, 64, 3, 3});
+    w.fillNormal(rng);
+    PatternAssignment asg = projectJoint(w, set, 1138);
+    for (auto _ : state) {
+        FkrResult fkr = filterKernelReorder(asg);
+        FkwLayer fkw = buildFkw(w, set, asg, fkr);
+        benchmark::DoNotOptimize(fkw.weights.data());
+    }
+}
+BENCHMARK(BM_FkrAndFkwBuild);
+
+void
+BM_PatternConvLayer(benchmark::State& state)
+{
+    ConvDesc d{"m", 64, 64, 3, 3, 28, 28, 1, 1, 1, 1};
+    DeviceSpec dev = makeCpuDevice(static_cast<int>(state.range(0)));
+    CompiledConvLayer layer(d, FrameworkKind::kPatDnn, dev);
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    Rng rng(4);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor out = makeConvOutput(d, 1);
+    for (auto _ : state) {
+        layer.run(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * layer.effectiveMacs());
+}
+BENCHMARK(BM_PatternConvLayer)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_Im2colDenseLayer(benchmark::State& state)
+{
+    ConvDesc d{"m", 64, 64, 3, 3, 28, 28, 1, 1, 1, 1};
+    DeviceSpec dev = makeCpuDevice(4);
+    CompiledConvLayer layer(d, FrameworkKind::kTvmLike, dev);
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    Rng rng(5);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor out = makeConvOutput(d, 1);
+    for (auto _ : state) {
+        layer.run(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * layer.effectiveMacs());
+}
+BENCHMARK(BM_Im2colDenseLayer);
+
+void
+BM_GraphOptimize(benchmark::State& state)
+{
+    Model m = buildVGG16(Dataset::kCifar10);
+    for (auto _ : state) {
+        Graph g = buildGraph(m);
+        optimizeGraph(g);
+        benchmark::DoNotOptimize(g.nodes().data());
+    }
+}
+BENCHMARK(BM_GraphOptimize);
+
+}  // namespace
+}  // namespace patdnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 3 reproduction: accuracy under kernel-pattern pruning only,
+ * as the candidate set grows (original dense, 6, 8, 12 patterns).
+ * The paper's observation — accuracy is flat-to-improving once the
+ * set has 6-8 patterns — is checked on the VGG-style and
+ * ResNet-style trainable nets over the SyntheticShapes stand-in.
+ */
+#include "bench_common.h"
+
+using namespace patdnn;
+
+int
+main()
+{
+    bench::banner("Table 3", "accuracy vs pattern-set size (pattern pruning only)");
+    SyntheticShapes data(4, 12, 1, 224, 96, 31);
+    Table t({"Network", "Original", "6-pattern", "8-pattern", "12-pattern"});
+    struct NetCfg { const char* label; bool res_style; };
+    for (NetCfg cfg : {NetCfg{"VGG-style", false}, NetCfg{"ResNet-style", true}}) {
+        std::vector<std::string> row = {cfg.label};
+        double dense_acc = 0.0;
+        for (int patterns : {0, 6, 8, 12}) {
+            Net net = cfg.res_style ? buildResStyleNet(4, 12, 1, 8, 51)
+                                    : buildVggStyleNet(4, 12, 1, 8, 52);
+            TrainConfig tc;
+            tc.epochs = 5;
+            tc.batch_size = 16;
+            tc.lr = 2e-3f;
+            TrainResult base = trainNet(net, data, tc);
+            if (patterns == 0) {
+                dense_acc = base.test_accuracy;
+                row.push_back(Table::num(100 * dense_acc, 1));
+                continue;
+            }
+            PruneOptions opts;
+            opts.pattern_count = patterns;
+            opts.retrain_epochs = 3;
+            opts.admm.admm_iterations = 2;
+            opts.admm.epochs_per_iteration = 2;
+            opts.admm.retrain_epochs = 3;
+            PruneReport r = pruneWithScheme(net, data, PruneScheme::kPattern, opts);
+            row.push_back(Table::num(100 * r.pruned_accuracy, 1));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\nPaper (Top-5, ImageNet): VGG 91.7 -> 92.1/92.3/92.4; ResNet-50 "
+                "92.7 -> 92.7/92.8/93.0 — flat-to-improving with >= 6 patterns.\n");
+    return 0;
+}

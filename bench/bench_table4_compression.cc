@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 4 reproduction: accuracy vs CONV compression under joint
+ * 8-pattern + connectivity pruning compared to non-structured
+ * baselines (one-shot magnitude pruning standing in for the iterative
+ * heuristics, and ADMM-regularized non-structured pruning standing in
+ * for ADMM-NN). The claim to check: our joint scheme reaches the
+ * highest compression band with no (or the smallest) accuracy drop.
+ */
+#include "bench_common.h"
+
+using namespace patdnn;
+
+int
+main()
+{
+    bench::banner("Table 4", "accuracy + CONV compression: joint vs non-structured");
+    SyntheticShapes data(4, 12, 1, 224, 96, 41);
+    Table t({"Method", "Accuracy (dense)", "Accuracy (pruned)",
+             "CONV compression"});
+
+    struct Entry { const char* label; PruneScheme scheme; double target; };
+    const Entry entries[] = {
+        {"Magnitude (Deep-Compression-like)", PruneScheme::kNonStructured, 6.5},
+        {"ADMM non-structured (ADMM-NN-like)", PruneScheme::kNonStructuredAdmm, 8.0},
+        {"Ours: 8-pattern + 3.6x connectivity", PruneScheme::kPatternConnectivity,
+         8.0},
+    };
+    for (const auto& e : entries) {
+        Net net = buildVggStyleNet(4, 12, 1, 8, 61);
+        TrainConfig tc;
+        tc.epochs = 5;
+        tc.batch_size = 16;
+        tc.lr = 2e-3f;
+        trainNet(net, data, tc);
+        PruneOptions opts;
+        opts.target_compression = e.target;
+        opts.pattern_count = 8;
+        opts.connectivity_rate = 3.6;
+        opts.retrain_epochs = 4;
+        opts.admm.admm_iterations = 2;
+        opts.admm.epochs_per_iteration = 2;
+        opts.admm.retrain_epochs = 4;
+        PruneReport r = pruneWithScheme(net, data, e.scheme, opts);
+        t.addRow({e.label, Table::num(100 * r.dense_accuracy, 1),
+                  Table::num(100 * r.pruned_accuracy, 1),
+                  Table::num(r.conv_compression, 1) + "x"});
+    }
+    t.print();
+    std::printf("\nPaper (VGG-16/ImageNet Top-5): Deep compression 89.1 @ 3.5x, "
+                "ADMM-NN 88.9 @ 8.0x, ours 91.6 @ 8.0x (no drop).\n");
+    return 0;
+}

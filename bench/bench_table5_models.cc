@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 5 reproduction: characteristics of the trained DNNs — layer
+ * counts, conv counts, model size (MB), pattern-set size. Accuracy
+ * columns come from the training-stage experiments (bench_table3/4);
+ * here we annotate with the paper's reported values for reference.
+ */
+#include "bench_common.h"
+
+using namespace patdnn;
+
+int
+main()
+{
+    bench::banner("Table 5", "DNN characteristics (zoo geometry)");
+    Table t({"Name", "Network", "Dataset", "Layers", "Conv", "Size(MB)", "Patterns"});
+    struct Row { const char* short_name; Dataset ds; };
+    const Row rows[] = {
+        {"VGG", Dataset::kImageNet}, {"VGG", Dataset::kCifar10},
+        {"RNT", Dataset::kImageNet}, {"RNT", Dataset::kCifar10},
+        {"MBNT", Dataset::kImageNet}, {"MBNT", Dataset::kCifar10},
+    };
+    for (const auto& r : rows) {
+        Model m = buildByShortName(r.short_name, r.ds);
+        int64_t weight_layers =
+            mainPathConvCount(m) + m.countKind(OpKind::kFullyConnected);
+        t.addRow({r.short_name, m.name(), m.dataset(),
+                  std::to_string(weight_layers),
+                  std::to_string(mainPathConvCount(m)),
+                  Table::num(m.sizeMB(), 1), "8"});
+    }
+    t.print();
+    std::printf("\nPaper reference sizes: VGG/ImageNet 553.5 (serialized; raw fp32 "
+                "~528), RNT/ImageNet 102.5, MBNT/ImageNet 14.2 MB.\n");
+    return 0;
+}

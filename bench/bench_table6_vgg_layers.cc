@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 6 reproduction: the nine unique VGG-16 CONV layer filter
+ * shapes with their short names, plus geometry/FLOP metadata the other
+ * benches key off.
+ */
+#include "bench_common.h"
+
+using namespace patdnn;
+
+int
+main()
+{
+    bench::banner("Table 6", "VGG unique CONV layers' filter shapes");
+    Table t({"Name", "Filter shape", "Input HxW", "Dense GFLOPs", "Repeats in VGG-16"});
+    // L6 appears twice, L8 twice and L9 three times in the full net.
+    const int repeats[9] = {1, 1, 1, 1, 1, 2, 1, 2, 3};
+    auto layers = vggUniqueLayers(1);
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const ConvDesc& d = layers[i];
+        t.addRow({d.name, d.filterShapeStr(),
+                  std::to_string(d.h) + "x" + std::to_string(d.w),
+                  Table::num(static_cast<double>(d.flops()) / 1e9, 2),
+                  std::to_string(repeats[i])});
+    }
+    t.print();
+    return 0;
+}

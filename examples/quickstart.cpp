@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: compress one conv layer with pattern + connectivity
+ * pruning, compile it for the simulated mobile CPU (FKR + FKW + LR +
+ * auto-tune) and run it, verifying against the reference convolution.
+ *
+ * Build & run:   cmake -B build -G Ninja && cmake --build build
+ *                ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/patdnn.h"
+#include "util/stats.h"
+
+using namespace patdnn;
+
+int
+main()
+{
+    // A VGG-class layer: 128 filters over 64 channels at 56x56.
+    ConvDesc desc{"conv3_1", 64, 128, 3, 3, 56, 56, 1, 1, 1, 1};
+    Rng rng(7);
+    Tensor weight(Shape{desc.cout, desc.cin, desc.kh, desc.kw});
+    weight.fillHe(rng, desc.cin * 9);
+
+    // Stage 1 (training side): design an 8-pattern candidate set from
+    // the layer's natural patterns. On a trainable net you would call
+    // compress() instead — see examples/train_prune_deploy.
+    std::vector<const Tensor*> ws = {&weight};
+    PatternSet set = designPatternSet(ws, 8);
+    std::printf("pattern candidate set (top natural patterns):\n");
+    for (int i = 0; i < set.size(); ++i)
+        std::printf("-- pattern %d --\n%s\n", i,
+                    set.patterns[static_cast<size_t>(i)].str().c_str());
+
+    // Stage 2 (compiler side): joint projection, FKR, FKW packing,
+    // LR construction and GA auto-tuning for this device.
+    DeviceSpec device = makeCpuDevice(8);
+    CompiledLayer layer =
+        compileLayer(desc, weight, set, /*connectivity_rate=*/3.6, device,
+                     /*auto_tune=*/true);
+    std::printf("layerwise representation (LR):\n%s\n", layer.lr.str().c_str());
+    std::printf("FKW storage: %lld non-empty kernels, %.1f KB weights, %.1f KB "
+                "index structures\n",
+                static_cast<long long>(layer.fkw->kernelCount()),
+                layer.fkw->weights.size() * 4.0 / 1024.0,
+                layer.fkw->indexBytes() / 1024.0);
+
+    // Execute and verify against the dense reference on the same
+    // pruned weights.
+    Tensor in(Shape{1, desc.cin, desc.h, desc.w});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor out = makeConvOutput(desc, 1);
+    Timer t;
+    layer.engine->run(in, out);
+    double ms = t.elapsedMs();
+
+    Tensor pruned = fkwToDense(*layer.fkw);
+    Tensor expect = makeConvOutput(desc, 1);
+    convReference(desc, pruned, in, expect);
+    std::printf("pattern engine: %.2f ms, max |err| vs reference = %.2e\n", ms,
+                Tensor::maxAbsDiff(out, expect));
+    return 0;
+}

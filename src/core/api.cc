@@ -1,0 +1,68 @@
+#include "core/patdnn.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace patdnn {
+
+CompressResult
+compress(Net& net, const SyntheticShapes& data, int pattern_count,
+         double connectivity_rate, const AdmmConfig& cfg)
+{
+    CompressResult result;
+    std::vector<const Tensor*> weights;
+    for (Tensor* w : net.convWeights())
+        weights.push_back(w);
+    result.pattern_set = designPatternSet(weights, pattern_count);
+    AdmmConfig run_cfg = cfg;
+    run_cfg.connectivity_rate = connectivity_rate;
+    result.admm = admmPrune(net, data, result.pattern_set, run_cfg);
+    return result;
+}
+
+CompiledLayer
+compileLayer(const ConvDesc& desc, Tensor weight, const PatternSet& set,
+             double connectivity_rate, const DeviceSpec& device, bool auto_tune)
+{
+    CompiledLayer out;
+    int64_t kernels = weight.shape().dim(0) * weight.shape().dim(1);
+    int64_t alpha = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::ceil(static_cast<double>(kernels) / connectivity_rate)));
+    PatternAssignment asg = projectJoint(weight, set, alpha);
+    FkrResult fkr = filterKernelReorder(asg);
+    out.fkw = std::make_unique<FkwLayer>(buildFkw(weight, set, asg, fkr));
+
+    out.lr.device = device.gpu_like ? "GPU" : "CPU";
+    out.lr.conv = desc;
+    for (int p = 0; p < set.size(); ++p)
+        out.lr.pattern_types.push_back(p);
+
+    if (auto_tune) {
+        Tensor in(Shape{1, desc.cin, desc.h, desc.w});
+        Rng rng(17);
+        in.fillUniform(rng, -1.0f, 1.0f);
+        Tensor result_buf = makeConvOutput(desc, 1);
+        std::function<double(const TuneParams&)> measure =
+            [&](const TuneParams& params) -> double {
+            LayerwiseRep lr = out.lr;
+            lr.tuning = params;
+            PatternConv engine(desc, out.fkw.get(), lr, device);
+            Timer t;
+            engine.run(in, result_buf);
+            return t.elapsedMs();
+        };
+        TunerConfig tuner_cfg;
+        tuner_cfg.population = 8;
+        tuner_cfg.generations = 2;
+        tuner_cfg.measure_reps = 1;
+        TuneResult tuned = tuneLayer(measure, TuneSpace{}, tuner_cfg);
+        out.lr.tuning = tuned.best;
+    }
+    out.engine = std::make_unique<PatternConv>(desc, out.fkw.get(), out.lr, device);
+    return out;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PatDNN public API — the Fig. 5 end-to-end pipeline in three calls:
+ *
+ *   1. compress(): pattern-based training stage — design a pattern set
+ *      and run the extended-ADMM kernel-pattern + connectivity pruning
+ *      on a trainable net (or one-shot projection on zoo weights);
+ *   2. compile(): execution-code-generation stage — FKR, FKW packing,
+ *      LR construction and parameter auto-tuning for a device;
+ *   3. the CompiledModel / PatternConv executors returned by compile()
+ *      run inference.
+ *
+ * Everything here is a thin, documented facade over the subsystem
+ * libraries; include this single header to use the framework.
+ */
+#pragma once
+
+#include "graph/builder.h"
+#include "graph/passes.h"
+#include "nn/zoo.h"
+#include "prune/admm.h"
+#include "prune/pruners.h"
+#include "rt/framework.h"
+#include "rt/load_analysis.h"
+#include "rt/tuner.h"
+#include "sparse/csr.h"
+#include "sparse/fkw.h"
+
+namespace patdnn {
+
+/** Result of the pattern-based training stage on a trainable net. */
+struct CompressResult
+{
+    PatternSet pattern_set;
+    AdmmResult admm;
+};
+
+/**
+ * Stage 1 on a trainable net: mine the pattern set from the trained
+ * weights, then run joint kernel-pattern + connectivity ADMM pruning
+ * with masked retraining.
+ */
+CompressResult compress(Net& net, const SyntheticShapes& data, int pattern_count = 8,
+                        double connectivity_rate = 3.6, const AdmmConfig& cfg = {});
+
+/**
+ * Stage 2 for a single layer: prune a weight copy, reorder, pack to
+ * FKW, build the LR and (optionally) auto-tune on the device. Returns
+ * the ready-to-run executor plus its storage.
+ */
+struct CompiledLayer
+{
+    std::unique_ptr<FkwLayer> fkw;
+    LayerwiseRep lr;
+    std::unique_ptr<PatternConv> engine;
+};
+
+CompiledLayer compileLayer(const ConvDesc& desc, Tensor weight,
+                           const PatternSet& set, double connectivity_rate,
+                           const DeviceSpec& device, bool auto_tune = false);
+
+}  // namespace patdnn

@@ -1,0 +1,45 @@
+#include "graph/builder.h"
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+Graph
+buildGraph(const Model& model)
+{
+    Graph g;
+    int prev = -1;
+    std::vector<int> layer_to_node(model.layers().size(), -1);
+    for (size_t li = 0; li < model.layers().size(); ++li) {
+        const Layer& l = model.layers()[li];
+        GraphNode n;
+        n.kind = l.kind;
+        n.name = l.name;
+        n.conv = l.conv;
+        n.pool_k = l.pool_k;
+        n.pool_stride = l.pool_stride;
+        n.in_features = l.in_features;
+        n.out_features = l.out_features;
+        n.weight = l.weight;
+        n.bias = l.bias;
+        n.bn_scale = l.bn_scale;
+        n.bn_shift = l.bn_shift;
+        n.inputs.push_back(prev);
+        if (l.kind == OpKind::kAdd) {
+            PATDNN_CHECK(l.residual_from >= 0 &&
+                             l.residual_from < static_cast<int>(li),
+                         "residual_from out of range for " << l.name);
+            int res_node = l.residual_from < 0
+                               ? -1
+                               : layer_to_node[static_cast<size_t>(l.residual_from)];
+            n.inputs.push_back(res_node);
+        }
+        prev = g.addNode(std::move(n));
+        layer_to_node[li] = prev;
+    }
+    g.setOutputNode(prev);
+    g.check();
+    return g;
+}
+
+}  // namespace patdnn

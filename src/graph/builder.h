@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Build a computational graph from a sequential nn::Model. Input is the
+ * virtual node -1; residual adds reference the recorded producer layer.
+ */
+#pragma once
+
+#include "graph/graph.h"
+#include "nn/model.h"
+
+namespace patdnn {
+
+/** Convert a Model into a Graph (deep-copies constants). */
+Graph buildGraph(const Model& model);
+
+}  // namespace patdnn

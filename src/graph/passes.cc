@@ -1,0 +1,141 @@
+#include "graph/passes.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace patdnn {
+namespace {
+
+/** Redirect every consumer of `from` to `to`. */
+void
+rewire(Graph& g, int from, int to)
+{
+    for (auto& n : g.nodes())
+        for (auto& in : n.inputs)
+            if (in == from)
+                in = to;
+    if (g.outputNode() == from)
+        g.setOutputNode(to);
+}
+
+}  // namespace
+
+PassStats
+foldBatchNorm(Graph& g)
+{
+    PassStats stats;
+    for (auto& n : g.nodes()) {
+        if (n.dead || n.kind != OpKind::kBatchNorm)
+            continue;
+        int producer_id = n.inputs.empty() ? -1 : n.inputs[0];
+        if (producer_id < 0)
+            continue;
+        GraphNode& prod = g.nodes()[static_cast<size_t>(producer_id)];
+        if (prod.kind != OpKind::kConv || prod.dead)
+            continue;
+        // Only safe if the conv has a single consumer (this BN).
+        auto counts = g.consumerCounts();
+        if (counts[static_cast<size_t>(producer_id)] != 1)
+            continue;
+        int64_t cout = prod.conv.cout;
+        if (n.bn_scale.numel() != cout || prod.weight.numel() == 0)
+            continue;
+        int64_t per_filter = prod.weight.numel() / cout;
+        for (int64_t oc = 0; oc < cout; ++oc) {
+            float s = n.bn_scale[oc];
+            float* wp = prod.weight.data() + oc * per_filter;
+            for (int64_t i = 0; i < per_filter; ++i)
+                wp[i] *= s;
+            if (prod.bias.numel() == cout)
+                prod.bias[oc] = prod.bias[oc] * s + n.bn_shift[oc];
+        }
+        prod.fused_bn = true;
+        n.dead = true;
+        rewire(g, n.id, producer_id);
+        ++stats.nodes_affected;
+    }
+    return stats;
+}
+
+PassStats
+fuseConvRelu(Graph& g)
+{
+    PassStats stats;
+    for (auto& n : g.nodes()) {
+        if (n.dead || n.kind != OpKind::kReLU)
+            continue;
+        int producer_id = n.inputs.empty() ? -1 : n.inputs[0];
+        if (producer_id < 0)
+            continue;
+        GraphNode& prod = g.nodes()[static_cast<size_t>(producer_id)];
+        if (prod.dead ||
+            (prod.kind != OpKind::kConv && prod.kind != OpKind::kFullyConnected &&
+             prod.kind != OpKind::kAdd))
+            continue;
+        auto counts = g.consumerCounts();
+        if (counts[static_cast<size_t>(producer_id)] != 1)
+            continue;
+        prod.fused_relu = true;
+        n.dead = true;
+        rewire(g, n.id, producer_id);
+        ++stats.nodes_affected;
+    }
+    return stats;
+}
+
+PassStats
+foldConstants(Graph& g)
+{
+    // Flatten is pure metadata in our NCHW runtime; collapse it.
+    PassStats stats;
+    for (auto& n : g.nodes()) {
+        if (n.dead || n.kind != OpKind::kFlatten)
+            continue;
+        int producer_id = n.inputs.empty() ? -1 : n.inputs[0];
+        if (producer_id < 0)
+            continue;
+        n.dead = true;
+        rewire(g, n.id, producer_id);
+        ++stats.nodes_affected;
+    }
+    return stats;
+}
+
+PassStats
+eliminateDeadNodes(Graph& g)
+{
+    PassStats stats;
+    std::vector<uint8_t> reachable(g.nodes().size(), 0);
+    std::vector<int> stack = {g.outputNode()};
+    while (!stack.empty()) {
+        int id = stack.back();
+        stack.pop_back();
+        if (id < 0 || reachable[static_cast<size_t>(id)])
+            continue;
+        reachable[static_cast<size_t>(id)] = 1;
+        for (int in : g.nodes()[static_cast<size_t>(id)].inputs)
+            stack.push_back(in);
+    }
+    for (auto& n : g.nodes()) {
+        if (!n.dead && !reachable[static_cast<size_t>(n.id)]) {
+            n.dead = true;
+            ++stats.nodes_affected;
+        }
+    }
+    return stats;
+}
+
+PassStats
+optimizeGraph(Graph& g)
+{
+    PassStats total;
+    total.nodes_affected += foldBatchNorm(g).nodes_affected;
+    total.nodes_affected += fuseConvRelu(g).nodes_affected;
+    total.nodes_affected += foldConstants(g).nodes_affected;
+    total.nodes_affected += eliminateDeadNodes(g).nodes_affected;
+    g.check();
+    return total;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Graph-level optimization passes (the Table 1 "computation graph
+ * optimization" row): BN folding, conv+ReLU operator fusion, constant
+ * folding, dead-node elimination and layout annotation. These run
+ * before the layerwise stage that Sections 5.2-5.5 describe.
+ */
+#pragma once
+
+#include "graph/graph.h"
+
+namespace patdnn {
+
+/** Statistics returned by each pass (how much it changed). */
+struct PassStats
+{
+    int nodes_affected = 0;
+};
+
+/**
+ * Fold each BatchNorm into its producer conv: w' = w * scale[oc],
+ * b' = b * scale[oc] + shift[oc]; the BN node is rewired away.
+ * Folding preserves zero weights, so it composes with pruning.
+ */
+PassStats foldBatchNorm(Graph& g);
+
+/** Fuse ReLU nodes into their producer conv/fc (fused_relu flag). */
+PassStats fuseConvRelu(Graph& g);
+
+/**
+ * Constant folding: flatten nodes following a constant-shape producer
+ * chain collapse to metadata (flatten after pooling becomes a no-op
+ * reshaping edge). Returns nodes removed.
+ */
+PassStats foldConstants(Graph& g);
+
+/** Remove nodes not reachable from the output. */
+PassStats eliminateDeadNodes(Graph& g);
+
+/** Run all passes in the canonical order; returns total affected. */
+PassStats optimizeGraph(Graph& g);
+
+}  // namespace patdnn

@@ -1,0 +1,56 @@
+#include "nn/conv_desc.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+int64_t
+ConvDesc::outH() const
+{
+    int64_t eff_k = dilation * (kh - 1) + 1;
+    return (h + 2 * pad - eff_k) / stride + 1;
+}
+
+int64_t
+ConvDesc::outW() const
+{
+    int64_t eff_k = dilation * (kw - 1) + 1;
+    return (w + 2 * pad - eff_k) / stride + 1;
+}
+
+int64_t
+ConvDesc::macs() const
+{
+    return outH() * outW() * cout * cinPerGroup() * kh * kw;
+}
+
+std::string
+ConvDesc::filterShapeStr() const
+{
+    std::ostringstream out;
+    out << "[" << cout << "," << cinPerGroup() << "," << kh << "," << kw << "]";
+    return out.str();
+}
+
+void
+ConvDesc::check() const
+{
+    PATDNN_CHECK_GT(cin, 0, "cin");
+    PATDNN_CHECK_GT(cout, 0, "cout");
+    PATDNN_CHECK_GT(kh, 0, "kh");
+    PATDNN_CHECK_GT(kw, 0, "kw");
+    PATDNN_CHECK_GT(h, 0, "h");
+    PATDNN_CHECK_GT(w, 0, "w");
+    PATDNN_CHECK_GT(stride, 0, "stride");
+    PATDNN_CHECK_GE(pad, 0, "pad");
+    PATDNN_CHECK_GT(dilation, 0, "dilation");
+    PATDNN_CHECK_GT(groups, 0, "groups");
+    PATDNN_CHECK_EQ(cin % groups, 0, "cin divisible by groups");
+    PATDNN_CHECK_EQ(cout % groups, 0, "cout divisible by groups");
+    PATDNN_CHECK_GT(outH(), 0, "output height for " << name);
+    PATDNN_CHECK_GT(outW(), 0, "output width for " << name);
+}
+
+}  // namespace patdnn

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Convolution layer descriptor: the geometry every executor, pruner and
+ * storage format in the library operates on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace patdnn {
+
+/**
+ * Geometry of a 2-D convolution.
+ *
+ * Activations are NCHW, weights OIHW. groups > 1 expresses grouped /
+ * depthwise convolutions (MobileNet-V2): cin is the full input channel
+ * count, and each group convolves cin/groups input channels into
+ * cout/groups output channels.
+ */
+struct ConvDesc
+{
+    std::string name;   ///< Layer name, e.g. "conv1_1" or "L4".
+    int64_t cin = 1;    ///< Input channels C_k.
+    int64_t cout = 1;   ///< Output channels / filters C_{k+1}.
+    int64_t kh = 3;     ///< Kernel height P_k.
+    int64_t kw = 3;     ///< Kernel width Q_k.
+    int64_t h = 1;      ///< Input feature-map height M_k.
+    int64_t w = 1;      ///< Input feature-map width N_k.
+    int64_t stride = 1; ///< Stride S_k (same in both spatial dims).
+    int64_t pad = 1;    ///< Symmetric zero padding.
+    int64_t dilation = 1; ///< Kernel dilation.
+    int64_t groups = 1; ///< Group count (cin and cout divisible by it).
+
+    /** Output feature-map height M_{k+1}. */
+    int64_t outH() const;
+    /** Output feature-map width N_{k+1}. */
+    int64_t outW() const;
+
+    /** Input channels seen by one filter (cin / groups). */
+    int64_t cinPerGroup() const { return cin / groups; }
+    /** Filters per group (cout / groups). */
+    int64_t coutPerGroup() const { return cout / groups; }
+
+    /** Number of weights (dense). */
+    int64_t weightCount() const { return cout * cinPerGroup() * kh * kw; }
+
+    /** Multiply-accumulate count for one input (dense). */
+    int64_t macs() const;
+
+    /** 2*macs, the FLOP convention used in the paper's GFLOPS plots. */
+    int64_t flops() const { return 2 * macs(); }
+
+    /** Filter shape in the paper's Table-6 notation. */
+    std::string filterShapeStr() const;
+
+    /** Validate invariants; aborts on nonsense geometry. */
+    void check() const;
+};
+
+}  // namespace patdnn

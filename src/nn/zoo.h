@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model zoo: the three networks the paper evaluates (VGG-16, ResNet-50,
+ * MobileNet-V2) instantiated with their exact layer geometry for both
+ * ImageNet (224x224x3 inputs) and CIFAR-10 (32x32x3 inputs), plus the
+ * nine unique VGG CONV layer shapes of Table 6.
+ *
+ * Weights are randomly initialized (deterministic seed): execution-speed
+ * experiments depend only on geometry and sparsity structure, never on
+ * weight values. Accuracy experiments use the trainable nets in
+ * src/train instead.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace patdnn {
+
+/** Datasets the zoo knows how to shape models for. */
+enum class Dataset { kImageNet, kCifar10 };
+
+/** Dataset display name ("ImageNet" / "CIFAR-10"). */
+std::string datasetName(Dataset ds);
+
+/** Input spatial resolution for a dataset (224 or 32). */
+int64_t datasetInputSize(Dataset ds);
+
+/** Number of classes (1000 or 10). */
+int64_t datasetClasses(Dataset ds);
+
+/** Build VGG-16 (13 conv + 3 fc) for the dataset. */
+Model buildVGG16(Dataset ds);
+
+/** Build ResNet-50 (49 main-path convs + projections + fc). */
+Model buildResNet50(Dataset ds);
+
+/** Build MobileNet-V2 (inverted residual bottlenecks). */
+Model buildMobileNetV2(Dataset ds);
+
+/** Build by the paper's short name: "VGG", "RNT" or "MBNT". */
+Model buildByShortName(const std::string& short_name, Dataset ds);
+
+/**
+ * The nine unique VGG-16 CONV layers of Table 6 (L1..L9) with their
+ * ImageNet input resolutions, optionally spatially scaled down by
+ * `spatial_divisor` (used by benches to keep host runtimes bounded;
+ * divisor 1 reproduces the paper's exact shapes).
+ */
+std::vector<ConvDesc> vggUniqueLayers(int64_t spatial_divisor = 1);
+
+/** Count of conv layers excluding ResNet projection shortcuts. */
+int64_t mainPathConvCount(const Model& m);
+
+}  // namespace patdnn

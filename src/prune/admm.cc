@@ -1,0 +1,191 @@
+#include "prune/admm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace patdnn {
+namespace {
+
+/** Per-layer ADMM auxiliary/dual state mirrored over the conv weights. */
+struct LayerState
+{
+    Tensor z, y, u, v;  ///< Auxiliary (Z, Y) and scaled duals (U, V).
+    int64_t alpha = 0;  ///< Kernels kept by connectivity pruning.
+    bool is_3x3 = false;
+};
+
+double
+frobeniusDiff(const Tensor& a, const Tensor& b)
+{
+    double s = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+}  // namespace
+
+double
+convCompressionRatio(Net& net)
+{
+    int64_t dense = 0, nnz = 0;
+    for (Tensor* w : net.convWeights()) {
+        dense += w->numel();
+        nnz += w->countNonZero();
+    }
+    return nnz == 0 ? 0.0 : static_cast<double>(dense) / static_cast<double>(nnz);
+}
+
+AdmmResult
+admmPrune(Net& net, const SyntheticShapes& data, const PatternSet& set,
+          const AdmmConfig& cfg)
+{
+    AdmmResult result;
+    result.dense_accuracy = evalAccuracy(net, data, data.test());
+
+    auto convs = net.convLayers();
+    PATDNN_CHECK(!convs.empty(), "net has no conv layers");
+
+    // Initialize per-layer state. Z and Y start at the projections of
+    // the pre-trained weights; duals start at zero.
+    std::vector<LayerState> state(convs.size());
+    for (size_t i = 0; i < convs.size(); ++i) {
+        Tensor& w = convs[i]->weight();
+        LayerState& s = state[i];
+        s.is_3x3 = w.shape().dim(2) == 3 && w.shape().dim(3) == 3;
+        int64_t kernels = w.shape().dim(0) * w.shape().dim(1);
+        double rate = (i == 0) ? cfg.first_layer_rate : cfg.connectivity_rate;
+        s.alpha = std::max<int64_t>(1, static_cast<int64_t>(
+            std::ceil(static_cast<double>(kernels) / rate)));
+        s.z = w;
+        if (cfg.enable_pattern)
+            projectPattern(s.z, set);
+        s.y = w;
+        if (cfg.enable_connectivity)
+            projectConnectivity(s.y, s.alpha);
+        s.u = Tensor(w.shape());
+        s.v = Tensor(w.shape());
+    }
+
+    // ADMM iterations.
+    float rho = cfg.rho;
+    for (int iter = 0; iter < cfg.admm_iterations; ++iter) {
+        // Subproblem 1: W-update. The proximal quadratic terms
+        // rho/2 ||W - Z + U||^2 + rho/2 ||W - Y + V||^2 contribute
+        // gradient rho * (W - Z + U) + rho * (W - Y + V), injected via
+        // the grad hook. (This is exactly d/dW of the quadratics.)
+        // rho ramps per iteration so late iterations pin W to the
+        // constraint sets even under Adam's adaptive step sizes.
+        TrainConfig tc;
+        tc.epochs = cfg.epochs_per_iteration;
+        tc.batch_size = cfg.batch_size;
+        tc.lr = cfg.lr;
+        tc.use_adam = cfg.w_update_adam;
+        tc.seed = cfg.seed + static_cast<uint64_t>(iter);
+        tc.grad_hook = [&](Net& n) {
+            auto cls = n.convLayers();
+            for (size_t i = 0; i < cls.size(); ++i) {
+                Tensor& w = cls[i]->weight();
+                Tensor& g = cls[i]->weightGrad();
+                const LayerState& s = state[i];
+                for (int64_t j = 0; j < w.numel(); ++j) {
+                    float prox = 0.0f;
+                    if (cfg.enable_pattern)
+                        prox += rho * (w[j] - s.z[j] + s.u[j]);
+                    if (cfg.enable_connectivity)
+                        prox += rho * (w[j] - s.y[j] + s.v[j]);
+                    g[j] += prox;
+                }
+            }
+        };
+        TrainResult tr = trainNet(net, data, tc);
+        result.trace.loss.push_back(tr.final_loss);
+
+        // Subproblems 2 & 3: analytical Euclidean projections, then
+        // dual ascent. The recorded residual is the direct constraint
+        // violation ||W - Proj(W)||_F / ||W||_F (the dual-shifted
+        // distance ||W - Z|| grows with U by construction and is not a
+        // convergence signal).
+        double pat_res = 0.0, conn_res = 0.0, w_norm = 0.0;
+        for (size_t i = 0; i < convs.size(); ++i)
+            w_norm += convs[i]->weight().normSq();
+        w_norm = std::sqrt(w_norm) + 1e-12;
+        for (size_t i = 0; i < convs.size(); ++i) {
+            Tensor& w = convs[i]->weight();
+            LayerState& s = state[i];
+            if (cfg.enable_pattern) {
+                Tensor proj = w;
+                projectPattern(proj, set);
+                pat_res += frobeniusDiff(w, proj);
+                // Z^{l+1} = Proj_{S_k}(W + U).
+                s.z = w;
+                for (int64_t j = 0; j < w.numel(); ++j)
+                    s.z[j] += s.u[j];
+                projectPattern(s.z, set);
+                for (int64_t j = 0; j < w.numel(); ++j)
+                    s.u[j] += w[j] - s.z[j];
+            }
+            if (cfg.enable_connectivity) {
+                Tensor proj = w;
+                projectConnectivity(proj, s.alpha);
+                conn_res += frobeniusDiff(w, proj);
+                // Y^{l+1} = Proj_{S'_k}(W + V).
+                s.y = w;
+                for (int64_t j = 0; j < w.numel(); ++j)
+                    s.y[j] += s.v[j];
+                projectConnectivity(s.y, s.alpha);
+                for (int64_t j = 0; j < w.numel(); ++j)
+                    s.v[j] += w[j] - s.y[j];
+            }
+        }
+        result.trace.pattern_residual.push_back(pat_res / w_norm);
+        result.trace.connectivity_residual.push_back(conn_res / w_norm);
+        rho *= cfg.rho_growth;
+        if (cfg.verbose)
+            logMessage(LogLevel::kInfo,
+                       "ADMM iter " + std::to_string(iter) + ": loss " +
+                           std::to_string(tr.final_loss) + " |W-Z| " +
+                           std::to_string(pat_res) + " |W-Y| " +
+                           std::to_string(conn_res));
+    }
+
+    // Masked mapping: hard-project the weights onto both constraints.
+    result.assignments.resize(convs.size());
+    for (size_t i = 0; i < convs.size(); ++i) {
+        Tensor& w = convs[i]->weight();
+        LayerState& s = state[i];
+        if (cfg.enable_pattern && cfg.enable_connectivity) {
+            result.assignments[i] = projectJoint(w, set, s.alpha);
+        } else if (cfg.enable_pattern) {
+            result.assignments[i] = projectPattern(w, set);
+        } else if (cfg.enable_connectivity) {
+            auto keep = projectConnectivity(w, s.alpha);
+            PatternAssignment asg;
+            asg.filters = w.shape().dim(0);
+            asg.kernels_per_filter = w.shape().dim(1);
+            asg.pattern_of_kernel.assign(keep.size(), -1);
+            result.assignments[i] = asg;
+        }
+    }
+
+    // Masked retraining: freeze the zero structure, fine-tune survivors.
+    auto masks = captureMasks(net);
+    TrainConfig ft;
+    ft.epochs = cfg.retrain_epochs;
+    ft.batch_size = cfg.batch_size;
+    ft.lr = cfg.lr * 0.5f;
+    ft.use_adam = true;
+    ft.seed = cfg.seed + 1000;
+    ft.grad_hook = [&](Net& n) { applyMaskToGrads(n, masks); };
+    ft.post_step_hook = [&](Net& n) { applyMaskToWeights(n, masks); };
+    TrainResult ftr = trainNet(net, data, ft);
+
+    result.test_accuracy = ftr.test_accuracy;
+    result.conv_compression = convCompressionRatio(net);
+    return result;
+}
+
+}  // namespace patdnn

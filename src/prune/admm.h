@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extended ADMM solution framework (paper Section 4.2).
+ *
+ * Problem (1): minimize f({W_k}, {b_k}) subject to W_k in S_k (kernel
+ * pattern constraint) and W_k in S'_k (connectivity constraint). The
+ * solver decomposes into three subproblems per iteration:
+ *
+ *   1. W-update: SGD/Adam on f plus the two proximal quadratics
+ *      rho/2 ||W - Z + U||^2 + rho/2 ||W - Y + V||^2 (pattern
+ *      assignment refreshed each iteration by L2-norm metric),
+ *   2. Z-update: Euclidean projection onto S_k (projectPattern),
+ *   3. Y-update: Euclidean projection onto S'_k (projectConnectivity),
+ *
+ * followed by dual ascent U += W - Z, V += W - Y, then masked mapping &
+ * retraining (hard-prune, freeze the masks, fine-tune survivors).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "prune/pattern_set.h"
+#include "prune/projections.h"
+#include "train/trainer.h"
+
+namespace patdnn {
+
+/** Configuration for the ADMM pruning run. */
+struct AdmmConfig
+{
+    int admm_iterations = 3;      ///< Outer ADMM iterations.
+    int epochs_per_iteration = 2; ///< SGD epochs per W-update.
+    int retrain_epochs = 3;       ///< Masked fine-tuning epochs.
+    float rho = 0.5f;             ///< Augmented-Lagrangian penalty.
+    float rho_growth = 1.5f;      ///< Per-iteration rho ramp (>= 1).
+    float lr = 5e-3f;
+    /// Optimizer for the W-update. SGD (default) preserves the relative
+    /// scale of the proximal gradient rho*(W-Z+U); Adam's per-parameter
+    /// normalization washes it out at small scales.
+    bool w_update_adam = false;
+    int64_t batch_size = 32;
+    uint64_t seed = 11;
+    bool enable_pattern = true;      ///< Constrain to pattern set S_k.
+    bool enable_connectivity = true; ///< Constrain kernel count S'_k.
+    /// Connectivity pruning rate: keep ceil(kernels / rate) kernels per
+    /// layer (the paper's uniform 3.6x). Ignored when disabled.
+    double connectivity_rate = 3.6;
+    /// First conv layer is pruned at a milder rate (paper: "smaller,
+    /// yet more sensitive to pruning").
+    double first_layer_rate = 1.5;
+    bool verbose = false;
+};
+
+/** Per-iteration convergence diagnostics. */
+struct AdmmTrace
+{
+    /// Relative residuals ||W - Z||_F / ||W||_F and ||W - Y||_F / ||W||_F
+    /// per iteration; a healthy run drives these toward zero.
+    std::vector<double> pattern_residual;
+    std::vector<double> connectivity_residual;
+    std::vector<double> loss;  ///< Training loss per iter.
+};
+
+/** Outcome of an ADMM pruning run. */
+struct AdmmResult
+{
+    double test_accuracy = 0.0;      ///< After masked retraining.
+    double dense_accuracy = 0.0;     ///< Baseline before pruning.
+    double conv_compression = 1.0;   ///< Dense/nonzero conv weights.
+    AdmmTrace trace;
+    /// Final pattern assignment per conv layer (entries -1 for pruned
+    /// kernels and for non-3x3 layers).
+    std::vector<PatternAssignment> assignments;
+};
+
+/**
+ * Run joint kernel-pattern + connectivity ADMM pruning on a trained net.
+ *
+ * The net must already be trained (dense_accuracy is measured first).
+ * On return the net's conv weights satisfy both constraints exactly.
+ */
+AdmmResult admmPrune(Net& net, const SyntheticShapes& data, const PatternSet& set,
+                     const AdmmConfig& cfg);
+
+/** Compression ratio helper: dense weight count / non-zero count. */
+double convCompressionRatio(Net& net);
+
+}  // namespace patdnn

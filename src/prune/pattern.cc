@@ -1,0 +1,130 @@
+#include "prune/pattern.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+Pattern::Pattern(int64_t kh, int64_t kw, uint32_t mask) : kh_(kh), kw_(kw), mask_(mask)
+{
+    PATDNN_CHECK_LE(kh * kw, 32, "pattern mask limited to 32 positions");
+}
+
+Pattern::Pattern(int64_t kh, int64_t kw, const std::vector<int>& kept) : kh_(kh), kw_(kw)
+{
+    PATDNN_CHECK_LE(kh * kw, 32, "pattern mask limited to 32 positions");
+    for (int p : kept) {
+        PATDNN_CHECK(p >= 0 && p < kh * kw, "kept position out of range: " << p);
+        mask_ |= (1u << p);
+    }
+}
+
+int
+Pattern::popcount() const
+{
+    return std::popcount(mask_);
+}
+
+bool
+Pattern::keeps(int64_t r, int64_t c) const
+{
+    return (mask_ >> (r * kw_ + c)) & 1u;
+}
+
+std::vector<int>
+Pattern::keptPositions() const
+{
+    std::vector<int> pos;
+    for (int i = 0; i < kh_ * kw_; ++i)
+        if ((mask_ >> i) & 1u)
+            pos.push_back(i);
+    return pos;
+}
+
+bool
+Pattern::keepsCenter() const
+{
+    if (kh_ % 2 == 0 || kw_ % 2 == 0)
+        return false;
+    return keeps(kh_ / 2, kw_ / 2);
+}
+
+double
+Pattern::keptEnergy(const float* kernel) const
+{
+    double e = 0.0;
+    for (int i = 0; i < kh_ * kw_; ++i)
+        if ((mask_ >> i) & 1u)
+            e += static_cast<double>(kernel[i]) * kernel[i];
+    return e;
+}
+
+void
+Pattern::apply(float* kernel) const
+{
+    for (int i = 0; i < kh_ * kw_; ++i)
+        if (!((mask_ >> i) & 1u))
+            kernel[i] = 0.0f;
+}
+
+std::string
+Pattern::str() const
+{
+    std::ostringstream out;
+    for (int64_t r = 0; r < kh_; ++r) {
+        for (int64_t c = 0; c < kw_; ++c)
+            out << (keeps(r, c) ? 'x' : '.');
+        if (r + 1 < kh_)
+            out << '\n';
+    }
+    return out.str();
+}
+
+std::vector<Pattern>
+allNaturalPatterns3x3()
+{
+    std::vector<Pattern> out;
+    const int center = 4;
+    for (int a = 0; a < 9; ++a) {
+        if (a == center)
+            continue;
+        for (int b = a + 1; b < 9; ++b) {
+            if (b == center)
+                continue;
+            for (int c = b + 1; c < 9; ++c) {
+                if (c == center)
+                    continue;
+                out.emplace_back(3, 3, std::vector<int>{center, a, b, c});
+            }
+        }
+    }
+    PATDNN_CHECK_EQ(out.size(), 56u, "C(8,3) natural patterns");
+    return out;
+}
+
+Pattern
+naturalPatternOf(const float* kernel, int64_t kh, int64_t kw, int entries)
+{
+    PATDNN_CHECK(kh % 2 == 1 && kw % 2 == 1, "natural pattern needs odd kernel");
+    PATDNN_CHECK_GE(entries, 1, "entries");
+    int n = static_cast<int>(kh * kw);
+    PATDNN_CHECK_LE(entries, n, "entries exceed kernel size");
+    int center = static_cast<int>((kh / 2) * kw + kw / 2);
+    std::vector<int> order;
+    for (int i = 0; i < n; ++i)
+        if (i != center)
+            order.push_back(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return std::fabs(kernel[a]) > std::fabs(kernel[b]);
+    });
+    std::vector<int> kept = {center};
+    for (int i = 0; i < entries - 1 && i < static_cast<int>(order.size()); ++i)
+        kept.push_back(order[static_cast<size_t>(i)]);
+    return Pattern(kh, kw, kept);
+}
+
+}  // namespace patdnn

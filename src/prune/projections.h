@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Euclidean projections onto the paper's constraint sets (Section 4.2).
+ *
+ * ADMM's second/third subproblems have analytical solutions: project the
+ * current weights onto S_k (every kernel matches a pattern from the set)
+ * and S'_k (at most alpha_k non-zero kernels). Projections for the
+ * baselines (non-structured magnitude, filter, channel) live here too so
+ * every pruning scheme in Table 2 shares one code path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prune/pattern_set.h"
+#include "tensor/tensor.h"
+
+namespace patdnn {
+
+/** Per-kernel pattern assignment for one conv weight tensor. */
+struct PatternAssignment
+{
+    /// pattern index into the set per (filter, kernel), -1 = kernel pruned
+    /// away entirely by connectivity pruning.
+    std::vector<int> pattern_of_kernel;
+    int64_t filters = 0;
+    int64_t kernels_per_filter = 0;
+
+    int
+    at(int64_t f, int64_t k) const
+    {
+        return pattern_of_kernel[static_cast<size_t>(f * kernels_per_filter + k)];
+    }
+};
+
+/**
+ * Project onto the kernel-pattern constraint S_k: for every kh x kw
+ * kernel keep the candidate pattern with maximum kept energy and zero
+ * all other entries. Returns the chosen assignment.
+ *
+ * Non-3x3 kernels (e.g. ResNet 1x1) are left dense, mirroring the paper
+ * ("we apply kernel pattern pruning on all 3x3 ones").
+ */
+PatternAssignment projectPattern(Tensor& weight, const PatternSet& set);
+
+/**
+ * Project onto the connectivity constraint S'_k: keep the `alpha`
+ * kernels with largest L2 norm (over the whole layer) and zero the rest.
+ * Returns the kept-kernel mask per (filter, kernel).
+ */
+std::vector<uint8_t> projectConnectivity(Tensor& weight, int64_t alpha);
+
+/**
+ * Joint projection used by PatDNN: connectivity first (which kernels
+ * survive), then pattern projection on the survivors. `alpha` is the
+ * number of kernels kept. Assignment entries for removed kernels are -1.
+ */
+PatternAssignment projectJoint(Tensor& weight, const PatternSet& set, int64_t alpha);
+
+/** Non-structured magnitude projection: keep the `keep` largest |w|. */
+void projectMagnitude(Tensor& weight, int64_t keep);
+
+/** Structured filter pruning: zero all but the `keep` largest-L2 filters. */
+void projectFilters(Tensor& weight, int64_t keep);
+
+/**
+ * Structured channel pruning: zero all but the `keep` largest-L2 input
+ * channels (columns of kernels across all filters).
+ */
+void projectChannels(Tensor& weight, int64_t keep);
+
+/** L2 norm of each kernel; length = filters * kernels_per_filter. */
+std::vector<double> kernelNorms(const Tensor& weight);
+
+/** Count of kernels with any non-zero weight. */
+int64_t countNonZeroKernels(const Tensor& weight);
+
+}  // namespace patdnn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * High-level pruning APIs covering every scheme in the paper's Table 2
+ * plus the Table 4 baselines, all returning a common report so benches
+ * can tabulate accuracy vs compression vs scheme.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prune/admm.h"
+
+namespace patdnn {
+
+/** Pruning schemes compared in the paper. */
+enum class PruneScheme
+{
+    kNone,             ///< Dense baseline.
+    kNonStructured,    ///< Magnitude pruning, iterative (Deep-Compression-like).
+    kNonStructuredAdmm,///< ADMM-regularized magnitude pruning (ADMM-NN-like).
+    kFilter,           ///< Structured filter pruning.
+    kChannel,          ///< Structured channel pruning.
+    kPattern,          ///< Kernel pattern pruning only.
+    kConnectivity,     ///< Connectivity pruning only.
+    kPatternConnectivity, ///< PatDNN: joint pattern + connectivity.
+};
+
+/** Display name of a scheme. */
+std::string pruneSchemeName(PruneScheme scheme);
+
+/** Common pruning report (rows of Tables 2/4). */
+struct PruneReport
+{
+    PruneScheme scheme = PruneScheme::kNone;
+    double dense_accuracy = 0.0;
+    double pruned_accuracy = 0.0;
+    double conv_compression = 1.0;
+    std::vector<PatternAssignment> assignments;  ///< For pattern schemes.
+};
+
+/** Options shared by the scheme runners. */
+struct PruneOptions
+{
+    /// Overall conv weight compression target (e.g. 8.0 for 8x). For
+    /// pattern-only pruning the rate is fixed at kernel_size/entries.
+    double target_compression = 8.0;
+    int pattern_count = 8;       ///< Candidate set size k.
+    int pattern_entries = 4;     ///< Kept entries per kernel.
+    double connectivity_rate = 3.6;
+    int retrain_epochs = 3;
+    AdmmConfig admm;             ///< ADMM knobs for ADMM-based schemes.
+};
+
+/**
+ * Prune a trained net with the given scheme and fine-tune.
+ *
+ * Heuristic (non-ADMM) schemes project once then retrain with frozen
+ * masks, matching the iterative-pruning baselines; ADMM schemes run the
+ * full extended framework.
+ */
+PruneReport pruneWithScheme(Net& net, const SyntheticShapes& data, PruneScheme scheme,
+                            const PruneOptions& opts);
+
+}  // namespace patdnn

@@ -1,0 +1,56 @@
+#include "rt/conv_csr.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+void
+CsrConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
+{
+    const ConvDesc& d = desc_;
+    PATDNN_CHECK_EQ(d.groups, 1, "CsrConv supports groups == 1");
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    int64_t ksz = d.kh * d.kw;
+
+    device_.pool().parallelFor(n * d.cout, [&](int64_t job) {
+        int64_t b = job / d.cout;
+        int64_t oc = job % d.cout;
+        float* optr = out.data() + ((b * d.cout + oc) * oh) * ow;
+        float bias = ep.bias ? (*ep.bias)[oc] : 0.0f;
+        std::fill(optr, optr + oh * ow, bias);
+        int32_t begin = csr_.row_ptr[static_cast<size_t>(oc)];
+        int32_t end = csr_.row_ptr[static_cast<size_t>(oc) + 1];
+        for (int32_t i = begin; i < end; ++i) {
+            // Indirect decode: flat column -> (ic, r, c). This is the
+            // per-nonzero index arithmetic that throttles CSR execution.
+            int64_t col = csr_.col_idx[static_cast<size_t>(i)];
+            float wv = csr_.values[static_cast<size_t>(i)];
+            int64_t ic = col / ksz;
+            int64_t rem = col % ksz;
+            int64_t r = rem / d.kw;
+            int64_t c = rem % d.kw;
+            const float* iptr = in.data() + ((b * d.cin + ic) * d.h) * d.w;
+            for (int64_t y = 0; y < oh; ++y) {
+                int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                if (iy < 0 || iy >= d.h)
+                    continue;
+                const float* irow = iptr + iy * d.w;
+                float* orow = optr + y * ow;
+                for (int64_t x = 0; x < ow; ++x) {
+                    int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                    if (ix < 0 || ix >= d.w)
+                        continue;
+                    orow[x] += wv * irow[ix];
+                }
+            }
+        }
+        if (ep.relu)
+            for (int64_t j = 0; j < oh * ow; ++j)
+                optr[j] = std::max(0.0f, optr[j]);
+    });
+}
+
+}  // namespace patdnn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSR sparse convolution: the conventional sparse baseline the paper
+ * implements to show that non-structured sparsity does not translate
+ * into speedups ("almost the same speed to PatDNN's dense version",
+ * Section 6.2). Every inner-loop step performs an indirect index
+ * decode, exactly the irregular-memory-access behaviour Section 2.3
+ * describes.
+ */
+#pragma once
+
+#include "nn/conv_desc.h"
+#include "rt/conv_ref.h"
+#include "rt/device.h"
+#include "sparse/csr.h"
+
+namespace patdnn {
+
+/** Direct sparse convolution over CSR weights. */
+class CsrConv
+{
+  public:
+    CsrConv(ConvDesc desc, CsrWeights csr, DeviceSpec device)
+        : desc_(std::move(desc)), csr_(std::move(csr)), device_(std::move(device))
+    {
+    }
+
+    void run(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
+
+    const CsrWeights& weights() const { return csr_; }
+
+  private:
+    ConvDesc desc_;
+    CsrWeights csr_;
+    DeviceSpec device_;
+};
+
+}  // namespace patdnn

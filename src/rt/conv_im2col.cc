@@ -1,0 +1,120 @@
+#include "rt/conv_im2col.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+Tensor
+Im2colConv::im2col(const ConvDesc& d, const Tensor& in, int64_t batch_index,
+                   int64_t group)
+{
+    int64_t oh = d.outH(), ow = d.outW();
+    int64_t cpg = d.cinPerGroup();
+    int64_t rows = cpg * d.kh * d.kw;
+    Tensor cols(Shape{rows, oh * ow});
+    for (int64_t ic = 0; ic < cpg; ++ic) {
+        const float* iptr =
+            in.data() + ((batch_index * d.cin + group * cpg + ic) * d.h) * d.w;
+        for (int64_t r = 0; r < d.kh; ++r) {
+            for (int64_t c = 0; c < d.kw; ++c) {
+                float* dst = cols.data() + ((ic * d.kh + r) * d.kw + c) * oh * ow;
+                for (int64_t y = 0; y < oh; ++y) {
+                    int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                    if (iy < 0 || iy >= d.h) {
+                        std::fill(dst + y * ow, dst + (y + 1) * ow, 0.0f);
+                        continue;
+                    }
+                    for (int64_t x = 0; x < ow; ++x) {
+                        int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                        dst[y * ow + x] =
+                            (ix < 0 || ix >= d.w) ? 0.0f : iptr[iy * d.w + ix];
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+void
+Im2colConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
+{
+    const ConvDesc& d = desc_;
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    int64_t cpg = d.cinPerGroup();
+    int64_t opg = d.coutPerGroup();
+    int64_t k_dim = cpg * d.kh * d.kw;
+    int64_t n_dim = oh * ow;
+    const Tensor& weight = *weight_;
+
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t g = 0; g < d.groups; ++g) {
+            Tensor cols = im2col(d, in, b, g);
+            // GEMM: [opg x k_dim] * [k_dim x n_dim], parallel over rows
+            // of the output with 4-row register blocking.
+            device_.pool().parallelChunks(opg, [&](int64_t begin, int64_t end) {
+                int64_t m = begin;
+                for (; m + 4 <= end; m += 4) {
+                    int64_t oc = g * opg + m;
+                    const float* w0 = weight.data() + (oc + 0) * k_dim;
+                    const float* w1 = weight.data() + (oc + 1) * k_dim;
+                    const float* w2 = weight.data() + (oc + 2) * k_dim;
+                    const float* w3 = weight.data() + (oc + 3) * k_dim;
+                    float* o0 = out.data() + ((b * d.cout + oc + 0) * n_dim);
+                    float* o1 = out.data() + ((b * d.cout + oc + 1) * n_dim);
+                    float* o2 = out.data() + ((b * d.cout + oc + 2) * n_dim);
+                    float* o3 = out.data() + ((b * d.cout + oc + 3) * n_dim);
+                    float b0 = ep.bias ? (*ep.bias)[oc + 0] : 0.0f;
+                    float b1 = ep.bias ? (*ep.bias)[oc + 1] : 0.0f;
+                    float b2 = ep.bias ? (*ep.bias)[oc + 2] : 0.0f;
+                    float b3 = ep.bias ? (*ep.bias)[oc + 3] : 0.0f;
+                    std::fill(o0, o0 + n_dim, b0);
+                    std::fill(o1, o1 + n_dim, b1);
+                    std::fill(o2, o2 + n_dim, b2);
+                    std::fill(o3, o3 + n_dim, b3);
+                    for (int64_t k = 0; k < k_dim; ++k) {
+                        float v0 = w0[k], v1 = w1[k], v2 = w2[k], v3 = w3[k];
+                        if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f)
+                            continue;
+                        const float* col = cols.data() + k * n_dim;
+                        for (int64_t j = 0; j < n_dim; ++j) {
+                            float cv = col[j];
+                            o0[j] += v0 * cv;
+                            o1[j] += v1 * cv;
+                            o2[j] += v2 * cv;
+                            o3[j] += v3 * cv;
+                        }
+                    }
+                }
+                for (; m < end; ++m) {
+                    int64_t oc = g * opg + m;
+                    const float* wr = weight.data() + oc * k_dim;
+                    float* optr = out.data() + ((b * d.cout + oc) * n_dim);
+                    float bias = ep.bias ? (*ep.bias)[oc] : 0.0f;
+                    std::fill(optr, optr + n_dim, bias);
+                    for (int64_t k = 0; k < k_dim; ++k) {
+                        float v = wr[k];
+                        if (v == 0.0f)
+                            continue;
+                        const float* col = cols.data() + k * n_dim;
+                        for (int64_t j = 0; j < n_dim; ++j)
+                            optr[j] += v * col[j];
+                    }
+                }
+                if (ep.relu) {
+                    for (int64_t m2 = begin; m2 < end; ++m2) {
+                        int64_t oc = g * opg + m2;
+                        float* optr = out.data() + ((b * d.cout + oc) * n_dim);
+                        for (int64_t j = 0; j < n_dim; ++j)
+                            optr[j] = std::max(0.0f, optr[j]);
+                    }
+                }
+            });
+        }
+    }
+}
+
+}  // namespace patdnn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * im2col + blocked GEMM convolution: the tuned dense baseline standing
+ * in for TVM's scheduled dense kernels (Table 1's "tensor optimization"
+ * row: blocking, vector-friendly inner loops, threading).
+ */
+#pragma once
+
+#include "nn/conv_desc.h"
+#include "rt/conv_ref.h"
+#include "rt/device.h"
+
+namespace patdnn {
+
+/** Tuned dense conv via im2col and a register-blocked GEMM. */
+class Im2colConv
+{
+  public:
+    Im2colConv(ConvDesc desc, const Tensor* weight, DeviceSpec device)
+        : desc_(std::move(desc)), weight_(weight), device_(std::move(device))
+    {
+    }
+
+    void run(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
+
+    /** Expose im2col for testing: [cin*kh*kw, outH*outW] column matrix. */
+    static Tensor im2col(const ConvDesc& d, const Tensor& in, int64_t batch_index,
+                         int64_t group);
+
+  private:
+    ConvDesc desc_;
+    const Tensor* weight_;
+    DeviceSpec device_;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,51 @@
+#include "rt/conv_naive.h"
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+void
+NaiveConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
+{
+    const ConvDesc& d = desc_;
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    int64_t cpg = d.cinPerGroup();
+    int64_t opg = d.coutPerGroup();
+    const Tensor& weight = *weight_;
+
+    device_.pool().parallelFor(n * d.cout, [&](int64_t job) {
+        int64_t b = job / d.cout;
+        int64_t oc = job % d.cout;
+        int64_t g = oc / opg;
+        const float* wbase = weight.data() + oc * cpg * d.kh * d.kw;
+        float bias = ep.bias != nullptr ? (*ep.bias)[oc] : 0.0f;
+        float* optr = out.data() + ((b * d.cout + oc) * oh) * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x) {
+                float acc = bias;
+                for (int64_t ic = 0; ic < cpg; ++ic) {
+                    const float* iptr =
+                        in.data() + ((b * d.cin + g * cpg + ic) * d.h) * d.w;
+                    const float* wk = wbase + ic * d.kh * d.kw;
+                    for (int64_t r = 0; r < d.kh; ++r) {
+                        int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                        if (iy < 0 || iy >= d.h)
+                            continue;
+                        for (int64_t c = 0; c < d.kw; ++c) {
+                            int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                            if (ix < 0 || ix >= d.w)
+                                continue;
+                            acc += wk[r * d.kw + c] * iptr[iy * d.w + ix];
+                        }
+                    }
+                }
+                if (ep.relu && acc < 0.0f)
+                    acc = 0.0f;
+                optr[y * ow + x] = acc;
+            }
+        }
+    });
+}
+
+}  // namespace patdnn

@@ -1,0 +1,58 @@
+#include "rt/conv_ref.h"
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+Tensor
+makeConvOutput(const ConvDesc& d, int64_t batch)
+{
+    return Tensor(Shape{batch, d.cout, d.outH(), d.outW()});
+}
+
+void
+convReference(const ConvDesc& d, const Tensor& weight, const Tensor& in, Tensor& out,
+              const Epilogue& ep)
+{
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    PATDNN_CHECK(out.shape() == Shape({n, d.cout, oh, ow}), "output shape");
+    int64_t cpg = d.cinPerGroup();
+    int64_t opg = d.coutPerGroup();
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t oc = 0; oc < d.cout; ++oc) {
+            int64_t g = oc / opg;
+            const float* wbase = weight.data() + oc * cpg * d.kh * d.kw;
+            float bias = ep.bias != nullptr ? (*ep.bias)[oc] : 0.0f;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x) {
+                    double acc = bias;
+                    for (int64_t ic = 0; ic < cpg; ++ic) {
+                        int64_t in_c = g * cpg + ic;
+                        const float* iptr =
+                            in.data() + ((b * d.cin + in_c) * d.h) * d.w;
+                        const float* wk = wbase + ic * d.kh * d.kw;
+                        for (int64_t r = 0; r < d.kh; ++r) {
+                            int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                            if (iy < 0 || iy >= d.h)
+                                continue;
+                            for (int64_t c = 0; c < d.kw; ++c) {
+                                int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                                if (ix < 0 || ix >= d.w)
+                                    continue;
+                                acc += static_cast<double>(wk[r * d.kw + c]) *
+                                       iptr[iy * d.w + ix];
+                            }
+                        }
+                    }
+                    float v = static_cast<float>(acc);
+                    if (ep.relu && v < 0.0f)
+                        v = 0.0f;
+                    out.at4(b, oc, y, x) = v;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace patdnn

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reference convolution: the slow, obviously-correct oracle every other
+ * executor is validated against in the equivalence test suite.
+ */
+#pragma once
+
+#include "nn/conv_desc.h"
+#include "tensor/tensor.h"
+
+namespace patdnn {
+
+/** Epilogue applied by executors after accumulation. */
+struct Epilogue
+{
+    const Tensor* bias = nullptr;  ///< Per-output-channel bias or null.
+    bool relu = false;             ///< Fused ReLU.
+};
+
+/**
+ * Single-threaded direct convolution supporting stride, padding,
+ * dilation and groups. Input NCHW [n, cin, h, w]; output
+ * [n, cout, outH, outW].
+ */
+void convReference(const ConvDesc& d, const Tensor& weight, const Tensor& in,
+                   Tensor& out, const Epilogue& ep = {});
+
+/** Allocate a correctly shaped output tensor for a conv. */
+Tensor makeConvOutput(const ConvDesc& d, int64_t batch);
+
+}  // namespace patdnn

@@ -1,0 +1,189 @@
+#include "rt/conv_winograd.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace patdnn {
+namespace {
+
+/**
+ * Filter transform U = G g G^T for F(2x2,3x3):
+ *   G = [[1, 0, 0], [1/2, 1/2, 1/2], [1/2, -1/2, 1/2], [0, 0, 1]].
+ */
+void
+transformFilter(const float* g, float* u)
+{
+    float t[4][3];
+    for (int c = 0; c < 3; ++c) {
+        float g0 = g[0 * 3 + c], g1 = g[1 * 3 + c], g2 = g[2 * 3 + c];
+        t[0][c] = g0;
+        t[1][c] = 0.5f * (g0 + g1 + g2);
+        t[2][c] = 0.5f * (g0 - g1 + g2);
+        t[3][c] = g2;
+    }
+    for (int r = 0; r < 4; ++r) {
+        float g0 = t[r][0], g1 = t[r][1], g2 = t[r][2];
+        u[r * 4 + 0] = g0;
+        u[r * 4 + 1] = 0.5f * (g0 + g1 + g2);
+        u[r * 4 + 2] = 0.5f * (g0 - g1 + g2);
+        u[r * 4 + 3] = g2;
+    }
+}
+
+/** Input transform V = B^T d B with B^T rows [1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]. */
+void
+transformInput(const float d[4][4], float v[16])
+{
+    float t[4][4];
+    for (int c = 0; c < 4; ++c) {
+        t[0][c] = d[0][c] - d[2][c];
+        t[1][c] = d[1][c] + d[2][c];
+        t[2][c] = d[2][c] - d[1][c];
+        t[3][c] = d[1][c] - d[3][c];
+    }
+    for (int r = 0; r < 4; ++r) {
+        v[r * 4 + 0] = t[r][0] - t[r][2];
+        v[r * 4 + 1] = t[r][1] + t[r][2];
+        v[r * 4 + 2] = t[r][2] - t[r][1];
+        v[r * 4 + 3] = t[r][1] - t[r][3];
+    }
+}
+
+/** Output transform Y = A^T m A with A^T = [[1,1,1,0],[0,1,-1,-1]]. */
+void
+transformOutput(const float m[16], float y[4])
+{
+    float t[2][4];
+    for (int c = 0; c < 4; ++c) {
+        t[0][c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+        t[1][c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+    }
+    y[0] = t[0][0] + t[0][1] + t[0][2];
+    y[1] = t[0][1] - t[0][2] - t[0][3];
+    y[2] = t[1][0] + t[1][1] + t[1][2];
+    y[3] = t[1][1] - t[1][2] - t[1][3];
+}
+
+}  // namespace
+
+WinogradConv::WinogradConv(ConvDesc desc, const Tensor* weight, DeviceSpec device)
+    : desc_(std::move(desc)), weight_(weight), device_(std::move(device))
+{
+    winograd_ok_ = desc_.kh == 3 && desc_.kw == 3 && desc_.stride == 1 &&
+                   desc_.dilation == 1 && desc_.groups == 1;
+    if (winograd_ok_) {
+        transformed_ = Tensor(Shape{16, desc_.cout, desc_.cin});
+        for (int64_t oc = 0; oc < desc_.cout; ++oc) {
+            for (int64_t ic = 0; ic < desc_.cin; ++ic) {
+                float u[16];
+                transformFilter(weight->data() + (oc * desc_.cin + ic) * 9, u);
+                for (int t = 0; t < 16; ++t)
+                    transformed_[(static_cast<int64_t>(t) * desc_.cout + oc) *
+                                     desc_.cin + ic] = u[t];
+            }
+        }
+    }
+}
+
+void
+WinogradConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
+{
+    if (!winograd_ok_) {
+        Im2colConv fallback(desc_, weight_, device_);
+        fallback.run(in, out, ep);
+        return;
+    }
+    runWinograd(in, out, ep);
+}
+
+void
+WinogradConv::runWinograd(const Tensor& in, Tensor& out, const Epilogue& ep) const
+{
+    const ConvDesc& d = desc_;
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    int64_t tiles_y = (oh + 1) / 2;
+    int64_t tiles_x = (ow + 1) / 2;
+    int64_t tiles = tiles_y * tiles_x;
+
+    for (int64_t b = 0; b < n; ++b) {
+        // Stage 1: input transform for all tiles: V [16, cin, tiles].
+        Tensor v(Shape{16, d.cin, tiles});
+        device_.pool().parallelFor(d.cin, [&](int64_t ic) {
+            const float* iptr = in.data() + ((b * d.cin + ic) * d.h) * d.w;
+            for (int64_t ty = 0; ty < tiles_y; ++ty) {
+                for (int64_t tx = 0; tx < tiles_x; ++tx) {
+                    float patch[4][4];
+                    for (int r = 0; r < 4; ++r) {
+                        int64_t iy = ty * 2 - d.pad + r;
+                        for (int c = 0; c < 4; ++c) {
+                            int64_t ix = tx * 2 - d.pad + c;
+                            patch[r][c] = (iy < 0 || iy >= d.h || ix < 0 || ix >= d.w)
+                                              ? 0.0f
+                                              : iptr[iy * d.w + ix];
+                        }
+                    }
+                    float vt[16];
+                    transformInput(patch, vt);
+                    int64_t tile = ty * tiles_x + tx;
+                    for (int t = 0; t < 16; ++t)
+                        v[(static_cast<int64_t>(t) * d.cin + ic) * tiles + tile] = vt[t];
+                }
+            }
+        });
+
+        // Stage 2: 16 independent GEMMs M[t] = U[t] * V[t],
+        // [cout x cin] * [cin x tiles].
+        Tensor mbuf(Shape{16, d.cout, tiles});
+        device_.pool().parallelFor(16 * d.cout, [&](int64_t job) {
+            int64_t t = job / d.cout;
+            int64_t oc = job % d.cout;
+            const float* urow = transformed_.data() + (t * d.cout + oc) * d.cin;
+            float* mrow = mbuf.data() + (t * d.cout + oc) * tiles;
+            std::fill(mrow, mrow + tiles, 0.0f);
+            const float* vbase = v.data() + t * d.cin * tiles;
+            for (int64_t ic = 0; ic < d.cin; ++ic) {
+                float uv = urow[ic];
+                if (uv == 0.0f)
+                    continue;
+                const float* vrow = vbase + ic * tiles;
+                for (int64_t j = 0; j < tiles; ++j)
+                    mrow[j] += uv * vrow[j];
+            }
+        });
+
+        // Stage 3: output transform.
+        device_.pool().parallelFor(d.cout, [&](int64_t oc) {
+            float bias = ep.bias ? (*ep.bias)[oc] : 0.0f;
+            float* optr = out.data() + ((b * d.cout + oc) * oh) * ow;
+            for (int64_t ty = 0; ty < tiles_y; ++ty) {
+                for (int64_t tx = 0; tx < tiles_x; ++tx) {
+                    int64_t tile = ty * tiles_x + tx;
+                    float m[16];
+                    for (int t = 0; t < 16; ++t)
+                        m[t] = mbuf[(static_cast<int64_t>(t) * d.cout + oc) * tiles +
+                                    tile];
+                    float y[4];
+                    transformOutput(m, y);
+                    for (int r = 0; r < 2; ++r) {
+                        int64_t oy = ty * 2 + r;
+                        if (oy >= oh)
+                            continue;
+                        for (int c = 0; c < 2; ++c) {
+                            int64_t ox = tx * 2 + c;
+                            if (ox >= ow)
+                                continue;
+                            float val = y[r * 2 + c] + bias;
+                            if (ep.relu && val < 0.0f)
+                                val = 0.0f;
+                            optr[oy * ow + ox] = val;
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+}  // namespace patdnn

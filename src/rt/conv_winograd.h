@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Winograd F(2x2, 3x3) convolution: the hand-optimized dense path the
+ * paper enables "for all dense runs" (Section 6.1) and the MNN-like
+ * facade's fast 3x3 kernel. Falls back to im2col for non-3x3/stride>1.
+ */
+#pragma once
+
+#include "nn/conv_desc.h"
+#include "rt/conv_im2col.h"
+#include "rt/conv_ref.h"
+#include "rt/device.h"
+
+namespace patdnn {
+
+/** Winograd F(2x2,3x3) executor with dense-GEMM fallback. */
+class WinogradConv
+{
+  public:
+    WinogradConv(ConvDesc desc, const Tensor* weight, DeviceSpec device);
+
+    void run(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
+
+    /** True if the geometry takes the Winograd fast path. */
+    bool usesWinograd() const { return winograd_ok_; }
+
+  private:
+    void runWinograd(const Tensor& in, Tensor& out, const Epilogue& ep) const;
+
+    ConvDesc desc_;
+    const Tensor* weight_;
+    DeviceSpec device_;
+    bool winograd_ok_ = false;
+    Tensor transformed_;  ///< [16, cout, cin] pre-transformed filters U.
+};
+
+}  // namespace patdnn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Execution device abstraction.
+ *
+ * The paper runs on Snapdragon 855/845 and Kirin 980 CPUs and their
+ * GPUs. This repo substitutes host-CPU execution behind a DeviceSpec
+ * that carries the scheduling-relevant properties of each target:
+ * worker count, a GPU-like flag (filter groups scheduled as indivisible
+ * "thread blocks", making load balance matter more — the Fig. 13
+ * observation), and a cache tile budget. See DESIGN.md substitutions.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace patdnn {
+
+/** A simulated execution target. */
+struct DeviceSpec
+{
+    std::string name = "host-cpu";
+    int threads = 8;         ///< Worker count (paper uses 8 CPU threads).
+    bool gpu_like = false;   ///< Schedule groups as thread blocks.
+    int64_t tile_budget_kb = 32;  ///< L1-resident working-set budget.
+
+    /** Lazily created pool shared by every executor on this device. */
+    ThreadPool& pool() const;
+
+  private:
+    mutable std::shared_ptr<ThreadPool> pool_;
+};
+
+/** Snapdragon-855-class CPU stand-in (the paper's primary platform). */
+DeviceSpec makeCpuDevice(int threads = 8);
+
+/** Adreno-640-class GPU stand-in: max parallelism, block scheduling. */
+DeviceSpec makeGpuDevice();
+
+/** Portability presets for Fig. 18 (differ in threads + tile budget). */
+DeviceSpec makeSnapdragon855();
+DeviceSpec makeSnapdragon845();
+DeviceSpec makeKirin980();
+
+}  // namespace patdnn

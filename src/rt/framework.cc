@@ -1,0 +1,474 @@
+#include "rt/framework.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prune/projections.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace patdnn {
+
+std::string
+frameworkName(FrameworkKind kind)
+{
+    switch (kind) {
+      case FrameworkKind::kTfliteLike: return "TFLite-like";
+      case FrameworkKind::kTvmLike: return "TVM-like";
+      case FrameworkKind::kMnnLike: return "MNN-like";
+      case FrameworkKind::kPatDnnDense: return "PatDNN-dense";
+      case FrameworkKind::kCsrSparse: return "CSR-sparse";
+      case FrameworkKind::kPatDnn: return "PatDNN";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool
+isSparseKind(FrameworkKind kind)
+{
+    return kind == FrameworkKind::kCsrSparse || kind == FrameworkKind::kPatDnn;
+}
+
+/** Joint-prune a conv weight copy per the compile options. */
+PatternAssignment
+pruneWeightsForCompile(Tensor& weight, const PatternSet& set,
+                       const CompileOptions& opts, bool first_layer)
+{
+    int64_t kernels = weight.shape().dim(0) * weight.shape().dim(1);
+    double rate = first_layer ? opts.first_layer_rate : opts.connectivity_rate;
+    int64_t alpha = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(static_cast<double>(kernels) / rate)));
+    return projectJoint(weight, set, alpha);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompiledConvLayer
+// ---------------------------------------------------------------------------
+
+CompiledConvLayer::CompiledConvLayer(const ConvDesc& desc, FrameworkKind kind,
+                                     DeviceSpec device, CompileOptions opts)
+    : desc_(desc), kind_(kind), device_(std::move(device)), opts_(std::move(opts))
+{
+    desc_.check();
+    Rng rng(opts_.seed + static_cast<uint64_t>(desc_.cout * 131 + desc_.cin));
+    weight_ = Tensor(Shape{desc_.cout, desc_.cinPerGroup(), desc_.kh, desc_.kw});
+    weight_.fillHe(rng, desc_.cinPerGroup() * desc_.kh * desc_.kw);
+    input_ = Tensor(Shape{1, desc_.cin, desc_.h, desc_.w});
+    input_.fillUniform(rng, -1.0f, 1.0f);
+    output_ = makeConvOutput(desc_, 1);
+
+    if (isSparseKind(kind_)) {
+        PatternSet set = canonicalPatternSet(opts_.pattern_count);
+        // Refine with the layer's own natural-pattern statistics when
+        // the kernels are 3x3, matching the training-stage pattern-set
+        // design.
+        if (desc_.kh == 3 && desc_.kw == 3) {
+            std::vector<const Tensor*> ws = {&weight_};
+            set = designPatternSet(ws, opts_.pattern_count);
+        }
+        PatternAssignment asg =
+            pruneWeightsForCompile(weight_, set, opts_, /*first_layer=*/false);
+        if (kind_ == FrameworkKind::kPatDnn) {
+            FkrOptions fkr_opts;
+            fkr_opts.reorder_filters = opts_.opts.reorder;
+            fkr_opts.similarity_within_group = opts_.opts.reorder;
+            fkr_opts.reorder_kernels = opts_.opts.reorder;
+            FkrResult fkr = filterKernelReorder(asg, fkr_opts);
+            fkw_ = std::make_unique<FkwLayer>(buildFkw(weight_, set, asg, fkr));
+            LayerwiseRep lr;
+            lr.device = device_.gpu_like ? "GPU" : "CPU";
+            lr.conv = desc_;
+            lr.opts = opts_.opts;
+            lr.tuning = opts_.default_tuning;
+            for (int p = 0; p < set.size(); ++p)
+                lr.pattern_types.push_back(p);
+            pattern_ = std::make_unique<PatternConv>(desc_, fkw_.get(), lr, device_);
+        } else {
+            csr_ = std::make_unique<CsrConv>(desc_, buildCsr(weight_), device_);
+        }
+        return;
+    }
+
+    switch (kind_) {
+      case FrameworkKind::kTfliteLike:
+        naive_ = std::make_unique<NaiveConv>(desc_, &weight_, device_);
+        break;
+      case FrameworkKind::kTvmLike:
+        // TVM-like: scheduled im2col+GEMM (no hand-written Winograd).
+        im2col_ = std::make_unique<Im2colConv>(desc_, &weight_, device_);
+        break;
+      case FrameworkKind::kMnnLike:
+      case FrameworkKind::kPatDnnDense:
+        winograd_ = std::make_unique<WinogradConv>(desc_, &weight_, device_);
+        if (!winograd_->usesWinograd())
+            im2col_ = std::make_unique<Im2colConv>(desc_, &weight_, device_);
+        break;
+      default:
+        PATDNN_CHECK(false, "unsupported single-layer kind");
+    }
+}
+
+void
+CompiledConvLayer::run(const Tensor& in, Tensor& out) const
+{
+    if (pattern_) {
+        pattern_->run(in, out);
+    } else if (csr_) {
+        csr_->run(in, out);
+    } else if (naive_) {
+        naive_->run(in, out);
+    } else if (winograd_ && winograd_->usesWinograd()) {
+        winograd_->run(in, out);
+    } else {
+        PATDNN_CHECK(im2col_ != nullptr, "no executor");
+        im2col_->run(in, out);
+    }
+}
+
+double
+CompiledConvLayer::timeMs(int warmup, int reps) const
+{
+    return medianTimeMs([&] { run(input_, output_); }, warmup, reps);
+}
+
+int64_t
+CompiledConvLayer::effectiveMacs() const
+{
+    int64_t nnz = weight_.countNonZero();
+    return nnz * desc_.outH() * desc_.outW();
+}
+
+double
+CompiledConvLayer::gflops(double time_ms) const
+{
+    if (time_ms <= 0.0)
+        return 0.0;
+    double flops = 2.0 * static_cast<double>(effectiveMacs());
+    return flops / (time_ms * 1e6);
+}
+
+double
+CompiledConvLayer::timeWithParams(const TuneParams& params, int reps) const
+{
+    PATDNN_CHECK(pattern_ != nullptr, "timeWithParams needs the pattern engine");
+    LayerwiseRep lr = pattern_->lr();
+    lr.tuning = params;
+    PatternConv engine(desc_, fkw_.get(), lr, device_);
+    Tensor out = makeConvOutput(desc_, 1);
+    return medianTimeMs([&] { engine.run(input_, out); }, 1, reps);
+}
+
+// ---------------------------------------------------------------------------
+// CompiledModel
+// ---------------------------------------------------------------------------
+
+/** Per-node executor: owns pruned weights and the chosen engine. */
+struct CompiledModel::Executor
+{
+    OpKind kind = OpKind::kConv;
+    ConvDesc conv;
+    Tensor weight;  ///< Conv/fc weights (pruned copy for sparse kinds).
+    Tensor bias;
+    Epilogue ep;
+    int64_t pool_k = 2, pool_stride = 2;
+    int64_t in_features = 0, out_features = 0;
+    std::vector<int> inputs;
+    bool fused_relu = false;
+    std::unique_ptr<FkwLayer> fkw;
+    std::unique_ptr<PatternConv> pattern;
+    std::unique_ptr<NaiveConv> naive;
+    std::unique_ptr<Im2colConv> im2col;
+    std::unique_ptr<WinogradConv> winograd;
+    std::unique_ptr<CsrConv> csr;
+};
+
+CompiledModel::~CompiledModel() = default;
+
+CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec device,
+                             CompileOptions opts)
+    : kind_(kind), device_(std::move(device))
+{
+    graph_ = buildGraph(model);
+    // Graph-level optimization (Table 1): all frameworks fold BN and
+    // fuse ReLU; TFLite-like runs a reduced pass set ("less advanced").
+    if (opts.run_graph_passes) {
+        foldBatchNorm(graph_);
+        if (kind_ != FrameworkKind::kTfliteLike)
+            fuseConvRelu(graph_);
+        foldConstants(graph_);
+        eliminateDeadNodes(graph_);
+    }
+
+    // Shared pattern set mined from all 3x3 conv weights (training-stage
+    // output in the real pipeline).
+    PatternSet set;
+    if (isSparseKind(kind_)) {
+        std::vector<const Tensor*> ws;
+        for (const auto& n : graph_.nodes())
+            if (!n.dead && n.kind == OpKind::kConv)
+                ws.push_back(&n.weight);
+        set = canonicalPatternSet(opts.pattern_count);
+        auto freqs = minePatternFrequencies(ws);
+        if (!freqs.empty())
+            set = selectTopK(freqs, opts.pattern_count);
+    }
+
+    executors_.resize(graph_.nodes().size());
+    bool first_conv = true;
+    for (const auto& n : graph_.nodes()) {
+        if (n.dead)
+            continue;
+        auto ex = std::make_unique<Executor>();
+        ex->kind = n.kind;
+        ex->conv = n.conv;
+        ex->inputs = n.inputs;
+        ex->fused_relu = n.fused_relu;
+        ex->pool_k = n.pool_k;
+        ex->pool_stride = n.pool_stride;
+        ex->in_features = n.in_features;
+        ex->out_features = n.out_features;
+        ex->bias = n.bias;
+        if (n.kind == OpKind::kConv) {
+            ex->weight = n.weight;
+            ex->ep.bias = ex->bias.numel() > 0 ? &ex->bias : nullptr;
+            ex->ep.relu = n.fused_relu;
+            bool can_sparse = isSparseKind(kind_) && n.conv.groups == 1;
+            if (can_sparse) {
+                PatternAssignment asg = pruneWeightsForCompile(
+                    ex->weight, set, opts, first_conv);
+                if (kind_ == FrameworkKind::kPatDnn) {
+                    FkrOptions fkr_opts;
+                    fkr_opts.reorder_filters = opts.opts.reorder;
+                    fkr_opts.similarity_within_group = opts.opts.reorder;
+                    fkr_opts.reorder_kernels = opts.opts.reorder;
+                    FkrResult fkr = filterKernelReorder(asg, fkr_opts);
+                    ex->fkw = std::make_unique<FkwLayer>(
+                        buildFkw(ex->weight, set, asg, fkr));
+                    LayerwiseRep lr;
+                    lr.device = device_.gpu_like ? "GPU" : "CPU";
+                    lr.conv = n.conv;
+                    lr.opts = opts.opts;
+                    lr.tuning = opts.default_tuning;
+                    for (int p = 0; p < set.size(); ++p)
+                        lr.pattern_types.push_back(p);
+                    ex->pattern = std::make_unique<PatternConv>(
+                        n.conv, ex->fkw.get(), lr, device_);
+                } else {
+                    ex->csr = std::make_unique<CsrConv>(
+                        n.conv, buildCsr(ex->weight), device_);
+                }
+            } else {
+                switch (kind_) {
+                  case FrameworkKind::kTfliteLike:
+                    ex->naive = std::make_unique<NaiveConv>(n.conv, &ex->weight,
+                                                            device_);
+                    break;
+                  case FrameworkKind::kTvmLike:
+                    if (n.conv.groups == 1)
+                        ex->im2col = std::make_unique<Im2colConv>(
+                            n.conv, &ex->weight, device_);
+                    else
+                        ex->naive = std::make_unique<NaiveConv>(n.conv, &ex->weight,
+                                                                device_);
+                    break;
+                  default:
+                    if (n.conv.groups == 1) {
+                        ex->winograd = std::make_unique<WinogradConv>(
+                            n.conv, &ex->weight, device_);
+                        if (!ex->winograd->usesWinograd())
+                            ex->im2col = std::make_unique<Im2colConv>(
+                                n.conv, &ex->weight, device_);
+                    } else {
+                        ex->naive = std::make_unique<NaiveConv>(n.conv, &ex->weight,
+                                                                device_);
+                    }
+                    break;
+                }
+            }
+            first_conv = false;
+        } else if (n.kind == OpKind::kFullyConnected) {
+            ex->weight = n.weight;
+        } else if (n.kind == OpKind::kBatchNorm) {
+            ex->weight = n.bn_scale;
+            ex->bias = n.bn_shift;
+        }
+        executors_[static_cast<size_t>(n.id)] = std::move(ex);
+    }
+}
+
+Tensor
+CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
+{
+    std::vector<Tensor> values(executors_.size());
+    auto input_of = [&](const Executor& ex, int i) -> const Tensor& {
+        int id = ex.inputs[static_cast<size_t>(i)];
+        return id < 0 ? input : values[static_cast<size_t>(id)];
+    };
+    double conv_total = 0.0;
+    Tensor output;
+    for (size_t id = 0; id < executors_.size(); ++id) {
+        const auto& exp = executors_[id];
+        if (!exp)
+            continue;
+        const Executor& ex = *exp;
+        const Tensor& x = input_of(ex, 0);
+        Tensor y;
+        switch (ex.kind) {
+          case OpKind::kConv: {
+            y = makeConvOutput(ex.conv, x.shape().dim(0));
+            Timer t;
+            if (ex.pattern)
+                ex.pattern->run(x, y, ex.ep);
+            else if (ex.csr)
+                ex.csr->run(x, y, ex.ep);
+            else if (ex.naive)
+                ex.naive->run(x, y, ex.ep);
+            else if (ex.winograd && ex.winograd->usesWinograd())
+                ex.winograd->run(x, y, ex.ep);
+            else
+                ex.im2col->run(x, y, ex.ep);
+            conv_total += t.elapsedMs();
+            break;
+          }
+          case OpKind::kBatchNorm: {
+            y = x;
+            int64_t c = ex.weight.numel();
+            int64_t n = x.shape().dim(0);
+            int64_t hw = x.numel() / (n * c);
+            for (int64_t b = 0; b < n; ++b)
+                for (int64_t ch = 0; ch < c; ++ch) {
+                    float s = ex.weight[ch];
+                    float sh = ex.bias[ch];
+                    float* p = y.data() + (b * c + ch) * hw;
+                    for (int64_t i = 0; i < hw; ++i)
+                        p[i] = p[i] * s + sh;
+                }
+            break;
+          }
+          case OpKind::kReLU: {
+            y = x;
+            for (int64_t i = 0; i < y.numel(); ++i)
+                y[i] = std::max(0.0f, y[i]);
+            break;
+          }
+          case OpKind::kMaxPool:
+          case OpKind::kAvgPool: {
+            int64_t n = x.shape().dim(0), c = x.shape().dim(1);
+            int64_t h = x.shape().dim(2), w = x.shape().dim(3);
+            int64_t k = ex.pool_k, s = ex.pool_stride;
+            int64_t oh = (h - k) / s + 1, ow = (w - k) / s + 1;
+            y = Tensor(Shape{n, c, oh, ow});
+            bool is_max = ex.kind == OpKind::kMaxPool;
+            for (int64_t bc = 0; bc < n * c; ++bc) {
+                const float* ip = x.data() + bc * h * w;
+                float* op = y.data() + bc * oh * ow;
+                for (int64_t yy = 0; yy < oh; ++yy)
+                    for (int64_t xx = 0; xx < ow; ++xx) {
+                        float acc = is_max ? -1e30f : 0.0f;
+                        for (int64_t r = 0; r < k; ++r)
+                            for (int64_t cc = 0; cc < k; ++cc) {
+                                float v = ip[(yy * s + r) * w + xx * s + cc];
+                                acc = is_max ? std::max(acc, v) : acc + v;
+                            }
+                        op[yy * ow + xx] =
+                            is_max ? acc : acc / static_cast<float>(k * k);
+                    }
+            }
+            break;
+          }
+          case OpKind::kAdd: {
+            const Tensor& r = input_of(ex, 1);
+            y = x;
+            for (int64_t i = 0; i < y.numel(); ++i)
+                y[i] += r[i];
+            if (ex.fused_relu)
+                for (int64_t i = 0; i < y.numel(); ++i)
+                    y[i] = std::max(0.0f, y[i]);
+            break;
+          }
+          case OpKind::kFlatten: {
+            y = x;
+            y.reshape(Shape{x.shape().dim(0), x.numel() / x.shape().dim(0)});
+            break;
+          }
+          case OpKind::kFullyConnected: {
+            Tensor flat = x;
+            if (flat.shape().rank() != 2)
+                flat.reshape(Shape{x.shape().dim(0), x.numel() / x.shape().dim(0)});
+            int64_t n = flat.shape().dim(0);
+            y = Tensor(Shape{n, ex.out_features});
+            device_.pool().parallelFor(ex.out_features, [&](int64_t o) {
+                const float* wr = ex.weight.data() + o * ex.in_features;
+                for (int64_t b = 0; b < n; ++b) {
+                    const float* xr = flat.data() + b * ex.in_features;
+                    float acc = ex.bias.numel() > 0 ? ex.bias[o] : 0.0f;
+                    for (int64_t i = 0; i < ex.in_features; ++i)
+                        acc += wr[i] * xr[i];
+                    if (ex.fused_relu && acc < 0.0f)
+                        acc = 0.0f;
+                    y[b * ex.out_features + o] = acc;
+                }
+            });
+            break;
+          }
+        }
+        values[id] = std::move(y);
+        if (static_cast<int>(id) == graph_.outputNode())
+            output = values[id];
+    }
+    if (conv_ms != nullptr)
+        *conv_ms = conv_total;
+    return output;
+}
+
+Tensor
+CompiledModel::run(const Tensor& input) const
+{
+    return runLayers(input, nullptr);
+}
+
+double
+CompiledModel::timeMs(const Tensor& input, int warmup, int reps) const
+{
+    return medianTimeMs([&] { runLayers(input, nullptr); }, warmup, reps);
+}
+
+double
+CompiledModel::convOnlyTimeMs(const Tensor& input, int warmup, int reps) const
+{
+    for (int i = 0; i < warmup; ++i)
+        runLayers(input, nullptr);
+    std::vector<double> times;
+    for (int i = 0; i < reps; ++i) {
+        double conv_ms = 0.0;
+        runLayers(input, &conv_ms);
+        times.push_back(conv_ms);
+    }
+    return summarize(times).median;
+}
+
+int64_t
+CompiledModel::convNonZeros() const
+{
+    int64_t nnz = 0;
+    for (const auto& ex : executors_)
+        if (ex && ex->kind == OpKind::kConv)
+            nnz += ex->weight.countNonZero();
+    return nnz;
+}
+
+int64_t
+CompiledModel::convDense() const
+{
+    int64_t n = 0;
+    for (const auto& ex : executors_)
+        if (ex && ex->kind == OpKind::kConv)
+            n += ex->weight.numel();
+    return n;
+}
+
+}  // namespace patdnn

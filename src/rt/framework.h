@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end model execution facades.
+ *
+ * The paper compares PatDNN against TFLite, TVM and MNN. Those binaries
+ * are closed/mobile-only, so this repo re-implements baseline engines
+ * with each framework's documented optimization inventory (Table 1):
+ *
+ *  - kTfliteLike: dense direct conv, threaded, no auto-tuning;
+ *  - kTvmLike:    dense im2col + blocked GEMM + Winograd for 3x3
+ *                 (tensor-optimized, auto-tuned dense);
+ *  - kMnnLike:    dense Winograd + hand-tuned tiling;
+ *  - kPatDnnDense: our optimized dense baseline (Fig. 17a);
+ *  - kCsrSparse:  pruned weights in CSR, conventional sparse execution;
+ *  - kPatDnn:     the full pattern engine (FKR + FKW + LRE + tuning).
+ *
+ * Relative orderings between these engines — not absolute ms — are the
+ * reproduction target (see DESIGN.md).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/passes.h"
+#include "nn/model.h"
+#include "nn/zoo.h"
+#include "rt/conv_csr.h"
+#include "rt/conv_im2col.h"
+#include "rt/conv_naive.h"
+#include "rt/conv_pattern.h"
+#include "rt/conv_winograd.h"
+#include "rt/device.h"
+
+namespace patdnn {
+
+/** Engine selection for a whole-model run. */
+enum class FrameworkKind
+{
+    kTfliteLike,
+    kTvmLike,
+    kMnnLike,
+    kPatDnnDense,
+    kCsrSparse,
+    kPatDnn,
+};
+
+/** Display name used in bench output. */
+std::string frameworkName(FrameworkKind kind);
+
+/** Options controlling sparse compilation for the sparse engines. */
+struct CompileOptions
+{
+    int pattern_count = 8;
+    double connectivity_rate = 3.6;
+    double first_layer_rate = 1.5;
+    OptSwitches opts;       ///< FKR / LRE / tuning switches.
+    TuneParams default_tuning;
+    bool run_graph_passes = true;
+    uint64_t seed = 5;
+};
+
+/**
+ * A compiled, runnable model: per-conv-layer executors plus the simple
+ * non-conv ops (pool/add/fc) executed directly. Holds all storage.
+ */
+class CompiledModel
+{
+  public:
+    /** Compile `model` for `kind` on `device`. Prunes a copy of the
+     * weights for sparse engines (pattern projection + connectivity). */
+    CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec device,
+                  CompileOptions opts = {});
+    ~CompiledModel();
+
+    /** Run one NCHW input through every layer; returns final output. */
+    Tensor run(const Tensor& input) const;
+
+    /** Median wall-clock of `run` over reps (after warmup). */
+    double timeMs(const Tensor& input, int warmup = 1, int reps = 3) const;
+
+    /** Sum of conv-layer times only (the paper's reported metric). */
+    double convOnlyTimeMs(const Tensor& input, int warmup = 1, int reps = 3) const;
+
+    /** Total non-zero conv weights after compilation. */
+    int64_t convNonZeros() const;
+
+    /** Dense conv weight count. */
+    int64_t convDense() const;
+
+    FrameworkKind kind() const { return kind_; }
+    const DeviceSpec& device() const { return device_; }
+
+  private:
+    struct Executor;
+    Tensor runLayers(const Tensor& input, double* conv_ms) const;
+
+    FrameworkKind kind_;
+    DeviceSpec device_;
+    Graph graph_;
+    std::vector<std::unique_ptr<Executor>> executors_;  ///< Per node id.
+};
+
+/**
+ * Convenience: build a single-layer compiled conv for a ConvDesc (used
+ * by the per-layer benches). Weights are generated, pruned and packed
+ * internally with the given options.
+ */
+class CompiledConvLayer
+{
+  public:
+    CompiledConvLayer(const ConvDesc& desc, FrameworkKind kind, DeviceSpec device,
+                      CompileOptions opts = {});
+
+    void run(const Tensor& in, Tensor& out) const;
+
+    /** Median time over reps after warmup. */
+    double timeMs(int warmup = 1, int reps = 3) const;
+
+    /** Achieved GFLOPS counting actually-executed MACs. */
+    double gflops(double time_ms) const;
+
+    /** Effective (non-zero) MACs per run. */
+    int64_t effectiveMacs() const;
+
+    const FkwLayer* fkw() const { return fkw_.get(); }
+    const ConvDesc& desc() const { return desc_; }
+
+    /** Re-run with different tuning (used by the tuner's measure fn). */
+    double timeWithParams(const TuneParams& params, int reps = 2) const;
+
+  private:
+    ConvDesc desc_;
+    FrameworkKind kind_;
+    DeviceSpec device_;
+    CompileOptions opts_;
+    Tensor weight_;  ///< Dense (possibly pruned) weights.
+    std::unique_ptr<FkwLayer> fkw_;
+    std::unique_ptr<PatternConv> pattern_;
+    std::unique_ptr<NaiveConv> naive_;
+    std::unique_ptr<Im2colConv> im2col_;
+    std::unique_ptr<WinogradConv> winograd_;
+    std::unique_ptr<CsrConv> csr_;
+    Tensor input_;
+    mutable Tensor output_;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,40 @@
+#include "rt/load_analysis.h"
+
+namespace patdnn {
+
+LoadCounts
+analyzeLoads(const ConvDesc& desc, const FkwLayer& fkw, const LayerwiseRep& lr,
+             const DeviceSpec& device)
+{
+    LoadCounts counts;
+    PatternPlan plan = preparePatternPlan(fkw, lr, device);
+    int64_t oh = desc.outH();
+    int64_t ow = desc.outW();
+    int64_t pixels = oh * ow;
+    int entries = plan.entries;
+
+    for (const auto& item : plan.items) {
+        for (const auto& op : item.ops) {
+            int64_t fc = op.filter_count;
+            if (lr.opts.lre) {
+                // One pass per op: each output element of each filter in
+                // the bundle is loaded once; input values are loaded
+                // once per x position (shared across the bundle);
+                // weights are loaded once per op into registers.
+                counts.output_loads += fc * pixels;
+                counts.input_loads += static_cast<int64_t>(entries) * pixels;
+                counts.weight_loads += fc * entries;
+            } else {
+                // One pass per entry: output re-loaded per entry; input
+                // loaded per (entry, pixel) for every filter separately;
+                // weight re-loaded per pass.
+                counts.output_loads += fc * pixels * entries;
+                counts.input_loads += fc * pixels * entries;
+                counts.weight_loads += fc * entries;
+            }
+        }
+    }
+    return counts;
+}
+
+}  // namespace patdnn

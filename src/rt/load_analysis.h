@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Register-load analysis (Fig. 14b): counts the register load operations
+ * the generated code performs with and without LRE, by walking the same
+ * PatternPlan the executor runs. The counts are exact for the engine's
+ * code structure (one load per input value read, one per output-value
+ * read-modify-write read), so the before/after ratio mirrors the
+ * paper's profiling experiment.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "rt/conv_pattern.h"
+
+namespace patdnn {
+
+/** Load counts attributable to one conv layer's execution. */
+struct LoadCounts
+{
+    int64_t input_loads = 0;    ///< Register loads of input values.
+    int64_t output_loads = 0;   ///< Register loads of output accumulators.
+    int64_t weight_loads = 0;   ///< Register loads of weight values.
+    int64_t total() const { return input_loads + output_loads + weight_loads; }
+};
+
+/**
+ * Count register loads for executing `fkw` under `lr` on `device`.
+ *
+ * Without LRE every entry performs its own pass: each output element is
+ * re-loaded per entry and every input value is loaded per use. With LRE
+ * a kernel makes one pass (single output load per element) and bundled
+ * filters share one set of input loads.
+ */
+LoadCounts analyzeLoads(const ConvDesc& desc, const FkwLayer& fkw,
+                        const LayerwiseRep& lr, const DeviceSpec& device);
+
+}  // namespace patdnn

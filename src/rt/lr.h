@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Layerwise Representation (LR), paper Section 5.1 / Fig. 8.
+ *
+ * The LR is the high-level, sparsity-aware description of one layer
+ * that the execution-code-generation stage consumes: which pattern
+ * types are present, how the weights are stored (FKW), and the
+ * tuning-decided parameters (tile sizes, unroll factors, the loop
+ * permutation). The pattern engine is configured entirely from an LR,
+ * and the auto-tuner's job is to fill in its `tuning` block.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/conv_desc.h"
+
+namespace patdnn {
+
+/** Computation loop permutations explored by tuning (Fig. 15). */
+enum class LoopPermutation
+{
+    kCoCiHW,  ///< filter -> kernel -> spatial (weight-stationary).
+    kCoHWCi,  ///< filter -> spatial tile -> kernel (input-stationary).
+};
+
+/** Permutation display name ("cohwci_b"-style as in Fig. 8). */
+std::string permutationName(LoopPermutation p, bool blocked);
+
+/** Tuning-decided execution parameters of one layer. */
+struct TuneParams
+{
+    LoopPermutation permute = LoopPermutation::kCoHWCi;
+    bool blocked = true;      ///< Spatial tiling on/off.
+    int64_t tile_oh = 16;     ///< Output-row tile (when blocked).
+    int64_t tile_ow = 64;     ///< Output-col tile (when blocked).
+    int unroll_w = 8;         ///< Register-blocked outputs per x step.
+    int unroll_oc = 4;        ///< Filter-level unrolling for LRE.
+    int filters_per_task = 8; ///< Scheduling granularity.
+};
+
+/** Optimization switches (the Fig. 13 ablation axes). */
+struct OptSwitches
+{
+    bool reorder = true;  ///< FKR applied.
+    bool lre = true;      ///< Register-level load redundancy elimination.
+    bool tuned = true;    ///< TuneParams from auto-tuner (vs defaults).
+};
+
+/** The LR: everything needed to generate execution code for a layer. */
+struct LayerwiseRep
+{
+    std::string device = "CPU";
+    std::string storage = "tight";  ///< FKW compact storage.
+    ConvDesc conv;
+    std::vector<int> pattern_types;  ///< Pattern ids present.
+    std::string layout = "FKW";
+    TuneParams tuning;
+    OptSwitches opts;
+
+    /** Render in the Fig. 8 YAML-like style. */
+    std::string str() const;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,231 @@
+#include "rt/microkernels.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+PatternKernel
+lowerPattern(const Pattern& p)
+{
+    PatternKernel pk;
+    pk.mask = p.mask();
+    auto kept = p.keptPositions();
+    PATDNN_CHECK_LE(kept.size(), 9u, "pattern entries limited to 9");
+    pk.entries = static_cast<int>(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i) {
+        pk.dy[i] = static_cast<int32_t>(kept[i] / p.kw());
+        pk.dx[i] = static_cast<int32_t>(kept[i] % p.kw());
+    }
+    return pk;
+}
+
+namespace {
+
+/**
+ * Interior x-range of an output row where every entry's input column is
+ * in bounds (stride 1): [max_e(pad - dx_e), min_e(w + pad - dx_e)).
+ */
+void
+interiorRange(const PatternKernel& pk, int64_t w, int64_t pad, int64_t x0, int64_t x1,
+              int64_t& lo, int64_t& hi)
+{
+    lo = x0;
+    hi = x1;
+    for (int e = 0; e < pk.entries; ++e) {
+        lo = std::max<int64_t>(lo, pad - pk.dx[e]);
+        hi = std::min<int64_t>(hi, w + pad - pk.dx[e]);
+    }
+    if (hi < lo)
+        hi = lo;
+}
+
+/** Fully guarded accumulation for one output element (border path). */
+inline float
+guardedDot(const PatternKernel& pk, const float* weights, const float* in, int64_t h,
+           int64_t w, int64_t pad, int64_t stride, int64_t y, int64_t x)
+{
+    float acc = 0.0f;
+    for (int e = 0; e < pk.entries; ++e) {
+        int64_t iy = y * stride - pad + pk.dy[e];
+        int64_t ix = x * stride - pad + pk.dx[e];
+        if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+            acc += weights[e] * in[iy * w + ix];
+    }
+    return acc;
+}
+
+}  // namespace
+
+__attribute__((noinline)) float
+guardedPatternDot(const PatternKernel& pk, const float* weights, const float* in,
+                  const PlaneGeom& g, int64_t y, int64_t x)
+{
+    return guardedDot(pk, weights, in, g.h, g.w, g.pad, g.stride, y, x);
+}
+
+void
+kernelAccumulateLre(const PatternKernel& pk, const float* weights, const float* in,
+                    float* out, const PlaneGeom& g, int unroll_w)
+{
+    if (g.stride != 1) {
+        // Generic strided path (guarded, single pass).
+        for (int64_t y = g.y0; y < g.y1; ++y) {
+            float* orow = out + y * g.ow;
+            for (int64_t x = g.x0; x < g.x1; ++x)
+                orow[x] += guardedDot(pk, weights, in, g.h, g.w, g.pad, g.stride, y, x);
+        }
+        return;
+    }
+    const int uw = std::max(1, unroll_w);
+    for (int64_t y = g.y0; y < g.y1; ++y) {
+        // Row validity per entry and hoisted input-row pointers: the
+        // "statically determined data access" of the generated code.
+        const float* rows[9];
+        int live = 0;
+        float wv[9];
+        for (int e = 0; e < pk.entries; ++e) {
+            int64_t iy = y - g.pad + pk.dy[e];
+            if (iy < 0 || iy >= g.h)
+                continue;
+            rows[live] = in + iy * g.w + pk.dx[e] - g.pad;
+            wv[live] = weights[e];
+            ++live;
+        }
+        float* orow = out + y * g.ow;
+        if (live == 0)
+            continue;
+        int64_t lo, hi;
+        interiorRange(pk, g.w, g.pad, g.x0, g.x1, lo, hi);
+        // Left border (guarded).
+        for (int64_t x = g.x0; x < lo; ++x)
+            orow[x] += guardedDot(pk, weights, in, g.h, g.w, g.pad, 1, y, x);
+        // Interior: single pass, register accumulators. The 4-entry
+        // case (every pattern row in bounds) is the hot path and gets
+        // a fully unrolled loop the compiler can vectorize.
+        int64_t x = lo;
+        if (live == 4) {
+            const float* r0 = rows[0];
+            const float* r1 = rows[1];
+            const float* r2 = rows[2];
+            const float* r3 = rows[3];
+            float w0 = wv[0], w1 = wv[1], w2 = wv[2], w3 = wv[3];
+            for (; x < hi; ++x)
+                orow[x] += w0 * r0[x] + w1 * r1[x] + w2 * r2[x] + w3 * r3[x];
+        } else {
+            for (; x + uw <= hi; x += uw) {
+                for (int u = 0; u < uw; ++u) {
+                    float acc = orow[x + u];
+                    for (int e = 0; e < live; ++e)
+                        acc += wv[e] * rows[e][x + u];
+                    orow[x + u] = acc;
+                }
+            }
+            for (; x < hi; ++x) {
+                float acc = orow[x];
+                for (int e = 0; e < live; ++e)
+                    acc += wv[e] * rows[e][x];
+                orow[x] = acc;
+            }
+        }
+        // Right border (guarded).
+        for (x = std::max(lo, hi); x < g.x1; ++x)
+            orow[x] += guardedDot(pk, weights, in, g.h, g.w, g.pad, 1, y, x);
+    }
+}
+
+void
+kernelAccumulateNoLre(const PatternKernel& pk, const float* weights, const float* in,
+                      float* out, const PlaneGeom& g)
+{
+    // One pass per entry: the output row is re-loaded and re-stored for
+    // every entry and input rows are re-walked — the redundant register
+    // loads LRE eliminates (Fig. 14b counts the difference).
+    for (int e = 0; e < pk.entries; ++e) {
+        float wv = weights[e];
+        for (int64_t y = g.y0; y < g.y1; ++y) {
+            int64_t iy = y * g.stride - g.pad + pk.dy[e];
+            if (iy < 0 || iy >= g.h)
+                continue;
+            const float* irow = in + iy * g.w;
+            float* orow = out + y * g.ow;
+            for (int64_t x = g.x0; x < g.x1; ++x) {
+                int64_t ix = x * g.stride - g.pad + pk.dx[e];
+                if (ix < 0 || ix >= g.w)
+                    continue;
+                orow[x] += wv * irow[ix];
+            }
+        }
+    }
+}
+
+void
+kernelAccumulateMultiFilter(const PatternKernel& pk, const float* const* weights,
+                            const float* in, float* const* outs, int count,
+                            const PlaneGeom& g)
+{
+    if (g.stride != 1 || count == 1) {
+        for (int f = 0; f < count; ++f)
+            kernelAccumulateLre(pk, weights[f], in, outs[f], g, 4);
+        return;
+    }
+    for (int64_t y = g.y0; y < g.y1; ++y) {
+        const float* rows[9];
+        int live = 0;
+        int live_map[9];
+        for (int e = 0; e < pk.entries; ++e) {
+            int64_t iy = y - g.pad + pk.dy[e];
+            if (iy < 0 || iy >= g.h)
+                continue;
+            rows[live] = in + iy * g.w + pk.dx[e] - g.pad;
+            live_map[live] = e;
+            ++live;
+        }
+        if (live == 0)
+            continue;
+        int64_t lo, hi;
+        interiorRange(pk, g.w, g.pad, g.x0, g.x1, lo, hi);
+        for (int f = 0; f < count; ++f) {
+            float* orow = outs[f] + y * g.ow;
+            for (int64_t x = g.x0; x < lo; ++x)
+                orow[x] +=
+                    guardedDot(pk, weights[f], in, g.h, g.w, g.pad, 1, y, x);
+            for (int64_t x = std::max(lo, hi); x < g.x1; ++x)
+                orow[x] +=
+                    guardedDot(pk, weights[f], in, g.h, g.w, g.pad, 1, y, x);
+        }
+        // Interior: load the shared input values once per x, then fan
+        // out to all filters — the filter-level reuse of Fig. 11. The
+        // all-rows-live 4-entry case is unrolled for vectorization.
+        if (live == 4) {
+            const float* r0 = rows[0];
+            const float* r1 = rows[1];
+            const float* r2 = rows[2];
+            const float* r3 = rows[3];
+            for (int f = 0; f < count; ++f) {
+                const float* wf = weights[f];
+                float w0 = wf[live_map[0]], w1 = wf[live_map[1]];
+                float w2 = wf[live_map[2]], w3 = wf[live_map[3]];
+                float* orow = outs[f] + y * g.ow;
+                for (int64_t x = lo; x < hi; ++x)
+                    orow[x] += w0 * r0[x] + w1 * r1[x] + w2 * r2[x] + w3 * r3[x];
+            }
+        } else {
+            for (int64_t x = lo; x < hi; ++x) {
+                float iv[9];
+                for (int e = 0; e < live; ++e)
+                    iv[e] = rows[e][x];
+                for (int f = 0; f < count; ++f) {
+                    const float* wf = weights[f];
+                    float acc = outs[f][y * g.ow + x];
+                    for (int e = 0; e < live; ++e)
+                        acc += wf[live_map[e]] * iv[e];
+                    outs[f][y * g.ow + x] = acc;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace patdnn

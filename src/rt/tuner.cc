@@ -1,0 +1,245 @@
+#include "rt/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace patdnn {
+namespace {
+
+/** Chromosome: indices into each axis of the TuneSpace. */
+struct Genes
+{
+    int tile_oh = 0, tile_ow = 0, unroll_w = 0, unroll_oc = 0;
+    int filters_per_task = 0, permutation = 0, blocked = 0;
+};
+
+TuneParams
+decode(const Genes& g, const TuneSpace& s)
+{
+    TuneParams p;
+    p.tile_oh = s.tile_oh[static_cast<size_t>(g.tile_oh)];
+    p.tile_ow = s.tile_ow[static_cast<size_t>(g.tile_ow)];
+    p.unroll_w = s.unroll_w[static_cast<size_t>(g.unroll_w)];
+    p.unroll_oc = s.unroll_oc[static_cast<size_t>(g.unroll_oc)];
+    p.filters_per_task = s.filters_per_task[static_cast<size_t>(g.filters_per_task)];
+    p.permute = s.permutations[static_cast<size_t>(g.permutation)];
+    p.blocked = s.blocked[static_cast<size_t>(g.blocked)];
+    return p;
+}
+
+Genes
+randomGenes(const TuneSpace& s, Rng& rng)
+{
+    auto pick = [&](size_t n) {
+        return static_cast<int>(rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+    };
+    Genes g;
+    g.tile_oh = pick(s.tile_oh.size());
+    g.tile_ow = pick(s.tile_ow.size());
+    g.unroll_w = pick(s.unroll_w.size());
+    g.unroll_oc = pick(s.unroll_oc.size());
+    g.filters_per_task = pick(s.filters_per_task.size());
+    g.permutation = pick(s.permutations.size());
+    g.blocked = pick(s.blocked.size());
+    return g;
+}
+
+Genes
+crossover(const Genes& a, const Genes& b, Rng& rng)
+{
+    Genes c;
+    c.tile_oh = rng.bernoulli(0.5) ? a.tile_oh : b.tile_oh;
+    c.tile_ow = rng.bernoulli(0.5) ? a.tile_ow : b.tile_ow;
+    c.unroll_w = rng.bernoulli(0.5) ? a.unroll_w : b.unroll_w;
+    c.unroll_oc = rng.bernoulli(0.5) ? a.unroll_oc : b.unroll_oc;
+    c.filters_per_task = rng.bernoulli(0.5) ? a.filters_per_task : b.filters_per_task;
+    c.permutation = rng.bernoulli(0.5) ? a.permutation : b.permutation;
+    c.blocked = rng.bernoulli(0.5) ? a.blocked : b.blocked;
+    return c;
+}
+
+void
+mutate(Genes& g, const TuneSpace& s, double rate, Rng& rng)
+{
+    auto maybe = [&](int& gene, size_t n) {
+        if (rng.bernoulli(rate))
+            gene = static_cast<int>(rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+    };
+    maybe(g.tile_oh, s.tile_oh.size());
+    maybe(g.tile_ow, s.tile_ow.size());
+    maybe(g.unroll_w, s.unroll_w.size());
+    maybe(g.unroll_oc, s.unroll_oc.size());
+    maybe(g.filters_per_task, s.filters_per_task.size());
+    maybe(g.permutation, s.permutations.size());
+    maybe(g.blocked, s.blocked.size());
+}
+
+}  // namespace
+
+TuneResult
+tuneLayer(const std::function<double(const TuneParams&)>& measure,
+          const TuneSpace& space, const TunerConfig& cfg)
+{
+    Rng rng(cfg.seed);
+    TuneResult result;
+    result.best_ms = 1e30;
+
+    std::vector<Genes> population;
+    for (int i = 0; i < cfg.population; ++i)
+        population.push_back(randomGenes(space, rng));
+
+    std::vector<double> fitness(population.size(), 0.0);
+    auto evaluate = [&](const Genes& g) {
+        TuneParams p = decode(g, space);
+        double best = 1e30;
+        for (int r = 0; r < cfg.measure_reps; ++r)
+            best = std::min(best, measure(p));
+        result.history.push_back({p, best});
+        ++result.evaluations;
+        if (best < result.best_ms) {
+            result.best_ms = best;
+            result.best = p;
+        }
+        return best;
+    };
+
+    for (size_t i = 0; i < population.size(); ++i)
+        fitness[i] = evaluate(population[i]);
+
+    for (int gen = 0; gen < cfg.generations; ++gen) {
+        std::vector<Genes> next;
+        std::vector<double> next_fit;
+        // Elitism: carry the best chromosome forward.
+        size_t best_idx = 0;
+        for (size_t i = 1; i < population.size(); ++i)
+            if (fitness[i] < fitness[best_idx])
+                best_idx = i;
+        next.push_back(population[best_idx]);
+        next_fit.push_back(fitness[best_idx]);
+        while (next.size() < population.size()) {
+            // Tournament selection of two parents.
+            auto tournament = [&]() -> const Genes& {
+                size_t a = static_cast<size_t>(
+                    rng.uniformInt(0, static_cast<int64_t>(population.size()) - 1));
+                size_t b = static_cast<size_t>(
+                    rng.uniformInt(0, static_cast<int64_t>(population.size()) - 1));
+                return fitness[a] <= fitness[b] ? population[a] : population[b];
+            };
+            Genes child = crossover(tournament(), tournament(), rng);
+            mutate(child, space, cfg.mutation_rate, rng);
+            next_fit.push_back(evaluate(child));
+            next.push_back(child);
+        }
+        population = std::move(next);
+        fitness = std::move(next_fit);
+    }
+    return result;
+}
+
+std::vector<double>
+PerfEstimator::features(const TuneParams& p)
+{
+    return {
+        1.0,
+        std::log2(static_cast<double>(std::max<int64_t>(1, p.tile_oh))),
+        std::log2(static_cast<double>(std::max<int64_t>(1, p.tile_ow))),
+        std::log2(static_cast<double>(std::max(1, p.unroll_w))),
+        std::log2(static_cast<double>(std::max(1, p.unroll_oc))),
+        std::log2(static_cast<double>(std::max(1, p.filters_per_task))),
+        p.permute == LoopPermutation::kCoHWCi ? 1.0 : 0.0,
+        p.blocked ? 1.0 : 0.0,
+    };
+}
+
+void
+PerfEstimator::fit(const std::vector<TuneRecord>& history)
+{
+    if (history.size() < 4)
+        return;
+    size_t n = history.size();
+    size_t d = features(history[0].params).size();
+    // Normal equations with ridge regularization: (X'X + lI) c = X'y.
+    std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+    std::vector<double> xty(d, 0.0);
+    for (const auto& rec : history) {
+        auto f = features(rec.params);
+        for (size_t i = 0; i < d; ++i) {
+            xty[i] += f[i] * rec.time_ms;
+            for (size_t j = 0; j < d; ++j)
+                xtx[i][j] += f[i] * f[j];
+        }
+    }
+    double lambda = 1e-3 * static_cast<double>(n);
+    for (size_t i = 0; i < d; ++i)
+        xtx[i][i] += lambda;
+    // Gaussian elimination with partial pivoting.
+    std::vector<std::vector<double>> a = xtx;
+    std::vector<double> b = xty;
+    for (size_t col = 0; col < d; ++col) {
+        size_t piv = col;
+        for (size_t r = col + 1; r < d; ++r)
+            if (std::fabs(a[r][col]) > std::fabs(a[piv][col]))
+                piv = r;
+        std::swap(a[col], a[piv]);
+        std::swap(b[col], b[piv]);
+        if (std::fabs(a[col][col]) < 1e-12)
+            return;  // Singular; stay untrained.
+        for (size_t r = 0; r < d; ++r) {
+            if (r == col)
+                continue;
+            double factor = a[r][col] / a[col][col];
+            for (size_t c2 = col; c2 < d; ++c2)
+                a[r][c2] -= factor * a[col][c2];
+            b[r] -= factor * b[col];
+        }
+    }
+    coef_.assign(d, 0.0);
+    for (size_t i = 0; i < d; ++i)
+        coef_[i] = b[i] / a[i][i];
+    trained_ = true;
+}
+
+double
+PerfEstimator::predict(const TuneParams& params) const
+{
+    PATDNN_CHECK(trained_, "estimator not trained");
+    auto f = features(params);
+    double y = 0.0;
+    for (size_t i = 0; i < f.size(); ++i)
+        y += coef_[i] * f[i];
+    return y;
+}
+
+TuneParams
+PerfEstimator::argminOver(const TuneSpace& space) const
+{
+    PATDNN_CHECK(trained_, "estimator not trained");
+    TuneParams best;
+    double best_y = 1e30;
+    for (int64_t toh : space.tile_oh)
+        for (int64_t tow : space.tile_ow)
+            for (int uw : space.unroll_w)
+                for (int uoc : space.unroll_oc)
+                    for (int fpt : space.filters_per_task)
+                        for (auto perm : space.permutations)
+                            for (bool blk : space.blocked) {
+                                TuneParams p;
+                                p.tile_oh = toh;
+                                p.tile_ow = tow;
+                                p.unroll_w = uw;
+                                p.unroll_oc = uoc;
+                                p.filters_per_task = fpt;
+                                p.permute = perm;
+                                p.blocked = blk;
+                                double y = predict(p);
+                                if (y < best_y) {
+                                    best_y = y;
+                                    best = p;
+                                }
+                            }
+    return best;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parameter auto-tuning (paper Section 5.5): a Genetic-Algorithm
+ * explorer over the configuration space (data placement / tile sizes /
+ * loop permutations / unroll factors) plus a learned performance
+ * estimator (linear least-squares over configuration features, the
+ * paper's "performance estimation model created from historical data")
+ * that warm-starts tuning on a new platform.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rt/lr.h"
+#include "util/rng.h"
+
+namespace patdnn {
+
+/** The discrete configuration space the GA explores. */
+struct TuneSpace
+{
+    std::vector<int64_t> tile_oh = {4, 8, 16, 32};
+    std::vector<int64_t> tile_ow = {32, 64, 128};
+    std::vector<int> unroll_w = {2, 4, 8};
+    std::vector<int> unroll_oc = {1, 2, 4, 8};
+    std::vector<int> filters_per_task = {2, 4, 8, 16};
+    std::vector<LoopPermutation> permutations = {LoopPermutation::kCoCiHW,
+                                                 LoopPermutation::kCoHWCi};
+    std::vector<bool> blocked = {false, true};
+};
+
+/** GA knobs. */
+struct TunerConfig
+{
+    int population = 12;
+    int generations = 4;
+    double mutation_rate = 0.25;
+    int measure_reps = 2;     ///< Timed runs per fitness evaluation.
+    uint64_t seed = 99;
+};
+
+/** One explored configuration with its measured cost. */
+struct TuneRecord
+{
+    TuneParams params;
+    double time_ms = 0.0;
+};
+
+/** Result of a tuning run. */
+struct TuneResult
+{
+    TuneParams best;
+    double best_ms = 0.0;
+    std::vector<TuneRecord> history;  ///< All evaluated points.
+    int evaluations = 0;
+};
+
+/**
+ * Tune a layer: `measure` runs the layer under the given params and
+ * returns median time in ms. The GA initializes an arbitrary number of
+ * chromosomes (paper: better parallelism than simulated annealing),
+ * evolves with tournament selection, uniform crossover and point
+ * mutation, and returns the best configuration found.
+ */
+TuneResult tuneLayer(const std::function<double(const TuneParams&)>& measure,
+                     const TuneSpace& space = {}, const TunerConfig& cfg = {});
+
+/**
+ * Performance estimator trained on tuning history: ridge-regularized
+ * least squares over configuration features. Predicts time for unseen
+ * configurations so a new platform can start from a good guess.
+ */
+class PerfEstimator
+{
+  public:
+    /** Fit from records (needs >= 4 points). */
+    void fit(const std::vector<TuneRecord>& history);
+
+    /** Predict time (ms) for a configuration. */
+    double predict(const TuneParams& params) const;
+
+    bool trained() const { return trained_; }
+
+    /** Best configuration in `space` according to the model. */
+    TuneParams argminOver(const TuneSpace& space) const;
+
+  private:
+    static std::vector<double> features(const TuneParams& p);
+    std::vector<double> coef_;
+    bool trained_ = false;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,85 @@
+#include "sparse/csr.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+size_t
+CsrWeights::indexBytes() const
+{
+    return row_ptr.size() * sizeof(int32_t) + col_idx.size() * sizeof(int32_t);
+}
+
+size_t
+CsrWeights::totalBytes() const
+{
+    return indexBytes() + values.size() * sizeof(float);
+}
+
+CsrWeights
+buildCsr(const Tensor& weight)
+{
+    PATDNN_CHECK_EQ(weight.shape().rank(), 4, "conv weight must be OIHW");
+    CsrWeights csr;
+    csr.rows = weight.shape().dim(0);
+    csr.cols = weight.shape().dim(1) * weight.shape().dim(2) * weight.shape().dim(3);
+    csr.row_ptr.reserve(static_cast<size_t>(csr.rows) + 1);
+    csr.row_ptr.push_back(0);
+    for (int64_t r = 0; r < csr.rows; ++r) {
+        const float* row = weight.data() + r * csr.cols;
+        for (int64_t c = 0; c < csr.cols; ++c) {
+            if (row[c] != 0.0f) {
+                csr.col_idx.push_back(static_cast<int32_t>(c));
+                csr.values.push_back(row[c]);
+            }
+        }
+        csr.row_ptr.push_back(static_cast<int32_t>(csr.values.size()));
+    }
+    return csr;
+}
+
+Tensor
+csrToDense(const CsrWeights& csr, const Shape& oihw_shape)
+{
+    PATDNN_CHECK_EQ(oihw_shape.dim(0), csr.rows, "csr rows mismatch");
+    PATDNN_CHECK_EQ(oihw_shape.dim(1) * oihw_shape.dim(2) * oihw_shape.dim(3), csr.cols,
+                    "csr cols mismatch");
+    Tensor dense(oihw_shape);
+    for (int64_t r = 0; r < csr.rows; ++r) {
+        for (int32_t i = csr.row_ptr[static_cast<size_t>(r)];
+             i < csr.row_ptr[static_cast<size_t>(r) + 1]; ++i) {
+            dense[r * csr.cols + csr.col_idx[static_cast<size_t>(i)]] =
+                csr.values[static_cast<size_t>(i)];
+        }
+    }
+    return dense;
+}
+
+bool
+validateCsr(const CsrWeights& csr, std::string* error)
+{
+    auto fail = [&](const std::string& msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    if (static_cast<int64_t>(csr.row_ptr.size()) != csr.rows + 1)
+        return fail("row_ptr size != rows + 1");
+    if (csr.row_ptr.front() != 0)
+        return fail("row_ptr[0] != 0");
+    for (size_t i = 1; i < csr.row_ptr.size(); ++i)
+        if (csr.row_ptr[i] < csr.row_ptr[i - 1])
+            return fail("row_ptr not monotonic");
+    if (csr.row_ptr.back() != static_cast<int32_t>(csr.values.size()))
+        return fail("row_ptr back != nnz");
+    if (csr.col_idx.size() != csr.values.size())
+        return fail("col_idx/values size mismatch");
+    for (int32_t c : csr.col_idx)
+        if (c < 0 || c >= csr.cols)
+            return fail("col index out of range");
+    return true;
+}
+
+}  // namespace patdnn

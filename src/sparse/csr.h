@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CSR storage for pruned conv weights — the conventional compressed
+ * format PatDNN compares against (Fig. 16) and the storage behind the
+ * non-structured sparse baseline executor (clSPARSE-style, ref. [11]).
+ *
+ * A conv layer's weights form the matrix [cout] x [cin*kh*kw]; CSR keeps
+ * a row-pointer array, a column-index per non-zero and the values.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace patdnn {
+
+/** CSR matrix over a flattened OIHW conv weight. */
+struct CsrWeights
+{
+    int64_t rows = 0;  ///< cout.
+    int64_t cols = 0;  ///< cin * kh * kw.
+    std::vector<int32_t> row_ptr;  ///< rows + 1.
+    std::vector<int32_t> col_idx;  ///< nnz.
+    std::vector<float> values;     ///< nnz.
+
+    int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+
+    /** Bytes of index structures (row_ptr + col_idx), paper's "extra". */
+    size_t indexBytes() const;
+
+    /** Total bytes including values. */
+    size_t totalBytes() const;
+};
+
+/** Build CSR from a (pruned) OIHW weight tensor. */
+CsrWeights buildCsr(const Tensor& weight);
+
+/** Reconstruct the dense OIHW tensor (for round-trip tests). */
+Tensor csrToDense(const CsrWeights& csr, const Shape& oihw_shape);
+
+/** Validate structural invariants; returns false + message on corruption. */
+bool validateCsr(const CsrWeights& csr, std::string* error = nullptr);
+
+}  // namespace patdnn

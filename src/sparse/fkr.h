@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Filter Kernel Reorder (FKR), paper Section 5.2.
+ *
+ * Two steps operating on a pattern/connectivity-pruned layer:
+ *
+ *  1. *Filter reorder* — order filters by (a) their length (number of
+ *     non-empty kernels) so equal-length filters are grouped (fixing
+ *     thread-level load imbalance, Fig. 14a), and (b) within a length
+ *     group, greedily by pattern-multiset similarity so the most
+ *     similar filters sit next to each other.
+ *  2. *Kernel reorder* — inside each filter, sort surviving kernels by
+ *     pattern id so the execution loop visits one pattern at a time
+ *     with no per-kernel branching (the paper's +Reorder code).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prune/projections.h"
+
+namespace patdnn {
+
+/** One reordered kernel: original input channel + its pattern id. */
+struct ReorderedKernel
+{
+    int32_t input_channel = 0;
+    int32_t pattern_id = 0;
+};
+
+/** A contiguous range of equal-length filters (a "group"). */
+struct FilterGroup
+{
+    int32_t begin = 0;  ///< First reordered filter position.
+    int32_t end = 0;    ///< One past last.
+    int32_t length = 0; ///< Non-empty kernels per filter in this group.
+};
+
+/** Result of FKR on one layer. */
+struct FkrResult
+{
+    /// reorder[new_position] = original filter index (paper's reorder
+    /// array, used to route outputs back to the right channel).
+    std::vector<int32_t> reorder;
+    /// Per reordered filter: its kernels sorted by pattern id.
+    std::vector<std::vector<ReorderedKernel>> filters;
+    /// Equal-length filter groups in reordered order.
+    std::vector<FilterGroup> groups;
+};
+
+/** FKR knobs (ablations of DESIGN.md Section 5). */
+struct FkrOptions
+{
+    bool reorder_filters = true;   ///< Step 1 on/off.
+    bool similarity_within_group = true;  ///< Greedy similarity ordering.
+    bool reorder_kernels = true;   ///< Step 2 on/off.
+};
+
+/**
+ * Run FKR given the per-kernel pattern assignment of a pruned layer
+ * (entries of -1 mean the kernel was removed by connectivity pruning).
+ * With all options disabled the result is the identity ordering, which
+ * the no-opt executor and the ablation benches use.
+ */
+FkrResult filterKernelReorder(const PatternAssignment& assignment,
+                              const FkrOptions& opts = {});
+
+/**
+ * Filter-length histogram helper for Fig. 14a: lengths[i] = non-empty
+ * kernel count of the filter at position i (reordered order).
+ */
+std::vector<int32_t> filterLengths(const FkrResult& fkr);
+
+/**
+ * Similarity between two filters used by step 1b: number of positions
+ * with identical pattern ids when both kernel lists are sorted by
+ * pattern id (paper's definition).
+ */
+int filterSimilarity(const std::vector<ReorderedKernel>& a,
+                     const std::vector<ReorderedKernel>& b);
+
+}  // namespace patdnn

@@ -1,0 +1,49 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+int64_t
+Shape::dim(int i) const
+{
+    PATDNN_CHECK(i >= 0 && i < rank(), "shape dim " << i << " out of range for " << str());
+    return dims_[static_cast<size_t>(i)];
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i)
+        s[static_cast<size_t>(i)] =
+            s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+    return s;
+}
+
+std::string
+Shape::str() const
+{
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        out << dims_[i];
+        if (i + 1 < dims_.size())
+            out << ", ";
+    }
+    out << "]";
+    return out.str();
+}
+
+}  // namespace patdnn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tensor shape: a small vector of dimension extents with stride helpers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace patdnn {
+
+/** Dimension extents of a dense tensor, outermost dimension first. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(dims_.size()); }
+
+    /** Extent of dimension i (0-based, bounds-checked). */
+    int64_t dim(int i) const;
+
+    int64_t operator[](int i) const { return dim(i); }
+
+    /** Total number of elements (1 for rank-0). */
+    int64_t numel() const;
+
+    /** Row-major strides, in elements. */
+    std::vector<int64_t> strides() const;
+
+    /** Render as e.g. "[64, 3, 3, 3]". */
+    std::string str() const;
+
+    bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+    bool operator!=(const Shape& o) const { return !(*this == o); }
+
+    const std::vector<int64_t>& dims() const { return dims_; }
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,108 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+float*
+Tensor::AlignedAllocator::allocate(size_t n)
+{
+    size_t bytes = ((n * sizeof(float) + 63) / 64) * 64;
+    void* p = std::aligned_alloc(64, bytes);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return static_cast<float*>(p);
+}
+
+void
+Tensor::AlignedAllocator::deallocate(float* p, size_t) noexcept
+{
+    std::free(p);
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape))
+{
+    data_.assign(static_cast<size_t>(shape_.numel()), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape))
+{
+    PATDNN_CHECK_EQ(static_cast<int64_t>(values.size()), shape_.numel(),
+                    "tensor init size mismatch for " << shape_.str());
+    data_.assign(values.begin(), values.end());
+}
+
+void
+Tensor::fill(float v)
+{
+    for (auto& x : data_)
+        x = v;
+}
+
+void
+Tensor::fillNormal(Rng& rng, float mean, float stddev)
+{
+    for (auto& x : data_)
+        x = rng.normal(mean, stddev);
+}
+
+void
+Tensor::fillUniform(Rng& rng, float lo, float hi)
+{
+    for (auto& x : data_)
+        x = rng.uniform(lo, hi);
+}
+
+void
+Tensor::fillHe(Rng& rng, int64_t fan_in)
+{
+    PATDNN_CHECK_GT(fan_in, 0, "fan_in must be positive");
+    float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    fillNormal(rng, 0.0f, stddev);
+}
+
+int64_t
+Tensor::countNonZero() const
+{
+    int64_t n = 0;
+    for (float x : data_)
+        if (x != 0.0f)
+            ++n;
+    return n;
+}
+
+double
+Tensor::normSq() const
+{
+    double s = 0.0;
+    for (float x : data_)
+        s += static_cast<double>(x) * x;
+    return s;
+}
+
+double
+Tensor::maxAbsDiff(const Tensor& a, const Tensor& b)
+{
+    PATDNN_CHECK(a.shape() == b.shape(),
+                 "shape mismatch " << a.shape().str() << " vs " << b.shape().str());
+    double m = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        double d = std::fabs(static_cast<double>(a[i]) - b[i]);
+        if (d > m)
+            m = d;
+    }
+    return m;
+}
+
+void
+Tensor::reshape(Shape shape)
+{
+    PATDNN_CHECK_EQ(shape.numel(), shape_.numel(), "reshape must preserve numel");
+    shape_ = std::move(shape);
+}
+
+}  // namespace patdnn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Dense float32 tensor with 64-byte-aligned storage.
+ *
+ * Layout is row-major over the Shape. Activations use NCHW and conv
+ * weights use OIHW throughout the library (the paper's W in
+ * R^{P x Q x C x C_{k+1}} stored filter-major).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace patdnn {
+
+/** Owning dense float tensor. Copyable (deep) and movable. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Allocate and fill from values (size must match shape.numel()). */
+    Tensor(Shape shape, std::vector<float> values);
+
+    const Shape& shape() const { return shape_; }
+    int64_t numel() const { return shape_.numel(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+    /** Element access for rank-4 tensors (bounds unchecked in release). */
+    float&
+    at4(int64_t a, int64_t b, int64_t c, int64_t d)
+    {
+        return data_[static_cast<size_t>(
+            ((a * shape_.dim(1) + b) * shape_.dim(2) + c) * shape_.dim(3) + d)];
+    }
+
+    float
+    at4(int64_t a, int64_t b, int64_t c, int64_t d) const
+    {
+        return data_[static_cast<size_t>(
+            ((a * shape_.dim(1) + b) * shape_.dim(2) + c) * shape_.dim(3) + d)];
+    }
+
+    /** Element access for rank-2 tensors. */
+    float& at2(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * shape_.dim(1) + c)]; }
+    float at2(int64_t r, int64_t c) const
+    {
+        return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+    }
+
+    /** Set every element to v. */
+    void fill(float v);
+
+    /** Fill with N(mean, stddev) draws from rng. */
+    void fillNormal(Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+    /** Fill with U[lo, hi) draws from rng. */
+    void fillUniform(Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+    /** Kaiming/He-style init for a conv/fc weight with fan_in inputs. */
+    void fillHe(Rng& rng, int64_t fan_in);
+
+    /** Number of non-zero elements. */
+    int64_t countNonZero() const;
+
+    /** Squared L2 norm of all elements. */
+    double normSq() const;
+
+    /** Max |a - b| over elements; shapes must match. */
+    static double maxAbsDiff(const Tensor& a, const Tensor& b);
+
+    /** Reshape in place; numel must be preserved. */
+    void reshape(Shape shape);
+
+  private:
+    Shape shape_;
+    // 64-byte alignment keeps SIMD loads in the microkernels aligned.
+    struct AlignedAllocator
+    {
+        using value_type = float;
+        AlignedAllocator() = default;
+        template <typename U>
+        AlignedAllocator(const AlignedAllocator&)
+        {
+        }
+        float* allocate(size_t n);
+        void deallocate(float* p, size_t n) noexcept;
+        bool operator==(const AlignedAllocator&) const { return true; }
+        bool operator!=(const AlignedAllocator&) const { return false; }
+        template <typename U>
+        struct rebind
+        {
+            using other = AlignedAllocator;
+        };
+    };
+    std::vector<float, AlignedAllocator> data_;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,167 @@
+#include "train/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace patdnn {
+namespace {
+
+/** Draw an anti-aliased line segment into a single-channel canvas. */
+void
+drawLine(std::vector<float>& img, int64_t n, float x0, float y0, float x1, float y1,
+         float thickness, float intensity)
+{
+    for (int64_t y = 0; y < n; ++y) {
+        for (int64_t x = 0; x < n; ++x) {
+            float px = static_cast<float>(x);
+            float py = static_cast<float>(y);
+            float dx = x1 - x0;
+            float dy = y1 - y0;
+            float len2 = dx * dx + dy * dy + 1e-6f;
+            float t = ((px - x0) * dx + (py - y0) * dy) / len2;
+            t = std::clamp(t, 0.0f, 1.0f);
+            float cx = x0 + t * dx;
+            float cy = y0 + t * dy;
+            float d = std::sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy));
+            float v = std::max(0.0f, 1.0f - d / thickness) * intensity;
+            auto& cell = img[static_cast<size_t>(y * n + x)];
+            cell = std::max(cell, v);
+        }
+    }
+}
+
+/** Draw a ring centered at (cx, cy). */
+void
+drawRing(std::vector<float>& img, int64_t n, float cx, float cy, float radius,
+         float thickness, float intensity)
+{
+    for (int64_t y = 0; y < n; ++y) {
+        for (int64_t x = 0; x < n; ++x) {
+            float d = std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy));
+            float v = std::max(0.0f, 1.0f - std::fabs(d - radius) / thickness) * intensity;
+            auto& cell = img[static_cast<size_t>(y * n + x)];
+            cell = std::max(cell, v);
+        }
+    }
+}
+
+/** Draw a filled Gaussian blob. */
+void
+drawBlob(std::vector<float>& img, int64_t n, float cx, float cy, float sigma,
+         float intensity)
+{
+    for (int64_t y = 0; y < n; ++y) {
+        for (int64_t x = 0; x < n; ++x) {
+            float d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+            float v = std::exp(-d2 / (2.0f * sigma * sigma)) * intensity;
+            auto& cell = img[static_cast<size_t>(y * n + x)];
+            cell = std::max(cell, v);
+        }
+    }
+}
+
+}  // namespace
+
+SyntheticShapes::SyntheticShapes(int classes, int64_t size, int64_t channels,
+                                 int64_t train_count, int64_t test_count, uint64_t seed)
+    : classes_(classes), size_(size), channels_(channels)
+{
+    PATDNN_CHECK(classes >= 2 && classes <= 10, "classes in [2, 10]");
+    Rng rng(seed);
+    train_.reserve(static_cast<size_t>(train_count));
+    test_.reserve(static_cast<size_t>(test_count));
+    for (int64_t i = 0; i < train_count; ++i)
+        train_.push_back(renderExample(static_cast<int>(i % classes), rng));
+    for (int64_t i = 0; i < test_count; ++i)
+        test_.push_back(renderExample(static_cast<int>(i % classes), rng));
+}
+
+Example
+SyntheticShapes::renderExample(int label, Rng& rng) const
+{
+    int64_t n = size_;
+    std::vector<float> canvas(static_cast<size_t>(n * n), 0.0f);
+    float c = static_cast<float>(n) / 2.0f;
+    float jx = rng.uniform(-0.12f, 0.12f) * n;
+    float jy = rng.uniform(-0.12f, 0.12f) * n;
+    float span = 0.33f * n;
+    float th = std::max(1.2f, 0.07f * n);
+
+    switch (label) {
+      case 0:  // Horizontal bar.
+        drawLine(canvas, n, c - span + jx, c + jy, c + span + jx, c + jy, th, 1.0f);
+        break;
+      case 1:  // Vertical bar.
+        drawLine(canvas, n, c + jx, c - span + jy, c + jx, c + span + jy, th, 1.0f);
+        break;
+      case 2:  // Main diagonal.
+        drawLine(canvas, n, c - span + jx, c - span + jy, c + span + jx, c + span + jy,
+                 th, 1.0f);
+        break;
+      case 3:  // Anti-diagonal.
+        drawLine(canvas, n, c - span + jx, c + span + jy, c + span + jx, c - span + jy,
+                 th, 1.0f);
+        break;
+      case 4:  // Cross.
+        drawLine(canvas, n, c - span + jx, c + jy, c + span + jx, c + jy, th, 0.9f);
+        drawLine(canvas, n, c + jx, c - span + jy, c + jx, c + span + jy, th, 0.9f);
+        break;
+      case 5:  // Ring.
+        drawRing(canvas, n, c + jx, c + jy, 0.3f * n, th, 1.0f);
+        break;
+      case 6:  // Two corner blobs (main diagonal corners).
+        drawBlob(canvas, n, 0.25f * n + jx, 0.25f * n + jy, 0.1f * n, 1.0f);
+        drawBlob(canvas, n, 0.75f * n + jx, 0.75f * n + jy, 0.1f * n, 1.0f);
+        break;
+      case 7:  // Two corner blobs (anti-diagonal corners).
+        drawBlob(canvas, n, 0.75f * n + jx, 0.25f * n + jy, 0.1f * n, 1.0f);
+        drawBlob(canvas, n, 0.25f * n + jx, 0.75f * n + jy, 0.1f * n, 1.0f);
+        break;
+      case 8:  // L shape.
+        drawLine(canvas, n, c - span + jx, c - span + jy, c - span + jx, c + span + jy,
+                 th, 1.0f);
+        drawLine(canvas, n, c - span + jx, c + span + jy, c + span + jx, c + span + jy,
+                 th, 1.0f);
+        break;
+      default:  // T shape.
+        drawLine(canvas, n, c - span + jx, c - span + jy, c + span + jx, c - span + jy,
+                 th, 1.0f);
+        drawLine(canvas, n, c + jx, c - span + jy, c + jx, c + span + jy, th, 1.0f);
+        break;
+    }
+
+    Example ex;
+    ex.label = label;
+    ex.image = Tensor(Shape{channels_, n, n});
+    float brightness = rng.uniform(0.75f, 1.0f);
+    for (int64_t ch = 0; ch < channels_; ++ch) {
+        float tint = rng.uniform(0.8f, 1.0f);
+        for (int64_t i = 0; i < n * n; ++i) {
+            float v = canvas[static_cast<size_t>(i)] * brightness * tint;
+            v += rng.normal(0.0f, 0.04f);
+            ex.image[ch * n * n + i] = std::clamp(v, 0.0f, 1.0f);
+        }
+    }
+    return ex;
+}
+
+void
+SyntheticShapes::makeBatch(const std::vector<Example>& pool,
+                           const std::vector<int64_t>& indices, int64_t begin,
+                           int64_t end, Tensor& batch, std::vector<int>& labels) const
+{
+    int64_t bs = end - begin;
+    int64_t chw = channels_ * size_ * size_;
+    batch = Tensor(Shape{bs, channels_, size_, size_});
+    labels.resize(static_cast<size_t>(bs));
+    for (int64_t b = 0; b < bs; ++b) {
+        const Example& ex = pool[static_cast<size_t>(indices[static_cast<size_t>(begin + b)])];
+        for (int64_t i = 0; i < chw; ++i)
+            batch[b * chw + i] = ex.image[i];
+        labels[static_cast<size_t>(b)] = ex.label;
+    }
+}
+
+}  // namespace patdnn

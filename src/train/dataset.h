@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SyntheticShapes: the stand-in for ImageNet/CIFAR-10 in the accuracy
+ * experiments (see DESIGN.md substitution table).
+ *
+ * Each class is a procedurally rendered geometric template (oriented
+ * bars, crosses, rings, corner blobs, ...) perturbed with per-sample
+ * jitter, brightness and Gaussian noise, so a small CNN must learn
+ * spatially localized, orientation-selective features — the property
+ * that makes kernel-pattern pruning interesting in the first place
+ * (Section 3.1's human-visual-system argument).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace patdnn {
+
+/** One labeled example. */
+struct Example
+{
+    Tensor image;  ///< CHW float image in [0, 1].
+    int label = 0;
+};
+
+/** An in-memory synthetic classification dataset. */
+class SyntheticShapes
+{
+  public:
+    /**
+     * Generate `train_count` + `test_count` examples.
+     *
+     * @param classes number of shape classes (2..10)
+     * @param size spatial resolution (square images)
+     * @param channels image channels (shape drawn in all, color-jittered)
+     * @param seed RNG seed; same seed -> identical dataset
+     */
+    SyntheticShapes(int classes, int64_t size, int64_t channels,
+                    int64_t train_count, int64_t test_count, uint64_t seed);
+
+    int classes() const { return classes_; }
+    int64_t size() const { return size_; }
+    int64_t channels() const { return channels_; }
+
+    const std::vector<Example>& train() const { return train_; }
+    const std::vector<Example>& test() const { return test_; }
+
+    /**
+     * Pack examples[indices[begin..end)] into an NCHW batch + labels.
+     */
+    void makeBatch(const std::vector<Example>& pool, const std::vector<int64_t>& indices,
+                   int64_t begin, int64_t end, Tensor& batch,
+                   std::vector<int>& labels) const;
+
+  private:
+    Example renderExample(int label, Rng& rng) const;
+
+    int classes_;
+    int64_t size_;
+    int64_t channels_;
+    std::vector<Example> train_;
+    std::vector<Example> test_;
+};
+
+}  // namespace patdnn

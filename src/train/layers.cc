@@ -1,0 +1,496 @@
+#include "train/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace patdnn {
+
+void
+TrainLayer::zeroGrads()
+{
+    for (auto& p : params())
+        if (p.grad != nullptr)
+            p.grad->fill(0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Conv2dLayer
+// ---------------------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(ConvDesc desc, Rng& rng) : desc_(std::move(desc))
+{
+    PATDNN_CHECK_EQ(desc_.groups, 1, "training substrate supports groups == 1");
+    desc_.check();
+    weight_ = Tensor(Shape{desc_.cout, desc_.cin, desc_.kh, desc_.kw});
+    weight_.fillHe(rng, desc_.cin * desc_.kh * desc_.kw);
+    bias_ = Tensor(Shape{desc_.cout});
+    weight_grad_ = Tensor(Shape{desc_.cout, desc_.cin, desc_.kh, desc_.kw});
+    bias_grad_ = Tensor(Shape{desc_.cout});
+}
+
+Tensor
+Conv2dLayer::forward(const Tensor& in, bool training)
+{
+    const auto& d = desc_;
+    int64_t n = in.shape().dim(0);
+    PATDNN_CHECK_EQ(in.shape().dim(1), d.cin, "conv input channels");
+    PATDNN_CHECK_EQ(in.shape().dim(2), d.h, "conv input height");
+    PATDNN_CHECK_EQ(in.shape().dim(3), d.w, "conv input width");
+    int64_t oh = d.outH(), ow = d.outW();
+    Tensor out(Shape{n, d.cout, oh, ow});
+    if (training)
+        cached_in_ = in;
+
+    ThreadPool::global().parallelFor(n * d.cout, [&](int64_t job) {
+        int64_t b = job / d.cout;
+        int64_t oc = job % d.cout;
+        const float* wbase = weight_.data() + oc * d.cin * d.kh * d.kw;
+        float bias = bias_[oc];
+        float* optr = out.data() + ((b * d.cout + oc) * oh) * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x) {
+                float acc = bias;
+                for (int64_t ic = 0; ic < d.cin; ++ic) {
+                    const float* iptr = in.data() + ((b * d.cin + ic) * d.h) * d.w;
+                    const float* wk = wbase + ic * d.kh * d.kw;
+                    for (int64_t r = 0; r < d.kh; ++r) {
+                        int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                        if (iy < 0 || iy >= d.h)
+                            continue;
+                        for (int64_t c = 0; c < d.kw; ++c) {
+                            int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                            if (ix < 0 || ix >= d.w)
+                                continue;
+                            acc += wk[r * d.kw + c] * iptr[iy * d.w + ix];
+                        }
+                    }
+                }
+                optr[y * ow + x] = acc;
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+Conv2dLayer::backward(const Tensor& grad_out)
+{
+    const auto& d = desc_;
+    const Tensor& in = cached_in_;
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    Tensor grad_in(in.shape());
+
+    // Parameter gradients: parallel over output channels so each job
+    // owns a disjoint slice of weight_grad_.
+    ThreadPool::global().parallelFor(d.cout, [&](int64_t oc) {
+        float* wg = weight_grad_.data() + oc * d.cin * d.kh * d.kw;
+        double bg = 0.0;
+        for (int64_t b = 0; b < n; ++b) {
+            const float* gptr = grad_out.data() + ((b * d.cout + oc) * oh) * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x) {
+                    float g = gptr[y * ow + x];
+                    if (g == 0.0f)
+                        continue;
+                    bg += g;
+                    for (int64_t ic = 0; ic < d.cin; ++ic) {
+                        const float* iptr = in.data() + ((b * d.cin + ic) * d.h) * d.w;
+                        float* wk = wg + ic * d.kh * d.kw;
+                        for (int64_t r = 0; r < d.kh; ++r) {
+                            int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                            if (iy < 0 || iy >= d.h)
+                                continue;
+                            for (int64_t c = 0; c < d.kw; ++c) {
+                                int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                                if (ix < 0 || ix >= d.w)
+                                    continue;
+                                wk[r * d.kw + c] += g * iptr[iy * d.w + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        bias_grad_[oc] += static_cast<float>(bg);
+    });
+
+    // Input gradients: parallel over (batch, input channel).
+    ThreadPool::global().parallelFor(n * d.cin, [&](int64_t job) {
+        int64_t b = job / d.cin;
+        int64_t ic = job % d.cin;
+        float* giptr = grad_in.data() + ((b * d.cin + ic) * d.h) * d.w;
+        for (int64_t oc = 0; oc < d.cout; ++oc) {
+            const float* wk = weight_.data() + (oc * d.cin + ic) * d.kh * d.kw;
+            const float* gptr = grad_out.data() + ((b * d.cout + oc) * oh) * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x) {
+                    float g = gptr[y * ow + x];
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t r = 0; r < d.kh; ++r) {
+                        int64_t iy = y * d.stride - d.pad + r * d.dilation;
+                        if (iy < 0 || iy >= d.h)
+                            continue;
+                        for (int64_t c = 0; c < d.kw; ++c) {
+                            int64_t ix = x * d.stride - d.pad + c * d.dilation;
+                            if (ix < 0 || ix >= d.w)
+                                continue;
+                            giptr[iy * d.w + ix] += g * wk[r * d.kw + c];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    return grad_in;
+}
+
+std::vector<ParamRef>
+Conv2dLayer::params()
+{
+    return {{&weight_, &weight_grad_, desc_.name + ".weight"},
+            {&bias_, &bias_grad_, desc_.name + ".bias"}};
+}
+
+// ---------------------------------------------------------------------------
+// FcLayer
+// ---------------------------------------------------------------------------
+
+FcLayer::FcLayer(std::string name, int64_t in_features, int64_t out_features, Rng& rng)
+    : name_(std::move(name)), in_features_(in_features), out_features_(out_features)
+{
+    weight_ = Tensor(Shape{out_features_, in_features_});
+    weight_.fillHe(rng, in_features_);
+    bias_ = Tensor(Shape{out_features_});
+    weight_grad_ = Tensor(Shape{out_features_, in_features_});
+    bias_grad_ = Tensor(Shape{out_features_});
+}
+
+Tensor
+FcLayer::forward(const Tensor& in, bool training)
+{
+    int64_t n = in.shape().dim(0);
+    PATDNN_CHECK_EQ(in.shape().dim(1), in_features_, "fc input features");
+    if (training)
+        cached_in_ = in;
+    Tensor out(Shape{n, out_features_});
+    ThreadPool::global().parallelFor(n, [&](int64_t b) {
+        const float* x = in.data() + b * in_features_;
+        float* y = out.data() + b * out_features_;
+        for (int64_t o = 0; o < out_features_; ++o) {
+            const float* wr = weight_.data() + o * in_features_;
+            float acc = bias_[o];
+            for (int64_t i = 0; i < in_features_; ++i)
+                acc += wr[i] * x[i];
+            y[o] = acc;
+        }
+    });
+    return out;
+}
+
+Tensor
+FcLayer::backward(const Tensor& grad_out)
+{
+    const Tensor& in = cached_in_;
+    int64_t n = in.shape().dim(0);
+    Tensor grad_in(in.shape());
+    ThreadPool::global().parallelFor(out_features_, [&](int64_t o) {
+        float* wg = weight_grad_.data() + o * in_features_;
+        double bg = 0.0;
+        for (int64_t b = 0; b < n; ++b) {
+            float g = grad_out[b * out_features_ + o];
+            if (g == 0.0f)
+                continue;
+            bg += g;
+            const float* x = in.data() + b * in_features_;
+            for (int64_t i = 0; i < in_features_; ++i)
+                wg[i] += g * x[i];
+        }
+        bias_grad_[o] += static_cast<float>(bg);
+    });
+    ThreadPool::global().parallelFor(n, [&](int64_t b) {
+        float* gi = grad_in.data() + b * in_features_;
+        for (int64_t o = 0; o < out_features_; ++o) {
+            float g = grad_out[b * out_features_ + o];
+            if (g == 0.0f)
+                continue;
+            const float* wr = weight_.data() + o * in_features_;
+            for (int64_t i = 0; i < in_features_; ++i)
+                gi[i] += g * wr[i];
+        }
+    });
+    return grad_in;
+}
+
+std::vector<ParamRef>
+FcLayer::params()
+{
+    return {{&weight_, &weight_grad_, name_ + ".weight"},
+            {&bias_, &bias_grad_, name_ + ".bias"}};
+}
+
+// ---------------------------------------------------------------------------
+// ReluLayer
+// ---------------------------------------------------------------------------
+
+Tensor
+ReluLayer::forward(const Tensor& in, bool training)
+{
+    if (training)
+        cached_in_ = in;
+    Tensor out(in.shape());
+    for (int64_t i = 0; i < in.numel(); ++i)
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    return out;
+}
+
+Tensor
+ReluLayer::backward(const Tensor& grad_out)
+{
+    Tensor grad_in(grad_out.shape());
+    for (int64_t i = 0; i < grad_out.numel(); ++i)
+        grad_in[i] = cached_in_[i] > 0.0f ? grad_out[i] : 0.0f;
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// MaxPoolLayer
+// ---------------------------------------------------------------------------
+
+Tensor
+MaxPoolLayer::forward(const Tensor& in, bool training)
+{
+    int64_t n = in.shape().dim(0), c = in.shape().dim(1);
+    int64_t h = in.shape().dim(2), w = in.shape().dim(3);
+    int64_t oh = (h - k_) / stride_ + 1;
+    int64_t ow = (w - k_) / stride_ + 1;
+    in_shape_ = in.shape();
+    Tensor out(Shape{n, c, oh, ow});
+    argmax_.assign(static_cast<size_t>(out.numel()), 0);
+    for (int64_t bc = 0; bc < n * c; ++bc) {
+        const float* ip = in.data() + bc * h * w;
+        float* op = out.data() + bc * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x) {
+                float best = -1e30f;
+                int64_t best_idx = 0;
+                for (int64_t r = 0; r < k_; ++r)
+                    for (int64_t cc = 0; cc < k_; ++cc) {
+                        int64_t iy = y * stride_ + r;
+                        int64_t ix = x * stride_ + cc;
+                        float v = ip[iy * w + ix];
+                        if (v > best) {
+                            best = v;
+                            best_idx = iy * w + ix;
+                        }
+                    }
+                op[y * ow + x] = best;
+                if (training)
+                    argmax_[static_cast<size_t>(bc * oh * ow + y * ow + x)] =
+                        bc * h * w + best_idx;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MaxPoolLayer::backward(const Tensor& grad_out)
+{
+    Tensor grad_in(in_shape_);
+    for (int64_t i = 0; i < grad_out.numel(); ++i)
+        grad_in[argmax_[static_cast<size_t>(i)]] += grad_out[i];
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// BatchNormLayer
+// ---------------------------------------------------------------------------
+
+BatchNormLayer::BatchNormLayer(std::string name, int64_t channels)
+    : name_(std::move(name)), channels_(channels)
+{
+    gamma_ = Tensor(Shape{channels_});
+    gamma_.fill(1.0f);
+    beta_ = Tensor(Shape{channels_});
+    gamma_grad_ = Tensor(Shape{channels_});
+    beta_grad_ = Tensor(Shape{channels_});
+    running_mean_ = Tensor(Shape{channels_});
+    running_var_ = Tensor(Shape{channels_});
+    running_var_.fill(1.0f);
+}
+
+Tensor
+BatchNormLayer::forward(const Tensor& in, bool training)
+{
+    int64_t n = in.shape().dim(0), c = in.shape().dim(1);
+    int64_t hw = in.shape().dim(2) * in.shape().dim(3);
+    PATDNN_CHECK_EQ(c, channels_, "batchnorm channels");
+    in_shape_ = in.shape();
+    Tensor out(in.shape());
+    const double momentum = 0.1;
+    const double eps = 1e-5;
+    if (training) {
+        mean_.assign(static_cast<size_t>(c), 0.0);
+        inv_std_.assign(static_cast<size_t>(c), 0.0);
+        cached_norm_ = Tensor(in.shape());
+    }
+    for (int64_t ch = 0; ch < c; ++ch) {
+        double mean, var;
+        if (training) {
+            double sum = 0.0, sq = 0.0;
+            for (int64_t b = 0; b < n; ++b) {
+                const float* p = in.data() + (b * c + ch) * hw;
+                for (int64_t i = 0; i < hw; ++i) {
+                    sum += p[i];
+                    sq += static_cast<double>(p[i]) * p[i];
+                }
+            }
+            double cnt = static_cast<double>(n * hw);
+            mean = sum / cnt;
+            var = sq / cnt - mean * mean;
+            if (var < 0.0)
+                var = 0.0;
+            running_mean_[ch] = static_cast<float>(
+                (1 - momentum) * running_mean_[ch] + momentum * mean);
+            running_var_[ch] = static_cast<float>(
+                (1 - momentum) * running_var_[ch] + momentum * var);
+            mean_[static_cast<size_t>(ch)] = mean;
+            inv_std_[static_cast<size_t>(ch)] = 1.0 / std::sqrt(var + eps);
+        } else {
+            mean = running_mean_[ch];
+            var = running_var_[ch];
+        }
+        double inv_std = 1.0 / std::sqrt(var + eps);
+        float g = gamma_[ch], bta = beta_[ch];
+        for (int64_t b = 0; b < n; ++b) {
+            const float* p = in.data() + (b * c + ch) * hw;
+            float* o = out.data() + (b * c + ch) * hw;
+            float* cn = training ? cached_norm_.data() + (b * c + ch) * hw : nullptr;
+            for (int64_t i = 0; i < hw; ++i) {
+                float norm = static_cast<float>((p[i] - mean) * inv_std);
+                if (cn != nullptr)
+                    cn[i] = norm;
+                o[i] = g * norm + bta;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+BatchNormLayer::backward(const Tensor& grad_out)
+{
+    int64_t n = in_shape_.dim(0), c = in_shape_.dim(1);
+    int64_t hw = in_shape_.dim(2) * in_shape_.dim(3);
+    Tensor grad_in(in_shape_);
+    double cnt = static_cast<double>(n * hw);
+    for (int64_t ch = 0; ch < c; ++ch) {
+        double sum_g = 0.0, sum_gn = 0.0;
+        for (int64_t b = 0; b < n; ++b) {
+            const float* g = grad_out.data() + (b * c + ch) * hw;
+            const float* norm = cached_norm_.data() + (b * c + ch) * hw;
+            for (int64_t i = 0; i < hw; ++i) {
+                sum_g += g[i];
+                sum_gn += static_cast<double>(g[i]) * norm[i];
+            }
+        }
+        gamma_grad_[ch] += static_cast<float>(sum_gn);
+        beta_grad_[ch] += static_cast<float>(sum_g);
+        double gamma = gamma_[ch];
+        double inv_std = inv_std_[static_cast<size_t>(ch)];
+        for (int64_t b = 0; b < n; ++b) {
+            const float* g = grad_out.data() + (b * c + ch) * hw;
+            const float* norm = cached_norm_.data() + (b * c + ch) * hw;
+            float* gi = grad_in.data() + (b * c + ch) * hw;
+            for (int64_t i = 0; i < hw; ++i) {
+                double t = g[i] - sum_g / cnt - norm[i] * sum_gn / cnt;
+                gi[i] = static_cast<float>(gamma * inv_std * t);
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::vector<ParamRef>
+BatchNormLayer::params()
+{
+    return {{&gamma_, &gamma_grad_, name_ + ".gamma"},
+            {&beta_, &beta_grad_, name_ + ".beta"}};
+}
+
+// ---------------------------------------------------------------------------
+// FlattenLayer
+// ---------------------------------------------------------------------------
+
+Tensor
+FlattenLayer::forward(const Tensor& in, bool)
+{
+    in_shape_ = in.shape();
+    Tensor out = in;
+    out.reshape(Shape{in.shape().dim(0), in.numel() / in.shape().dim(0)});
+    return out;
+}
+
+Tensor
+FlattenLayer::backward(const Tensor& grad_out)
+{
+    Tensor grad_in = grad_out;
+    grad_in.reshape(in_shape_);
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// Loss
+// ---------------------------------------------------------------------------
+
+double
+softmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                    Tensor& grad_logits)
+{
+    int64_t n = logits.shape().dim(0);
+    int64_t k = logits.shape().dim(1);
+    PATDNN_CHECK_EQ(static_cast<int64_t>(labels.size()), n, "labels batch size");
+    grad_logits = Tensor(logits.shape());
+    double loss = 0.0;
+    for (int64_t b = 0; b < n; ++b) {
+        const float* x = logits.data() + b * k;
+        float* g = grad_logits.data() + b * k;
+        float mx = x[0];
+        for (int64_t j = 1; j < k; ++j)
+            mx = std::max(mx, x[j]);
+        double z = 0.0;
+        for (int64_t j = 0; j < k; ++j)
+            z += std::exp(static_cast<double>(x[j]) - mx);
+        int y = labels[static_cast<size_t>(b)];
+        loss += -(static_cast<double>(x[y]) - mx - std::log(z));
+        for (int64_t j = 0; j < k; ++j) {
+            double p = std::exp(static_cast<double>(x[j]) - mx) / z;
+            g[j] = static_cast<float>((p - (j == y ? 1.0 : 0.0)) / static_cast<double>(n));
+        }
+    }
+    return loss / static_cast<double>(n);
+}
+
+std::vector<int>
+argmaxRows(const Tensor& logits)
+{
+    int64_t n = logits.shape().dim(0);
+    int64_t k = logits.shape().dim(1);
+    std::vector<int> out(static_cast<size_t>(n));
+    for (int64_t b = 0; b < n; ++b) {
+        const float* x = logits.data() + b * k;
+        int best = 0;
+        for (int64_t j = 1; j < k; ++j)
+            if (x[j] > x[best])
+                best = static_cast<int>(j);
+        out[static_cast<size_t>(b)] = best;
+    }
+    return out;
+}
+
+}  // namespace patdnn

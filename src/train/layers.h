@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Trainable layers with explicit forward/backward passes.
+ *
+ * This is the from-scratch training substrate used by the extended ADMM
+ * solution framework (Section 4.2): a direct-convolution autodiff stack
+ * sufficient to train the small CNNs the accuracy experiments use.
+ * Layers cache what they need between forward and backward; a layer is
+ * used for exactly one in-flight batch at a time.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv_desc.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace patdnn {
+
+/** A learnable parameter: value, gradient, and an optional freeze mask. */
+struct ParamRef
+{
+    Tensor* value = nullptr;
+    Tensor* grad = nullptr;
+    std::string name;
+};
+
+/** Base class for trainable layers. */
+class TrainLayer
+{
+  public:
+    virtual ~TrainLayer() = default;
+
+    /** Compute outputs for an NCHW (or [N, features]) batch. */
+    virtual Tensor forward(const Tensor& in, bool training) = 0;
+
+    /** Propagate gradients; also accumulates parameter grads. */
+    virtual Tensor backward(const Tensor& grad_out) = 0;
+
+    /** Learnable parameters (empty for stateless layers). */
+    virtual std::vector<ParamRef> params() { return {}; }
+
+    /** Reset accumulated gradients to zero. */
+    void zeroGrads();
+
+    virtual std::string name() const = 0;
+};
+
+/** 2-D convolution (groups == 1) with bias. */
+class Conv2dLayer : public TrainLayer
+{
+  public:
+    /** Geometry from desc; weights He-initialized from rng. */
+    Conv2dLayer(ConvDesc desc, Rng& rng);
+
+    Tensor forward(const Tensor& in, bool training) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return desc_.name; }
+
+    const ConvDesc& desc() const { return desc_; }
+    Tensor& weight() { return weight_; }
+    const Tensor& weight() const { return weight_; }
+    Tensor& weightGrad() { return weight_grad_; }
+
+  private:
+    ConvDesc desc_;
+    Tensor weight_;       ///< OIHW.
+    Tensor bias_;
+    Tensor weight_grad_;
+    Tensor bias_grad_;
+    Tensor cached_in_;
+};
+
+/** Fully connected layer. */
+class FcLayer : public TrainLayer
+{
+  public:
+    FcLayer(std::string name, int64_t in_features, int64_t out_features, Rng& rng);
+
+    Tensor forward(const Tensor& in, bool training) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return name_; }
+
+    Tensor& weight() { return weight_; }
+
+  private:
+    std::string name_;
+    int64_t in_features_;
+    int64_t out_features_;
+    Tensor weight_;  ///< [out, in].
+    Tensor bias_;
+    Tensor weight_grad_;
+    Tensor bias_grad_;
+    Tensor cached_in_;
+};
+
+/** Elementwise ReLU. */
+class ReluLayer : public TrainLayer
+{
+  public:
+    explicit ReluLayer(std::string name) : name_(std::move(name)) {}
+    Tensor forward(const Tensor& in, bool training) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    Tensor cached_in_;
+};
+
+/** Max pooling with square window. */
+class MaxPoolLayer : public TrainLayer
+{
+  public:
+    MaxPoolLayer(std::string name, int64_t k, int64_t stride)
+        : name_(std::move(name)), k_(k), stride_(stride)
+    {
+    }
+    Tensor forward(const Tensor& in, bool training) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    int64_t k_;
+    int64_t stride_;
+    Shape in_shape_;
+    std::vector<int64_t> argmax_;
+};
+
+/** Per-channel batch normalization (training-mode statistics). */
+class BatchNormLayer : public TrainLayer
+{
+  public:
+    BatchNormLayer(std::string name, int64_t channels);
+    Tensor forward(const Tensor& in, bool training) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    int64_t channels_;
+    Tensor gamma_, beta_, gamma_grad_, beta_grad_;
+    Tensor running_mean_, running_var_;
+    // Cached batch statistics for backward.
+    Tensor cached_norm_;
+    std::vector<double> mean_, inv_std_;
+    Shape in_shape_;
+};
+
+/** Flatten NCHW -> [N, C*H*W]. */
+class FlattenLayer : public TrainLayer
+{
+  public:
+    explicit FlattenLayer(std::string name) : name_(std::move(name)) {}
+    Tensor forward(const Tensor& in, bool training) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    Shape in_shape_;
+};
+
+/**
+ * Softmax cross-entropy head. Not a TrainLayer: takes logits + labels,
+ * returns mean loss and writes d(loss)/d(logits).
+ */
+double softmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                           Tensor& grad_logits);
+
+/** Index of the max logit per row. */
+std::vector<int> argmaxRows(const Tensor& logits);
+
+}  // namespace patdnn

@@ -1,0 +1,126 @@
+#include "train/net.h"
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+int
+Net::add(std::unique_ptr<TrainLayer> layer)
+{
+    layers_.push_back(std::move(layer));
+    return static_cast<int>(layers_.size()) - 1;
+}
+
+Tensor
+Net::forward(const Tensor& in, bool training)
+{
+    Tensor x = in;
+    for (auto& l : layers_)
+        x = l->forward(x, training);
+    return x;
+}
+
+void
+Net::backward(const Tensor& grad_logits)
+{
+    Tensor g = grad_logits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+std::vector<ParamRef>
+Net::params()
+{
+    std::vector<ParamRef> out;
+    for (auto& l : layers_)
+        for (auto& p : l->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Net::zeroGrads()
+{
+    for (auto& l : layers_)
+        l->zeroGrads();
+}
+
+std::vector<Tensor*>
+Net::convWeights()
+{
+    std::vector<Tensor*> out;
+    for (auto* l : convLayers())
+        out.push_back(&l->weight());
+    return out;
+}
+
+std::vector<Conv2dLayer*>
+Net::convLayers()
+{
+    std::vector<Conv2dLayer*> out;
+    for (auto& l : layers_)
+        if (auto* c = dynamic_cast<Conv2dLayer*>(l.get()))
+            out.push_back(c);
+    return out;
+}
+
+namespace {
+
+void
+addConvBlock(Net& net, const std::string& name, int64_t cin, int64_t cout,
+             int64_t res, Rng& rng)
+{
+    ConvDesc d{name, cin, cout, 3, 3, res, res, 1, 1, 1, 1};
+    net.add(std::make_unique<Conv2dLayer>(d, rng));
+    net.add(std::make_unique<BatchNormLayer>(name + "_bn", cout));
+    net.add(std::make_unique<ReluLayer>(name + "_relu"));
+}
+
+}  // namespace
+
+Net
+buildVggStyleNet(int classes, int64_t size, int64_t channels, int64_t width,
+                 uint64_t seed)
+{
+    PATDNN_CHECK(size % 4 == 0, "input size divisible by 4");
+    Rng rng(seed);
+    Net net("vgg-style");
+    int64_t res = size;
+    addConvBlock(net, "conv1_1", channels, width, res, rng);
+    addConvBlock(net, "conv1_2", width, width, res, rng);
+    net.add(std::make_unique<MaxPoolLayer>("pool1", 2, 2));
+    res /= 2;
+    addConvBlock(net, "conv2_1", width, width * 2, res, rng);
+    addConvBlock(net, "conv2_2", width * 2, width * 2, res, rng);
+    net.add(std::make_unique<MaxPoolLayer>("pool2", 2, 2));
+    res /= 2;
+    net.add(std::make_unique<FlattenLayer>("flatten"));
+    net.add(std::make_unique<FcLayer>("fc", width * 2 * res * res, classes, rng));
+    return net;
+}
+
+Net
+buildResStyleNet(int classes, int64_t size, int64_t channels, int64_t width,
+                 uint64_t seed)
+{
+    PATDNN_CHECK(size % 4 == 0, "input size divisible by 4");
+    Rng rng(seed);
+    Net net("res-style");
+    int64_t res = size;
+    addConvBlock(net, "conv1", channels, width, res, rng);
+    addConvBlock(net, "conv2", width, width, res, rng);
+    net.add(std::make_unique<MaxPoolLayer>("pool1", 2, 2));
+    res /= 2;
+    addConvBlock(net, "conv3", width, width * 2, res, rng);
+    addConvBlock(net, "conv4", width * 2, width * 2, res, rng);
+    net.add(std::make_unique<MaxPoolLayer>("pool2", 2, 2));
+    res /= 2;
+    addConvBlock(net, "conv5", width * 2, width * 4, res, rng);
+    net.add(std::make_unique<MaxPoolLayer>("pool3", 2, 2));
+    res /= 2;
+    net.add(std::make_unique<FlattenLayer>("flatten"));
+    net.add(std::make_unique<FcLayer>("fc", width * 4 * res * res, classes, rng));
+    return net;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Net: an ordered stack of trainable layers plus factory functions for
+ * the small CNN topologies the accuracy experiments train (a VGG-style
+ * plain stack and a ResNet-style wider stack; see DESIGN.md).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/layers.h"
+
+namespace patdnn {
+
+/** A sequential trainable network. */
+class Net
+{
+  public:
+    Net() = default;
+    explicit Net(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    /** Append a layer; returns the layer index. */
+    int add(std::unique_ptr<TrainLayer> layer);
+
+    /** Forward pass through all layers. */
+    Tensor forward(const Tensor& in, bool training);
+
+    /** Backward pass; call after forward(in, true). */
+    void backward(const Tensor& grad_logits);
+
+    /** All learnable parameters in layer order. */
+    std::vector<ParamRef> params();
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Pointers to the weight tensors of all conv layers. */
+    std::vector<Tensor*> convWeights();
+
+    /** Pointers to the conv layers themselves. */
+    std::vector<Conv2dLayer*> convLayers();
+
+    std::vector<std::unique_ptr<TrainLayer>>& layers() { return layers_; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<TrainLayer>> layers_;
+};
+
+/**
+ * VGG-style plain CNN for `size` x `size` inputs: conv3x3 stacks with
+ * BN+ReLU and maxpool between stages. Channel widths scale with `width`.
+ */
+Net buildVggStyleNet(int classes, int64_t size, int64_t channels, int64_t width,
+                     uint64_t seed);
+
+/** Wider/deeper variant standing in for ResNet-50 in accuracy tables. */
+Net buildResStyleNet(int classes, int64_t size, int64_t channels, int64_t width,
+                     uint64_t seed);
+
+}  // namespace patdnn

@@ -1,0 +1,67 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+namespace patdnn {
+
+Sgd::Sgd(std::vector<ParamRef> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay)
+{
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i)
+        velocity_[i].assign(static_cast<size_t>(params_[i].value->numel()), 0.0f);
+}
+
+void
+Sgd::step()
+{
+    for (size_t p = 0; p < params_.size(); ++p) {
+        Tensor& w = *params_[p].value;
+        Tensor& g = *params_[p].grad;
+        auto& vel = velocity_[p];
+        for (int64_t i = 0; i < w.numel(); ++i) {
+            float grad = g[i] + weight_decay_ * w[i];
+            vel[static_cast<size_t>(i)] = momentum_ * vel[static_cast<size_t>(i)] + grad;
+            w[i] -= lr_ * vel[static_cast<size_t>(i)];
+        }
+    }
+}
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay)
+{
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+        m_[i].assign(static_cast<size_t>(params_[i].value->numel()), 0.0f);
+        v_[i].assign(static_cast<size_t>(params_[i].value->numel()), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t p = 0; p < params_.size(); ++p) {
+        Tensor& w = *params_[p].value;
+        Tensor& g = *params_[p].grad;
+        auto& m = m_[p];
+        auto& v = v_[p];
+        for (int64_t i = 0; i < w.numel(); ++i) {
+            float grad = g[i] + weight_decay_ * w[i];
+            size_t s = static_cast<size_t>(i);
+            m[s] = beta1_ * m[s] + (1.0f - beta1_) * grad;
+            v[s] = beta2_ * v[s] + (1.0f - beta2_) * grad * grad;
+            float mhat = m[s] / bc1;
+            float vhat = v[s] / bc2;
+            w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+}  // namespace patdnn

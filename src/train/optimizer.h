@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Optimizers for the training substrate: plain SGD with momentum and
+ * Adam (the paper's ADMM subproblem 1 is solved with Adam, ref. [27]).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/layers.h"
+
+namespace patdnn {
+
+/** Base optimizer over a fixed parameter list. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<ParamRef> params) : params_(std::move(params)) {}
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step from the currently accumulated gradients. */
+    virtual void step() = 0;
+
+  protected:
+    std::vector<ParamRef> params_;
+};
+
+/** SGD with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<ParamRef> params, float lr, float momentum = 0.9f,
+        float weight_decay = 0.0f);
+    void step() override;
+
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_;
+    float momentum_;
+    float weight_decay_;
+    std::vector<std::vector<float>> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<ParamRef> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+    void step() override;
+
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_, beta1_, beta2_, eps_, weight_decay_;
+    int64_t t_ = 0;
+    std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace patdnn

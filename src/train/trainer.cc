@@ -1,0 +1,126 @@
+#include "train/trainer.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+double
+evalAccuracy(Net& net, const SyntheticShapes& data, const std::vector<Example>& pool,
+             int64_t batch_size)
+{
+    if (pool.empty())
+        return 0.0;
+    std::vector<int64_t> indices(pool.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    int64_t correct = 0;
+    for (int64_t begin = 0; begin < static_cast<int64_t>(pool.size());
+         begin += batch_size) {
+        int64_t end = std::min<int64_t>(begin + batch_size,
+                                        static_cast<int64_t>(pool.size()));
+        Tensor batch;
+        std::vector<int> labels;
+        data.makeBatch(pool, indices, begin, end, batch, labels);
+        Tensor logits = net.forward(batch, /*training=*/false);
+        std::vector<int> pred = argmaxRows(logits);
+        for (size_t i = 0; i < pred.size(); ++i)
+            if (pred[i] == labels[i])
+                ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(pool.size());
+}
+
+TrainResult
+trainNet(Net& net, const SyntheticShapes& data, const TrainConfig& cfg)
+{
+    Rng rng(cfg.seed);
+    std::vector<ParamRef> params = net.params();
+    std::unique_ptr<Optimizer> opt;
+    if (cfg.use_adam)
+        opt = std::make_unique<Adam>(params, cfg.lr);
+    else
+        opt = std::make_unique<Sgd>(params, cfg.lr);
+
+    std::vector<int64_t> indices(data.train().size());
+    std::iota(indices.begin(), indices.end(), 0);
+
+    double last_loss = 0.0;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        rng.shuffle(indices);
+        double epoch_loss = 0.0;
+        int64_t batches = 0;
+        for (int64_t begin = 0; begin < static_cast<int64_t>(indices.size());
+             begin += cfg.batch_size) {
+            int64_t end = std::min<int64_t>(begin + cfg.batch_size,
+                                            static_cast<int64_t>(indices.size()));
+            Tensor batch;
+            std::vector<int> labels;
+            data.makeBatch(data.train(), indices, begin, end, batch, labels);
+            net.zeroGrads();
+            Tensor logits = net.forward(batch, /*training=*/true);
+            Tensor grad_logits;
+            double loss = softmaxCrossEntropy(logits, labels, grad_logits);
+            net.backward(grad_logits);
+            if (cfg.grad_hook)
+                cfg.grad_hook(net);
+            opt->step();
+            if (cfg.post_step_hook)
+                cfg.post_step_hook(net);
+            epoch_loss += loss;
+            ++batches;
+        }
+        last_loss = epoch_loss / static_cast<double>(std::max<int64_t>(1, batches));
+        if (cfg.verbose)
+            logMessage(LogLevel::kInfo,
+                       "epoch " + std::to_string(epoch) + " loss " +
+                           std::to_string(last_loss));
+    }
+
+    TrainResult res;
+    res.final_loss = last_loss;
+    res.train_accuracy = evalAccuracy(net, data, data.train());
+    res.test_accuracy = evalAccuracy(net, data, data.test());
+    return res;
+}
+
+std::vector<std::vector<uint8_t>>
+captureMasks(Net& net)
+{
+    std::vector<std::vector<uint8_t>> masks;
+    for (Tensor* w : net.convWeights()) {
+        std::vector<uint8_t> m(static_cast<size_t>(w->numel()), 0);
+        for (int64_t i = 0; i < w->numel(); ++i)
+            m[static_cast<size_t>(i)] = (*w)[i] != 0.0f ? 1 : 0;
+        masks.push_back(std::move(m));
+    }
+    return masks;
+}
+
+void
+applyMaskToGrads(Net& net, const std::vector<std::vector<uint8_t>>& masks)
+{
+    auto convs = net.convLayers();
+    PATDNN_CHECK_EQ(convs.size(), masks.size(), "mask count");
+    for (size_t i = 0; i < convs.size(); ++i) {
+        Tensor& g = convs[i]->weightGrad();
+        for (int64_t j = 0; j < g.numel(); ++j)
+            if (!masks[i][static_cast<size_t>(j)])
+                g[j] = 0.0f;
+    }
+}
+
+void
+applyMaskToWeights(Net& net, const std::vector<std::vector<uint8_t>>& masks)
+{
+    auto convs = net.convLayers();
+    PATDNN_CHECK_EQ(convs.size(), masks.size(), "mask count");
+    for (size_t i = 0; i < convs.size(); ++i) {
+        Tensor& w = convs[i]->weight();
+        for (int64_t j = 0; j < w.numel(); ++j)
+            if (!masks[i][static_cast<size_t>(j)])
+                w[j] = 0.0f;
+    }
+}
+
+}  // namespace patdnn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Training loop: mini-batch SGD/Adam over a SyntheticShapes dataset with
+ * optional per-parameter freeze masks (used by masked retraining after
+ * ADMM hard-pruning) and optional per-step weight hooks (used by ADMM to
+ * inject the proximal gradient terms).
+ */
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "train/dataset.h"
+#include "train/net.h"
+#include "train/optimizer.h"
+
+namespace patdnn {
+
+/** Options for a training run. */
+struct TrainConfig
+{
+    int epochs = 4;
+    int64_t batch_size = 32;
+    float lr = 1e-3f;
+    bool use_adam = true;
+    uint64_t seed = 7;
+    /// Called after backward and before the optimizer step; may edit
+    /// parameter gradients (ADMM proximal terms, mask freezing).
+    std::function<void(Net&)> grad_hook;
+    /// Called after each optimizer step; may edit weights (re-apply
+    /// hard masks so pruned weights stay exactly zero).
+    std::function<void(Net&)> post_step_hook;
+    bool verbose = false;
+};
+
+/** Result of a training/evaluation run. */
+struct TrainResult
+{
+    double final_loss = 0.0;
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+};
+
+/** Train `net` on the dataset per config. */
+TrainResult trainNet(Net& net, const SyntheticShapes& data, const TrainConfig& cfg);
+
+/** Classification accuracy of `net` on a pool of examples. */
+double evalAccuracy(Net& net, const SyntheticShapes& data,
+                    const std::vector<Example>& pool, int64_t batch_size = 64);
+
+/**
+ * Per-conv-layer binary masks (1 = weight kept). Captured from current
+ * non-zero structure of the conv weights.
+ */
+std::vector<std::vector<uint8_t>> captureMasks(Net& net);
+
+/** Zero masked-out gradient entries (freeze pruned weights). */
+void applyMaskToGrads(Net& net, const std::vector<std::vector<uint8_t>>& masks);
+
+/** Zero masked-out weights (keep constraint exact after a step). */
+void applyMaskToWeights(Net& net, const std::vector<std::vector<uint8_t>>& masks);
+
+}  // namespace patdnn

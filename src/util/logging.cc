@@ -1,0 +1,27 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace patdnn {
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    const char* prefix = "INFO";
+    switch (level) {
+      case LogLevel::kInfo: prefix = "INFO"; break;
+      case LogLevel::kWarn: prefix = "WARN"; break;
+      case LogLevel::kError: prefix = "ERROR"; break;
+    }
+    std::fprintf(stderr, "[patdnn %s] %s\n", prefix, msg.c_str());
+}
+
+void
+fatalError(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "[patdnn FATAL] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+}  // namespace patdnn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Logging and invariant-checking helpers used across the PatDNN library.
+ *
+ * Conventions follow the paper's split between user errors and internal
+ * bugs: PATDNN_CHECK aborts on violated invariants (library bug or
+ * malformed input the caller promised not to pass), while warn() keeps
+ * running.
+ */
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace patdnn {
+
+/** Severity levels for log messages. */
+enum class LogLevel { kInfo, kWarn, kError };
+
+/** Emit a log line to stderr with a severity prefix. */
+void logMessage(LogLevel level, const std::string& msg);
+
+/** Abort the process after printing a fatal message with location info. */
+[[noreturn]] void fatalError(const char* file, int line, const std::string& msg);
+
+namespace detail {
+
+/** Stream-collecting helper so CHECK macros can use << syntax. */
+class MessageCollector
+{
+  public:
+    template <typename T>
+    MessageCollector&
+    operator<<(const T& v)
+    {
+        stream_ << v;
+        return *this;
+    }
+
+    std::string str() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace patdnn
+
+/** Abort with a message if the condition does not hold. */
+#define PATDNN_CHECK(cond, msg)                                               \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::patdnn::detail::MessageCollector mc_;                            \
+            mc_ << "CHECK failed: " #cond " — " << msg;                        \
+            ::patdnn::fatalError(__FILE__, __LINE__, mc_.str());               \
+        }                                                                      \
+    } while (0)
+
+/** Convenience comparison checks that print both operands. */
+#define PATDNN_CHECK_EQ(a, b, msg) \
+    PATDNN_CHECK((a) == (b), msg << " (" << (a) << " vs " << (b) << ")")
+#define PATDNN_CHECK_LE(a, b, msg) \
+    PATDNN_CHECK((a) <= (b), msg << " (" << (a) << " vs " << (b) << ")")
+#define PATDNN_CHECK_LT(a, b, msg) \
+    PATDNN_CHECK((a) < (b), msg << " (" << (a) << " vs " << (b) << ")")
+#define PATDNN_CHECK_GE(a, b, msg) \
+    PATDNN_CHECK((a) >= (b), msg << " (" << (a) << " vs " << (b) << ")")
+#define PATDNN_CHECK_GT(a, b, msg) \
+    PATDNN_CHECK((a) > (b), msg << " (" << (a) << " vs " << (b) << ")")

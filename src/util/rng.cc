@@ -1,0 +1,33 @@
+#include "util/rng.h"
+
+namespace patdnn {
+
+float
+Rng::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+}  // namespace patdnn

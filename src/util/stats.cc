@@ -1,0 +1,66 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patdnn {
+
+double
+Timer::elapsedMs() const
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+}
+
+double
+Timer::elapsedUs() const
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+}
+
+Summary
+summarize(std::vector<double> samples)
+{
+    Summary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.min = samples.front();
+    s.max = samples.back();
+    size_t n = samples.size();
+    s.median = (n % 2 == 1) ? samples[n / 2]
+                            : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (double v : samples)
+        var += (v - s.mean) * (v - s.mean);
+    s.stddev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+    return s;
+}
+
+std::vector<double>
+timeRuns(const std::function<void()>& fn, int warmup, int reps)
+{
+    for (int i = 0; i < warmup; ++i)
+        fn();
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        Timer t;
+        fn();
+        times.push_back(t.elapsedMs());
+    }
+    return times;
+}
+
+double
+medianTimeMs(const std::function<void()>& fn, int warmup, int reps)
+{
+    return summarize(timeRuns(fn, warmup, reps)).median;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Timing and summary-statistics helpers used by the benchmark harnesses.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace patdnn {
+
+/** Monotonic wall-clock timer with millisecond/microsecond readouts. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the timer. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed time in milliseconds since construction/reset. */
+    double elapsedMs() const;
+
+    /** Elapsed time in microseconds since construction/reset. */
+    double elapsedUs() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Summary statistics over a sample of measurements. */
+struct Summary
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/** Compute summary statistics of a sample (empty sample -> all zeros). */
+Summary summarize(std::vector<double> samples);
+
+/**
+ * Time fn over repeated runs.
+ *
+ * Runs `warmup` untimed iterations followed by `reps` timed ones and
+ * returns the per-iteration times in milliseconds.
+ */
+std::vector<double> timeRuns(const std::function<void()>& fn, int warmup, int reps);
+
+/** Median time in ms of fn over reps runs after warmup. */
+double medianTimeMs(const std::function<void()>& fn, int warmup, int reps);
+
+}  // namespace patdnn

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    PATDNN_CHECK_EQ(cells.size(), headers_.size(), "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (const auto& row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+}  // namespace patdnn

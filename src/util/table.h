@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fixed-width text table printer used by every benchmark harness to emit
+ * the rows/series the paper's tables and figures report.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace patdnn {
+
+/** Collects rows of string cells and renders an aligned text table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment, header rule, and 2-space gutters. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace patdnn

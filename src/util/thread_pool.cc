@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+ThreadPool::ThreadPool(int n_threads) : n_threads_(std::max(1, n_threads))
+{
+    // Worker 0 is the calling thread; spawn the rest.
+    for (int i = 1; i < n_threads_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runTask(const Task& task, int worker_id)
+{
+    int64_t chunk = (task.count + n_threads_ - 1) / n_threads_;
+    int64_t begin = std::min<int64_t>(task.count, worker_id * chunk);
+    int64_t end = std::min<int64_t>(task.count, begin + chunk);
+    if (begin < end)
+        (*task.body)(begin, end);
+}
+
+void
+ThreadPool::workerLoop(int worker_id)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            task = task_;
+        }
+        runTask(task, worker_id);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (--pending_ == 0)
+                cv_done_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelChunks(
+    int64_t count, const std::function<void(int64_t, int64_t)>& body)
+{
+    if (count <= 0)
+        return;
+    if (n_threads_ == 1 || count == 1) {
+        body(0, count);
+        return;
+    }
+    Task task;
+    task.body = &body;
+    task.count = count;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        task_ = task;
+        pending_ = n_threads_ - 1;
+        ++generation_;
+    }
+    cv_start_.notify_all();
+    runTask(task, 0);
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_done_.wait(lk, [&] { return pending_ == 0; });
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t count, const std::function<void(int64_t)>& body)
+{
+    parallelChunks(count, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i)
+            body(i);
+    });
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    static ThreadPool pool(static_cast<int>(std::thread::hardware_concurrency()));
+    return pool;
+}
+
+}  // namespace patdnn

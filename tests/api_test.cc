@@ -1,0 +1,83 @@
+/** @file Public API (core/patdnn.h) end-to-end pipeline tests. */
+#include <gtest/gtest.h>
+
+#include "core/patdnn.h"
+
+namespace patdnn {
+namespace {
+
+TEST(Api, CompressThenCompileThenExecute)
+{
+    // Stage 1: train + compress a small net.
+    SyntheticShapes data(4, 12, 1, 96, 48, 55);
+    Net net = buildVggStyleNet(4, 12, 1, 8, 31);
+    TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 16;
+    tc.lr = 2e-3f;
+    trainNet(net, data, tc);
+
+    AdmmConfig admm;
+    admm.admm_iterations = 1;
+    admm.epochs_per_iteration = 1;
+    admm.retrain_epochs = 1;
+    CompressResult comp = compress(net, data, 8, 3.6, admm);
+    EXPECT_EQ(comp.pattern_set.size(), 8);
+    EXPECT_GT(comp.admm.conv_compression, 4.0);
+
+    // Stage 2: compile the first conv layer for the simulated device.
+    auto convs = net.convLayers();
+    const ConvDesc& d = convs[1]->desc();
+    Tensor weight = convs[1]->weight();
+    Tensor original = weight;
+    DeviceSpec dev = makeCpuDevice(4);
+    CompiledLayer layer = compileLayer(d, weight, comp.pattern_set, 3.6, dev);
+    ASSERT_NE(layer.engine, nullptr);
+    std::string err;
+    EXPECT_TRUE(validateFkw(*layer.fkw, &err)) << err;
+
+    // Stage 3: execute and compare against the reference conv on the
+    // same (pruned) weights.
+    Tensor pruned = fkwToDense(*layer.fkw);
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    Rng rng(3);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor expect = makeConvOutput(d, 1);
+    convReference(d, pruned, in, expect);
+    Tensor got = makeConvOutput(d, 1);
+    layer.engine->run(in, got);
+    EXPECT_LT(Tensor::maxAbsDiff(expect, got), 1e-3);
+}
+
+TEST(Api, CompileLayerWithAutoTune)
+{
+    Rng rng(9);
+    ConvDesc d{"t", 8, 16, 3, 3, 12, 12, 1, 1, 1, 1};
+    Tensor weight(Shape{d.cout, d.cin, 3, 3});
+    weight.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(8);
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledLayer layer = compileLayer(d, weight, set, 3.6, dev, /*auto_tune=*/true);
+    ASSERT_NE(layer.engine, nullptr);
+    // The tuned LR must carry a legal configuration.
+    EXPECT_GT(layer.lr.tuning.tile_oh, 0);
+    EXPECT_GT(layer.lr.tuning.unroll_w, 0);
+}
+
+TEST(Api, LrReportsDeviceKind)
+{
+    Rng rng(10);
+    ConvDesc d{"t", 6, 12, 3, 3, 10, 10, 1, 1, 1, 1};
+    Tensor w(Shape{d.cout, d.cin, 3, 3});
+    w.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(6);
+    CompiledLayer cpu = compileLayer(d, w, set, 3.6, makeCpuDevice(2));
+    Tensor w2(Shape{d.cout, d.cin, 3, 3});
+    w2.fillNormal(rng);
+    CompiledLayer gpu = compileLayer(d, w2, set, 3.6, makeGpuDevice());
+    EXPECT_EQ(cpu.lr.device, "CPU");
+    EXPECT_EQ(gpu.lr.device, "GPU");
+}
+
+}  // namespace
+}  // namespace patdnn

@@ -1,0 +1,65 @@
+/** @file ConvDesc geometry tests. */
+#include <gtest/gtest.h>
+
+#include "nn/conv_desc.h"
+
+namespace patdnn {
+namespace {
+
+TEST(ConvDesc, SamePaddingOutput)
+{
+    ConvDesc d{"c", 3, 8, 3, 3, 32, 32, 1, 1, 1, 1};
+    EXPECT_EQ(d.outH(), 32);
+    EXPECT_EQ(d.outW(), 32);
+}
+
+TEST(ConvDesc, StridedOutput)
+{
+    ConvDesc d{"c", 3, 8, 3, 3, 224, 224, 2, 1, 1, 1};
+    EXPECT_EQ(d.outH(), 112);
+}
+
+TEST(ConvDesc, SevenBySevenStem)
+{
+    ConvDesc d{"c", 3, 64, 7, 7, 224, 224, 2, 3, 1, 1};
+    EXPECT_EQ(d.outH(), 112);
+    EXPECT_EQ(d.outW(), 112);
+}
+
+TEST(ConvDesc, DilationShrinksOutput)
+{
+    ConvDesc d{"c", 1, 1, 3, 3, 10, 10, 1, 0, 2, 1};
+    EXPECT_EQ(d.outH(), 6);  // Effective kernel 5.
+}
+
+TEST(ConvDesc, WeightCountAndMacs)
+{
+    ConvDesc d{"c", 64, 128, 3, 3, 56, 56, 1, 1, 1, 1};
+    EXPECT_EQ(d.weightCount(), 128 * 64 * 9);
+    EXPECT_EQ(d.macs(), 56 * 56 * 128 * 64 * 9);
+    EXPECT_EQ(d.flops(), 2 * d.macs());
+}
+
+TEST(ConvDesc, GroupedWeights)
+{
+    ConvDesc d{"dw", 32, 32, 3, 3, 14, 14, 1, 1, 1, 32};
+    EXPECT_EQ(d.cinPerGroup(), 1);
+    EXPECT_EQ(d.weightCount(), 32 * 1 * 9);
+}
+
+TEST(ConvDesc, FilterShapeStr)
+{
+    ConvDesc d{"c", 3, 64, 3, 3, 224, 224, 1, 1, 1, 1};
+    EXPECT_EQ(d.filterShapeStr(), "[64,3,3,3]");
+}
+
+TEST(ConvDescDeath, InvalidGeometryAborts)
+{
+    ConvDesc d{"c", 3, 8, 3, 3, 1, 1, 1, 0, 1, 1};  // Output would be <= 0.
+    EXPECT_DEATH(d.check(), "output height");
+    ConvDesc g{"c", 3, 8, 3, 3, 8, 8, 1, 1, 1, 2};  // 3 % 2 != 0.
+    EXPECT_DEATH(g.check(), "divisible");
+}
+
+}  // namespace
+}  // namespace patdnn

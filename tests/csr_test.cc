@@ -1,0 +1,99 @@
+/** @file CSR storage tests including failure injection. */
+#include <gtest/gtest.h>
+
+#include "sparse/csr.h"
+#include "prune/projections.h"
+
+namespace patdnn {
+namespace {
+
+TEST(Csr, RoundTripDense)
+{
+    Rng rng(1);
+    Tensor w(Shape{6, 4, 3, 3});
+    w.fillNormal(rng);
+    projectMagnitude(w, 50);
+    CsrWeights csr = buildCsr(w);
+    EXPECT_EQ(csr.nnz(), 50);
+    Tensor back = csrToDense(csr, w.shape());
+    EXPECT_EQ(Tensor::maxAbsDiff(w, back), 0.0);
+}
+
+TEST(Csr, EmptyMatrix)
+{
+    Tensor w(Shape{3, 2, 3, 3});  // All zeros.
+    CsrWeights csr = buildCsr(w);
+    EXPECT_EQ(csr.nnz(), 0);
+    std::string err;
+    EXPECT_TRUE(validateCsr(csr, &err)) << err;
+}
+
+TEST(Csr, IndexBytesAccounting)
+{
+    Rng rng(2);
+    Tensor w(Shape{4, 4, 3, 3});
+    w.fillNormal(rng);
+    projectMagnitude(w, 30);
+    CsrWeights csr = buildCsr(w);
+    EXPECT_EQ(csr.indexBytes(), (4 + 1 + 30) * sizeof(int32_t));
+    EXPECT_EQ(csr.totalBytes(), csr.indexBytes() + 30 * sizeof(float));
+}
+
+TEST(Csr, ValidatorAcceptsWellFormed)
+{
+    Rng rng(3);
+    Tensor w(Shape{5, 3, 3, 3});
+    w.fillNormal(rng);
+    CsrWeights csr = buildCsr(w);
+    std::string err;
+    EXPECT_TRUE(validateCsr(csr, &err)) << err;
+}
+
+TEST(CsrFailureInjection, DetectsNonMonotonicRowPtr)
+{
+    Rng rng(4);
+    Tensor w(Shape{5, 3, 3, 3});
+    w.fillNormal(rng);
+    CsrWeights csr = buildCsr(w);
+    std::swap(csr.row_ptr[1], csr.row_ptr[3]);
+    std::string err;
+    EXPECT_FALSE(validateCsr(csr, &err));
+    EXPECT_NE(err.find("monotonic"), std::string::npos);
+}
+
+TEST(CsrFailureInjection, DetectsOutOfRangeColumn)
+{
+    Rng rng(5);
+    Tensor w(Shape{5, 3, 3, 3});
+    w.fillNormal(rng);
+    CsrWeights csr = buildCsr(w);
+    csr.col_idx[0] = static_cast<int32_t>(csr.cols + 7);
+    std::string err;
+    EXPECT_FALSE(validateCsr(csr, &err));
+    EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(CsrFailureInjection, DetectsTruncatedValues)
+{
+    Rng rng(6);
+    Tensor w(Shape{5, 3, 3, 3});
+    w.fillNormal(rng);
+    CsrWeights csr = buildCsr(w);
+    csr.values.pop_back();
+    std::string err;
+    EXPECT_FALSE(validateCsr(csr, &err));
+}
+
+TEST(CsrFailureInjection, DetectsBadLeadingOffset)
+{
+    Rng rng(7);
+    Tensor w(Shape{3, 3, 3, 3});
+    w.fillNormal(rng);
+    CsrWeights csr = buildCsr(w);
+    csr.row_ptr[0] = 1;
+    std::string err;
+    EXPECT_FALSE(validateCsr(csr, &err));
+}
+
+}  // namespace
+}  // namespace patdnn

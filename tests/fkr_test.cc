@@ -1,0 +1,123 @@
+/** @file Filter Kernel Reorder property tests. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prune/projections.h"
+#include "sparse/fkr.h"
+
+namespace patdnn {
+namespace {
+
+PatternAssignment
+makeAssignment(int64_t filters, int64_t channels, int64_t alpha, int npat,
+               uint64_t seed, Tensor* out_w = nullptr)
+{
+    Rng rng(seed);
+    Tensor w(Shape{filters, channels, 3, 3});
+    w.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(npat);
+    PatternAssignment asg = projectJoint(w, set, alpha);
+    if (out_w != nullptr)
+        *out_w = w;
+    return asg;
+}
+
+TEST(Fkr, ReorderIsPermutation)
+{
+    auto asg = makeAssignment(16, 12, 60, 8, 1);
+    FkrResult fkr = filterKernelReorder(asg);
+    std::vector<int32_t> sorted = fkr.reorder;
+    std::sort(sorted.begin(), sorted.end());
+    for (int32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Fkr, KernelsSortedByPatternInsideFilters)
+{
+    auto asg = makeAssignment(12, 12, 50, 8, 2);
+    FkrResult fkr = filterKernelReorder(asg);
+    for (const auto& f : fkr.filters)
+        for (size_t i = 1; i < f.size(); ++i)
+            EXPECT_GE(f[i].pattern_id, f[i - 1].pattern_id);
+}
+
+TEST(Fkr, GroupsHaveEqualLengthsAndCoverAllFilters)
+{
+    auto asg = makeAssignment(20, 10, 70, 6, 3);
+    FkrResult fkr = filterKernelReorder(asg);
+    int32_t covered = 0;
+    for (const auto& g : fkr.groups) {
+        EXPECT_LT(g.begin, g.end);
+        for (int32_t f = g.begin; f < g.end; ++f)
+            EXPECT_EQ(static_cast<int32_t>(fkr.filters[static_cast<size_t>(f)].size()),
+                      g.length);
+        covered += g.end - g.begin;
+    }
+    EXPECT_EQ(covered, 20);
+}
+
+TEST(Fkr, LengthsAreNonIncreasing)
+{
+    auto asg = makeAssignment(24, 12, 90, 8, 4);
+    FkrResult fkr = filterKernelReorder(asg);
+    auto lengths = filterLengths(fkr);
+    for (size_t i = 1; i < lengths.size(); ++i)
+        EXPECT_GE(lengths[i - 1], lengths[i]);
+}
+
+TEST(Fkr, DisabledReorderKeepsOriginalOrder)
+{
+    auto asg = makeAssignment(10, 10, 40, 6, 5);
+    FkrOptions opts;
+    opts.reorder_filters = false;
+    opts.similarity_within_group = false;
+    opts.reorder_kernels = false;
+    FkrResult fkr = filterKernelReorder(asg, opts);
+    for (int32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(fkr.reorder[static_cast<size_t>(i)], i);
+    // Kernels keep ascending input-channel order (projection order).
+    for (const auto& f : fkr.filters)
+        for (size_t i = 1; i < f.size(); ++i)
+            EXPECT_GT(f[i].input_channel, f[i - 1].input_channel);
+}
+
+TEST(Fkr, SimilarityMetricCountsMatchingPositions)
+{
+    std::vector<ReorderedKernel> a = {{0, 1}, {1, 2}, {2, 2}};
+    std::vector<ReorderedKernel> b = {{3, 1}, {4, 2}, {5, 3}};
+    EXPECT_EQ(filterSimilarity(a, b), 2);
+}
+
+TEST(Fkr, SimilarityOrderingImprovesAdjacentSimilarity)
+{
+    // Greedy chaining should produce at least as much total adjacent
+    // similarity as the unordered (length-only) layout.
+    auto asg = makeAssignment(32, 16, 200, 8, 6);
+    FkrOptions with;
+    FkrOptions without;
+    without.similarity_within_group = false;
+    FkrResult a = filterKernelReorder(asg, with);
+    FkrResult b = filterKernelReorder(asg, without);
+    auto total_sim = [](const FkrResult& r) {
+        int64_t s = 0;
+        for (size_t i = 1; i < r.filters.size(); ++i)
+            if (r.filters[i].size() == r.filters[i - 1].size())
+                s += filterSimilarity(r.filters[i], r.filters[i - 1]);
+        return s;
+    };
+    EXPECT_GE(total_sim(a), total_sim(b));
+}
+
+TEST(Fkr, EmptyFiltersLandInTrailingGroup)
+{
+    // Prune so aggressively that some filters lose every kernel.
+    auto asg = makeAssignment(16, 8, 12, 6, 7);
+    FkrResult fkr = filterKernelReorder(asg);
+    auto lengths = filterLengths(fkr);
+    EXPECT_EQ(lengths.back(), 0);
+    EXPECT_GT(lengths.front(), 0);
+}
+
+}  // namespace
+}  // namespace patdnn

@@ -1,0 +1,144 @@
+/** @file FKW compressed storage tests: round trips, overhead, corruption. */
+#include <gtest/gtest.h>
+
+#include "sparse/csr.h"
+#include "sparse/fkw.h"
+
+namespace patdnn {
+namespace {
+
+struct Packed
+{
+    Tensor weights;
+    FkwLayer fkw;
+};
+
+Packed
+makePacked(int64_t filters, int64_t channels, int64_t alpha, int npat, uint64_t seed,
+           FkrOptions fkr_opts = {})
+{
+    Rng rng(seed);
+    Packed out;
+    out.weights = Tensor(Shape{filters, channels, 3, 3});
+    out.weights.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(npat);
+    PatternAssignment asg = projectJoint(out.weights, set, alpha);
+    FkrResult fkr = filterKernelReorder(asg, fkr_opts);
+    out.fkw = buildFkw(out.weights, set, asg, fkr);
+    return out;
+}
+
+TEST(Fkw, TightFormatRoundTrip)
+{
+    Packed p = makePacked(12, 10, 45, 8, 1);
+    std::string err;
+    ASSERT_TRUE(validateFkw(p.fkw, &err)) << err;
+    EXPECT_TRUE(p.fkw.kernel_pattern.empty());  // Tight format.
+    Tensor back = fkwToDense(p.fkw);
+    EXPECT_EQ(Tensor::maxAbsDiff(p.weights, back), 0.0);
+}
+
+TEST(Fkw, LooseFormatRoundTrip)
+{
+    FkrOptions no_reorder;
+    no_reorder.reorder_filters = false;
+    no_reorder.similarity_within_group = false;
+    no_reorder.reorder_kernels = false;
+    Packed p = makePacked(12, 10, 45, 8, 2, no_reorder);
+    std::string err;
+    ASSERT_TRUE(validateFkw(p.fkw, &err)) << err;
+    EXPECT_FALSE(p.fkw.kernel_pattern.empty());  // Loose format.
+    Tensor back = fkwToDense(p.fkw);
+    EXPECT_EQ(Tensor::maxAbsDiff(p.weights, back), 0.0);
+}
+
+TEST(Fkw, KernelCountMatchesConnectivityAlpha)
+{
+    Packed p = makePacked(16, 16, 71, 8, 3);
+    EXPECT_EQ(p.fkw.kernelCount(), 71);
+    EXPECT_EQ(static_cast<int64_t>(p.fkw.weights.size()), 71 * 4);
+}
+
+TEST(Fkw, IndexOverheadFarBelowCsr)
+{
+    // Fig. 16: FKW saves ~90% of CSR's extra structure bytes.
+    Packed p = makePacked(64, 64, 1138, 8, 4);  // ~3.6x connectivity.
+    CsrWeights csr = buildCsr(p.weights);
+    EXPECT_LT(static_cast<double>(p.fkw.indexBytes()),
+              0.45 * static_cast<double>(csr.indexBytes()));
+}
+
+TEST(Fkw, StrideSegmentsPartitionKernels)
+{
+    Packed p = makePacked(10, 12, 50, 6, 5);
+    for (int64_t f = 0; f < p.fkw.filters; ++f) {
+        int32_t prev = 0;
+        for (int b = 0; b <= 6; ++b) {
+            int32_t s = p.fkw.strideAt(f, b);
+            EXPECT_GE(s, prev - (b == 0 ? 0 : 0));
+            if (b > 0)
+                EXPECT_GE(s, p.fkw.strideAt(f, b - 1));
+            prev = s;
+        }
+    }
+}
+
+TEST(FkwFailureInjection, DetectsBrokenOffset)
+{
+    Packed p = makePacked(8, 8, 30, 6, 6);
+    p.fkw.offset[2] = p.fkw.offset[5];
+    std::string err;
+    EXPECT_FALSE(validateFkw(p.fkw, &err));
+}
+
+TEST(FkwFailureInjection, DetectsBadReorderPermutation)
+{
+    Packed p = makePacked(8, 8, 30, 6, 7);
+    p.fkw.reorder[0] = p.fkw.reorder[1];
+    std::string err;
+    EXPECT_FALSE(validateFkw(p.fkw, &err));
+    EXPECT_NE(err.find("permutation"), std::string::npos);
+}
+
+TEST(FkwFailureInjection, DetectsIndexOutOfRange)
+{
+    Packed p = makePacked(8, 8, 30, 6, 8);
+    p.fkw.index[0] = static_cast<int32_t>(p.fkw.in_channels + 1);
+    std::string err;
+    EXPECT_FALSE(validateFkw(p.fkw, &err));
+}
+
+TEST(FkwFailureInjection, DetectsWeightTruncation)
+{
+    Packed p = makePacked(8, 8, 30, 6, 9);
+    p.fkw.weights.pop_back();
+    std::string err;
+    EXPECT_FALSE(validateFkw(p.fkw, &err));
+    EXPECT_NE(err.find("weight array"), std::string::npos);
+}
+
+TEST(FkwFailureInjection, DetectsNonMonotonicStride)
+{
+    Packed p = makePacked(8, 8, 30, 6, 10);
+    // Corrupt a middle boundary of filter 0 upward past the next one.
+    p.fkw.stride[2] = p.fkw.stride[6] + 5;
+    std::string err;
+    EXPECT_FALSE(validateFkw(p.fkw, &err));
+}
+
+TEST(Fkw, PruneAndPackConvenience)
+{
+    Rng rng(11);
+    Tensor w(Shape{10, 10, 3, 3});
+    w.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(8);
+    FkwLayer fkw = pruneAndPack(w, set, 28);
+    std::string err;
+    EXPECT_TRUE(validateFkw(fkw, &err)) << err;
+    EXPECT_EQ(fkw.kernelCount(), 28);
+    // The in-place pruned dense tensor matches the unpacked FKW.
+    EXPECT_EQ(Tensor::maxAbsDiff(w, fkwToDense(fkw)), 0.0);
+}
+
+}  // namespace
+}  // namespace patdnn

@@ -1,0 +1,90 @@
+/** @file Register-load analysis tests (Fig. 14b machinery). */
+#include <gtest/gtest.h>
+
+#include "prune/projections.h"
+#include "rt/load_analysis.h"
+
+namespace patdnn {
+namespace {
+
+struct Built
+{
+    ConvDesc desc{"t", 16, 32, 3, 3, 14, 14, 1, 1, 1, 1};
+    Tensor weight;
+    PatternSet set = canonicalPatternSet(8);
+    FkwLayer fkw;
+
+    Built()
+    {
+        Rng rng(1);
+        weight = Tensor(Shape{desc.cout, desc.cin, 3, 3});
+        weight.fillNormal(rng);
+        PatternAssignment asg = projectJoint(weight, set, 142);
+        FkrResult fkr = filterKernelReorder(asg);
+        fkw = buildFkw(weight, set, asg, fkr);
+    }
+};
+
+TEST(LoadAnalysis, LreReducesTotalLoads)
+{
+    Built b;
+    LayerwiseRep with;
+    with.conv = b.desc;
+    with.opts.lre = true;
+    LayerwiseRep without = with;
+    without.opts.lre = false;
+    DeviceSpec dev = makeCpuDevice(4);
+    LoadCounts on = analyzeLoads(b.desc, b.fkw, with, dev);
+    LoadCounts off = analyzeLoads(b.desc, b.fkw, without, dev);
+    EXPECT_LT(on.total(), off.total());
+    // With 4-entry patterns the single-pass LRE kernel cuts output
+    // loads 4x and shares input loads across bundles: >= ~1.6x total.
+    EXPECT_GT(static_cast<double>(off.total()) / static_cast<double>(on.total()),
+              1.5);
+    EXPECT_EQ(off.output_loads, 4 * on.output_loads);
+}
+
+TEST(LoadAnalysis, NoLreCountsMatchClosedForm)
+{
+    Built b;
+    LayerwiseRep lr;
+    lr.conv = b.desc;
+    lr.opts.lre = false;
+    LoadCounts c = analyzeLoads(b.desc, b.fkw, lr, makeCpuDevice(4));
+    int64_t pixels = b.desc.outH() * b.desc.outW();
+    int64_t kernels = b.fkw.kernelCount();
+    // Without LRE each kernel performs entries passes: one output load
+    // and one input load per pixel per entry.
+    EXPECT_EQ(c.output_loads, kernels * pixels * 4);
+    EXPECT_EQ(c.input_loads, kernels * pixels * 4);
+    EXPECT_EQ(c.weight_loads, kernels * 4);
+}
+
+TEST(LoadAnalysis, BundlingReducesInputLoads)
+{
+    Built b;
+    LayerwiseRep bundled;
+    bundled.conv = b.desc;
+    bundled.tuning.unroll_oc = 8;
+    LayerwiseRep unbundled = bundled;
+    unbundled.tuning.unroll_oc = 1;
+    DeviceSpec dev = makeCpuDevice(4);
+    LoadCounts wide = analyzeLoads(b.desc, b.fkw, bundled, dev);
+    LoadCounts narrow = analyzeLoads(b.desc, b.fkw, unbundled, dev);
+    EXPECT_LE(wide.input_loads, narrow.input_loads);
+    // Output loads identical: every output element still accumulated.
+    EXPECT_EQ(wide.output_loads, narrow.output_loads);
+}
+
+TEST(LoadAnalysis, OutputLoadsScaleWithKernelCount)
+{
+    Built b;
+    LayerwiseRep lr;
+    lr.conv = b.desc;
+    LoadCounts c = analyzeLoads(b.desc, b.fkw, lr, makeCpuDevice(4));
+    int64_t pixels = b.desc.outH() * b.desc.outW();
+    EXPECT_EQ(c.output_loads, b.fkw.kernelCount() * pixels);
+}
+
+}  // namespace
+}  // namespace patdnn

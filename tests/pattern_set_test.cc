@@ -1,0 +1,108 @@
+/** @file Pattern-set mining and selection tests. */
+#include <gtest/gtest.h>
+
+#include "prune/pattern_set.h"
+
+namespace patdnn {
+namespace {
+
+Tensor
+makeWeights(int64_t filters, int64_t channels, Rng& rng)
+{
+    Tensor w(Shape{filters, channels, 3, 3});
+    w.fillNormal(rng, 0.0f, 1.0f);
+    return w;
+}
+
+TEST(PatternSet, BestForMaximizesKeptEnergy)
+{
+    PatternSet set = canonicalPatternSet(8);
+    Rng rng(2);
+    for (int trial = 0; trial < 30; ++trial) {
+        float kernel[9];
+        for (auto& v : kernel)
+            v = rng.normal();
+        int best = set.bestFor(kernel);
+        double best_e = set.patterns[static_cast<size_t>(best)].keptEnergy(kernel);
+        for (const auto& p : set.patterns)
+            EXPECT_LE(p.keptEnergy(kernel), best_e + 1e-9);
+    }
+}
+
+TEST(PatternSet, MiningCountsKernels)
+{
+    Rng rng(4);
+    Tensor w = makeWeights(8, 6, rng);
+    auto freqs = minePatternFrequencies({&w});
+    int64_t total = 0;
+    for (const auto& f : freqs)
+        total += f.count;
+    EXPECT_EQ(total, 48);  // 8 * 6 kernels.
+    // Frequencies sorted descending.
+    for (size_t i = 1; i < freqs.size(); ++i)
+        EXPECT_GE(freqs[i - 1].count, freqs[i].count);
+}
+
+TEST(PatternSet, MiningSkipsNon3x3)
+{
+    Rng rng(4);
+    Tensor w1(Shape{4, 4, 1, 1});
+    w1.fillNormal(rng);
+    auto freqs = minePatternFrequencies({&w1});
+    EXPECT_TRUE(freqs.empty());
+}
+
+TEST(PatternSet, SelectTopKSizes)
+{
+    Rng rng(5);
+    Tensor w = makeWeights(32, 16, rng);
+    for (int k : {4, 6, 8, 12}) {
+        PatternSet set = designPatternSet({&w}, k);
+        EXPECT_EQ(set.size(), k);
+        for (const auto& p : set.patterns)
+            EXPECT_EQ(p.popcount(), 4);
+    }
+}
+
+TEST(PatternSet, TopKAreMostFrequent)
+{
+    Rng rng(6);
+    Tensor w = makeWeights(16, 16, rng);
+    auto freqs = minePatternFrequencies({&w});
+    PatternSet set = selectTopK(freqs, 6);
+    for (int i = 0; i < 6 && i < static_cast<int>(freqs.size()); ++i)
+        EXPECT_TRUE(set.patterns[static_cast<size_t>(i)] ==
+                    freqs[static_cast<size_t>(i)].pattern);
+}
+
+TEST(PatternSet, CanonicalSetsAreDistinctCenterKeeping)
+{
+    for (int k : {4, 6, 8, 12, 16, 56}) {
+        PatternSet set = canonicalPatternSet(k);
+        EXPECT_EQ(set.size(), k);
+        for (size_t i = 0; i < set.patterns.size(); ++i) {
+            EXPECT_TRUE(set.patterns[i].keepsCenter());
+            for (size_t j = i + 1; j < set.patterns.size(); ++j)
+                EXPECT_FALSE(set.patterns[i] == set.patterns[j]);
+        }
+    }
+}
+
+TEST(PatternSet, PadsWithCanonicalWhenModelTooSmall)
+{
+    // A tiny model may exhibit < k distinct natural patterns.
+    Rng rng(7);
+    Tensor w = makeWeights(1, 2, rng);
+    PatternSet set = designPatternSet({&w}, 12);
+    EXPECT_EQ(set.size(), 12);
+}
+
+TEST(PatternSetDeath, EmptySetRejected)
+{
+    PatternSet set;
+    float kernel[9] = {0};
+    EXPECT_DEATH(set.bestFor(kernel), "empty pattern set");
+}
+
+}  // namespace
+}  // namespace patdnn

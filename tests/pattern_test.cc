@@ -1,0 +1,100 @@
+/** @file Pattern representation tests. */
+#include <gtest/gtest.h>
+
+#include "prune/pattern.h"
+#include "util/rng.h"
+
+namespace patdnn {
+namespace {
+
+TEST(Pattern, MaskAndPositionsRoundTrip)
+{
+    Pattern p(3, 3, std::vector<int>{4, 0, 1, 3});
+    EXPECT_EQ(p.popcount(), 4);
+    EXPECT_TRUE(p.keeps(1, 1));
+    EXPECT_TRUE(p.keeps(0, 0));
+    EXPECT_FALSE(p.keeps(2, 2));
+    auto pos = p.keptPositions();
+    EXPECT_EQ(pos, (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST(Pattern, KeepsCenter)
+{
+    EXPECT_TRUE(Pattern(3, 3, std::vector<int>{4, 0, 1, 2}).keepsCenter());
+    EXPECT_FALSE(Pattern(3, 3, std::vector<int>{0, 1, 2, 3}).keepsCenter());
+}
+
+TEST(Pattern, KeptEnergy)
+{
+    float kernel[9] = {1, 0, 0, 0, 2, 0, 0, 0, 3};
+    Pattern p(3, 3, std::vector<int>{0, 4});
+    EXPECT_DOUBLE_EQ(p.keptEnergy(kernel), 5.0);
+}
+
+TEST(Pattern, ApplyZeroesPrunedPositions)
+{
+    float kernel[9];
+    for (int i = 0; i < 9; ++i)
+        kernel[i] = static_cast<float>(i + 1);
+    Pattern p(3, 3, std::vector<int>{4, 0, 1, 3});
+    p.apply(kernel);
+    EXPECT_EQ(kernel[0], 1.0f);
+    EXPECT_EQ(kernel[4], 5.0f);
+    EXPECT_EQ(kernel[2], 0.0f);
+    EXPECT_EQ(kernel[8], 0.0f);
+}
+
+TEST(Pattern, StrRendering)
+{
+    Pattern p(3, 3, std::vector<int>{4, 0, 1, 3});
+    EXPECT_EQ(p.str(), "xx.\nxx.\n...");
+}
+
+TEST(Pattern, FiftySixNaturalPatterns)
+{
+    auto all = allNaturalPatterns3x3();
+    EXPECT_EQ(all.size(), 56u);
+    for (const auto& p : all) {
+        EXPECT_EQ(p.popcount(), 4);
+        EXPECT_TRUE(p.keepsCenter());
+    }
+    // All distinct.
+    for (size_t i = 0; i < all.size(); ++i)
+        for (size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_FALSE(all[i] == all[j]);
+}
+
+TEST(Pattern, NaturalPatternPicksLargestMagnitudes)
+{
+    float kernel[9] = {0.1f, 9.0f, 0.2f, 8.0f, 0.0f, 0.3f, 7.0f, 0.1f, 0.2f};
+    Pattern nat = naturalPatternOf(kernel, 3, 3, 4);
+    EXPECT_TRUE(nat.keepsCenter());  // Center always kept even when small.
+    EXPECT_TRUE(nat.keeps(0, 1));
+    EXPECT_TRUE(nat.keeps(1, 0));
+    EXPECT_TRUE(nat.keeps(2, 0));
+}
+
+TEST(Pattern, NaturalPatternIsOneOfTheFiftySix)
+{
+    Rng rng(3);
+    auto all = allNaturalPatterns3x3();
+    for (int trial = 0; trial < 50; ++trial) {
+        float kernel[9];
+        for (auto& v : kernel)
+            v = rng.normal();
+        Pattern nat = naturalPatternOf(kernel, 3, 3, 4);
+        bool found = false;
+        for (const auto& p : all)
+            if (p == nat)
+                found = true;
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(PatternDeath, OversizedMaskRejected)
+{
+    EXPECT_DEATH(Pattern(7, 7, 0u), "32 positions");
+}
+
+}  // namespace
+}  // namespace patdnn

@@ -1,0 +1,110 @@
+/** @file High-level pruning scheme tests (Table 2 / Table 4 machinery). */
+#include <gtest/gtest.h>
+
+#include "prune/pruners.h"
+
+namespace patdnn {
+namespace {
+
+struct TrainedNet
+{
+    SyntheticShapes data{4, 12, 1, 128, 64, 777};
+    Net net = buildVggStyleNet(4, 12, 1, 8, 21);
+
+    TrainedNet()
+    {
+        TrainConfig cfg;
+        cfg.epochs = 5;
+        cfg.batch_size = 16;
+        cfg.lr = 2e-3f;
+        trainNet(net, data, cfg);
+    }
+};
+
+PruneOptions
+fastOpts()
+{
+    PruneOptions opts;
+    opts.retrain_epochs = 3;
+    opts.admm.admm_iterations = 2;
+    opts.admm.epochs_per_iteration = 2;
+    opts.admm.retrain_epochs = 3;
+    return opts;
+}
+
+TEST(Pruners, SchemeNamesAreDistinct)
+{
+    EXPECT_EQ(pruneSchemeName(PruneScheme::kPattern), "pattern");
+    EXPECT_EQ(pruneSchemeName(PruneScheme::kPatternConnectivity),
+              "pattern+connectivity");
+    EXPECT_NE(pruneSchemeName(PruneScheme::kFilter),
+              pruneSchemeName(PruneScheme::kChannel));
+}
+
+TEST(Pruners, DenseSchemeIsIdentity)
+{
+    TrainedNet t;
+    PruneReport r = pruneWithScheme(t.net, t.data, PruneScheme::kNone, fastOpts());
+    EXPECT_DOUBLE_EQ(r.conv_compression, 1.0);
+    EXPECT_DOUBLE_EQ(r.pruned_accuracy, r.dense_accuracy);
+}
+
+TEST(Pruners, NonStructuredHitsCompressionTarget)
+{
+    TrainedNet t;
+    PruneOptions opts = fastOpts();
+    opts.target_compression = 8.0;
+    PruneReport r =
+        pruneWithScheme(t.net, t.data, PruneScheme::kNonStructured, opts);
+    EXPECT_NEAR(r.conv_compression, 8.0, 0.5);
+}
+
+TEST(Pruners, FilterPruningZeroesFilters)
+{
+    TrainedNet t;
+    PruneOptions opts = fastOpts();
+    opts.target_compression = 4.0;
+    PruneReport r = pruneWithScheme(t.net, t.data, PruneScheme::kFilter, opts);
+    EXPECT_GT(r.conv_compression, 3.0);
+}
+
+TEST(Pruners, PatternSchemeGivesFixedCompression)
+{
+    TrainedNet t;
+    PruneReport r = pruneWithScheme(t.net, t.data, PruneScheme::kPattern, fastOpts());
+    // 4-of-9 entries kept = 2.25x on 3x3 layers.
+    EXPECT_NEAR(r.conv_compression, 2.25, 0.3);
+    EXPECT_FALSE(r.assignments.empty());
+}
+
+TEST(Pruners, JointSchemeCompressesHardest)
+{
+    TrainedNet t;
+    PruneReport joint =
+        pruneWithScheme(t.net, t.data, PruneScheme::kPatternConnectivity, fastOpts());
+    EXPECT_GT(joint.conv_compression, 4.0);
+}
+
+TEST(Pruners, StructuredLosesMoreAccuracyThanPattern)
+{
+    // The design-space claim of Table 2: at the SAME pruning rate,
+    // coarse-grained structured pruning hurts accuracy more than
+    // fine-grained pattern pruning. Compare filter pruning at 2.25x
+    // against kernel-pattern pruning (4-of-9 kept = 2.25x).
+    TrainedNet a;
+    PruneOptions opts = fastOpts();
+    opts.target_compression = 2.25;
+    PruneReport filter = pruneWithScheme(a.net, a.data, PruneScheme::kFilter, opts);
+
+    TrainedNet b;
+    PruneReport pattern = pruneWithScheme(b.net, b.data, PruneScheme::kPattern,
+                                          fastOpts());
+
+    double filter_drop = filter.dense_accuracy - filter.pruned_accuracy;
+    double pattern_drop = pattern.dense_accuracy - pattern.pruned_accuracy;
+    EXPECT_LE(pattern_drop, filter_drop + 0.05)
+        << "filter drop " << filter_drop << " pattern drop " << pattern_drop;
+}
+
+}  // namespace
+}  // namespace patdnn

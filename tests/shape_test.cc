@@ -1,0 +1,54 @@
+/** @file Shape unit tests. */
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+
+namespace patdnn {
+namespace {
+
+TEST(Shape, RankAndDims)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.dim(2), 4);
+    EXPECT_EQ(s[1], 3);
+}
+
+TEST(Shape, Numel)
+{
+    EXPECT_EQ(Shape({2, 3, 4}).numel(), 24);
+    EXPECT_EQ(Shape({7}).numel(), 7);
+    EXPECT_EQ(Shape{}.numel(), 1);
+}
+
+TEST(Shape, StridesRowMajor)
+{
+    auto s = Shape{2, 3, 4}.strides();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0], 12);
+    EXPECT_EQ(s[1], 4);
+    EXPECT_EQ(s[2], 1);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+    EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+}
+
+TEST(Shape, Str)
+{
+    EXPECT_EQ(Shape({64, 3, 3, 3}).str(), "[64, 3, 3, 3]");
+    EXPECT_EQ(Shape{}.str(), "[]");
+}
+
+TEST(ShapeDeath, OutOfRangeDimAborts)
+{
+    Shape s{2, 3};
+    EXPECT_DEATH(s.dim(2), "out of range");
+    EXPECT_DEATH(s.dim(-1), "out of range");
+}
+
+}  // namespace
+}  // namespace patdnn

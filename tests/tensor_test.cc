@@ -1,0 +1,99 @@
+/** @file Tensor unit tests. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace patdnn {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape{3, 4});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, InitFromValues)
+{
+    Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+    EXPECT_EQ(t.at2(0, 1), 2.0f);
+    EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    Tensor t(Shape{2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 7.0f;
+    EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, AlignedStorage)
+{
+    Tensor t(Shape{17});
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % 64, 0u);
+}
+
+TEST(Tensor, FillAndCountNonZero)
+{
+    Tensor t(Shape{10});
+    EXPECT_EQ(t.countNonZero(), 0);
+    t.fill(2.0f);
+    EXPECT_EQ(t.countNonZero(), 10);
+    t[3] = 0.0f;
+    EXPECT_EQ(t.countNonZero(), 9);
+}
+
+TEST(Tensor, NormSq)
+{
+    Tensor t(Shape{3}, {1, 2, 2});
+    EXPECT_DOUBLE_EQ(t.normSq(), 9.0);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a(Shape{3}, {1, 2, 3});
+    Tensor b(Shape{3}, {1, 2.5f, 3});
+    EXPECT_FLOAT_EQ(static_cast<float>(Tensor::maxAbsDiff(a, b)), 0.5f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    t.reshape(Shape{3, 2});
+    EXPECT_EQ(t.at2(2, 1), 6.0f);
+}
+
+TEST(Tensor, DeterministicRandomFill)
+{
+    Rng a(5), b(5);
+    Tensor x(Shape{32}), y(Shape{32});
+    x.fillNormal(a);
+    y.fillNormal(b);
+    EXPECT_EQ(Tensor::maxAbsDiff(x, y), 0.0);
+}
+
+TEST(Tensor, HeInitVariance)
+{
+    Rng rng(1);
+    Tensor t(Shape{40000});
+    t.fillHe(rng, 100);
+    double var = t.normSq() / static_cast<double>(t.numel());
+    EXPECT_NEAR(var, 2.0 / 100.0, 0.002);
+}
+
+TEST(TensorDeath, ReshapeMustPreserveNumel)
+{
+    Tensor t(Shape{4});
+    EXPECT_DEATH(t.reshape(Shape{5}), "preserve numel");
+}
+
+TEST(TensorDeath, MaxAbsDiffShapeMismatch)
+{
+    Tensor a(Shape{2}), b(Shape{3});
+    EXPECT_DEATH(Tensor::maxAbsDiff(a, b), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace patdnn

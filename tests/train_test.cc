@@ -1,0 +1,231 @@
+/** @file Training substrate tests: numerical gradients + learning. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/trainer.h"
+
+namespace patdnn {
+namespace {
+
+/**
+ * Numerical gradient check harness: compares the analytic weight
+ * gradient of one layer against central finite differences through a
+ * scalar loss L = sum(out * probe).
+ */
+double
+checkLayerGradients(TrainLayer& layer, const Tensor& in, float eps = 1e-3f)
+{
+    Tensor out = layer.forward(in, /*training=*/true);
+    Rng rng(77);
+    Tensor probe(out.shape());
+    probe.fillUniform(rng, -1.0f, 1.0f);
+    layer.zeroGrads();
+    layer.backward(probe);
+
+    double worst = 0.0;
+    for (auto& p : layer.params()) {
+        Tensor& w = *p.value;
+        Tensor& g = *p.grad;
+        // Sample a handful of coordinates to keep the test fast.
+        Rng pick(13);
+        int64_t samples = std::min<int64_t>(w.numel(), 12);
+        for (int64_t s = 0; s < samples; ++s) {
+            int64_t i = pick.uniformInt(0, w.numel() - 1);
+            float orig = w[i];
+            auto loss_at = [&](float v) {
+                w[i] = v;
+                Tensor o = layer.forward(in, false);
+                double l = 0.0;
+                for (int64_t j = 0; j < o.numel(); ++j)
+                    l += static_cast<double>(o[j]) * probe[j];
+                return l;
+            };
+            double lp = loss_at(orig + eps);
+            double lm = loss_at(orig - eps);
+            w[i] = orig;
+            double numeric = (lp - lm) / (2.0 * eps);
+            double analytic = g[i];
+            double denom = std::max(1.0, std::fabs(numeric) + std::fabs(analytic));
+            worst = std::max(worst, std::fabs(numeric - analytic) / denom);
+        }
+    }
+    return worst;
+}
+
+TEST(TrainGradients, Conv2dMatchesNumerical)
+{
+    Rng rng(1);
+    ConvDesc d{"c", 3, 4, 3, 3, 6, 6, 1, 1, 1, 1};
+    Conv2dLayer layer(d, rng);
+    Tensor in(Shape{2, 3, 6, 6});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    EXPECT_LT(checkLayerGradients(layer, in), 2e-2);
+}
+
+TEST(TrainGradients, Conv2dStride2MatchesNumerical)
+{
+    Rng rng(2);
+    ConvDesc d{"c", 2, 3, 3, 3, 8, 8, 2, 1, 1, 1};
+    Conv2dLayer layer(d, rng);
+    Tensor in(Shape{1, 2, 8, 8});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    EXPECT_LT(checkLayerGradients(layer, in), 2e-2);
+}
+
+TEST(TrainGradients, FcMatchesNumerical)
+{
+    Rng rng(3);
+    FcLayer layer("fc", 10, 7, rng);
+    Tensor in(Shape{3, 10});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    EXPECT_LT(checkLayerGradients(layer, in), 2e-2);
+}
+
+TEST(TrainGradients, BatchNormMatchesNumerical)
+{
+    Rng rng(4);
+    BatchNormLayer layer("bn", 3);
+    Tensor in(Shape{4, 3, 5, 5});
+    in.fillUniform(rng, -2.0f, 2.0f);
+    // fp32 central differences through batch statistics are noisy; the
+    // bound is looser than for the linear layers.
+    EXPECT_LT(checkLayerGradients(layer, in), 6e-2);
+}
+
+TEST(TrainGradients, ConvInputGradientMatchesNumerical)
+{
+    Rng rng(5);
+    ConvDesc d{"c", 2, 2, 3, 3, 5, 5, 1, 1, 1, 1};
+    Conv2dLayer layer(d, rng);
+    Tensor in(Shape{1, 2, 5, 5});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor out = layer.forward(in, true);
+    Rng prng(6);
+    Tensor probe(out.shape());
+    probe.fillUniform(prng, -1.0f, 1.0f);
+    layer.zeroGrads();
+    Tensor gin = layer.backward(probe);
+    float eps = 1e-3f;
+    Rng pick(7);
+    for (int s = 0; s < 10; ++s) {
+        int64_t i = pick.uniformInt(0, in.numel() - 1);
+        Tensor in2 = in;
+        in2[i] += eps;
+        Tensor op = layer.forward(in2, false);
+        in2[i] -= 2 * eps;
+        Tensor om = layer.forward(in2, false);
+        double lp = 0.0, lm = 0.0;
+        for (int64_t j = 0; j < op.numel(); ++j) {
+            lp += static_cast<double>(op[j]) * probe[j];
+            lm += static_cast<double>(om[j]) * probe[j];
+        }
+        double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(gin[i], numeric, 2e-2);
+    }
+}
+
+TEST(TrainLoss, SoftmaxCrossEntropyGradientSumsToZero)
+{
+    Rng rng(8);
+    Tensor logits(Shape{4, 5});
+    logits.fillUniform(rng, -2.0f, 2.0f);
+    std::vector<int> labels = {0, 2, 4, 1};
+    Tensor grad;
+    double loss = softmaxCrossEntropy(logits, labels, grad);
+    EXPECT_GT(loss, 0.0);
+    for (int64_t b = 0; b < 4; ++b) {
+        double s = 0.0;
+        for (int64_t k = 0; k < 5; ++k)
+            s += grad[b * 5 + k];
+        EXPECT_NEAR(s, 0.0, 1e-6);
+    }
+}
+
+TEST(TrainLoss, PerfectLogitsGiveLowLoss)
+{
+    Tensor logits(Shape{2, 3});
+    logits.fill(-10.0f);
+    logits[0 * 3 + 1] = 10.0f;
+    logits[1 * 3 + 2] = 10.0f;
+    Tensor grad;
+    double loss = softmaxCrossEntropy(logits, {1, 2}, grad);
+    EXPECT_LT(loss, 1e-6);
+}
+
+TEST(TrainPooling, MaxPoolForwardAndRouting)
+{
+    MaxPoolLayer pool("p", 2, 2);
+    Tensor in(Shape{1, 1, 4, 4},
+              {1, 5, 2, 0, 3, 4, 1, 1, 0, 0, 9, 2, 0, 0, 3, 8});
+    Tensor out = pool.forward(in, true);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+    EXPECT_EQ(out[0], 5.0f);
+    EXPECT_EQ(out[3], 9.0f);
+    Tensor g(out.shape(), {1, 1, 1, 1});
+    Tensor gin = pool.backward(g);
+    EXPECT_EQ(gin[1], 1.0f);   // Position of 5.
+    EXPECT_EQ(gin[10], 1.0f);  // Position of 9.
+    EXPECT_EQ(gin[0], 0.0f);
+}
+
+TEST(TrainEndToEnd, SmallNetLearnsSyntheticShapes)
+{
+    SyntheticShapes data(4, 12, 1, 160, 64, 123);
+    Net net = buildVggStyleNet(4, 12, 1, 8, 42);
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.batch_size = 16;
+    cfg.lr = 2e-3f;
+    TrainResult res = trainNet(net, data, cfg);
+    // Chance is 25%; the tiny CNN must do far better.
+    EXPECT_GT(res.test_accuracy, 0.6) << "loss=" << res.final_loss;
+}
+
+TEST(TrainMasking, MasksFreezePrunedWeights)
+{
+    SyntheticShapes data(2, 8, 1, 32, 16, 5);
+    Net net = buildVggStyleNet(2, 8, 1, 4, 43);
+    // Zero half the first conv's weights and freeze.
+    auto convs = net.convLayers();
+    Tensor& w = convs[0]->weight();
+    for (int64_t i = 0; i < w.numel(); i += 2)
+        w[i] = 0.0f;
+    auto masks = captureMasks(net);
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.batch_size = 16;
+    cfg.grad_hook = [&](Net& n) { applyMaskToGrads(n, masks); };
+    cfg.post_step_hook = [&](Net& n) { applyMaskToWeights(n, masks); };
+    trainNet(net, data, cfg);
+    for (int64_t i = 0; i < w.numel(); i += 2)
+        EXPECT_EQ(w[i], 0.0f);
+}
+
+TEST(TrainOptimizer, AdamConvergesOnQuadratic)
+{
+    // Minimize (w - 3)^2 with Adam through the ParamRef interface.
+    Tensor w(Shape{1}, {0.0f});
+    Tensor g(Shape{1});
+    Adam opt({{&w, &g, "w"}}, 0.1f);
+    for (int i = 0; i < 300; ++i) {
+        g[0] = 2.0f * (w[0] - 3.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(TrainOptimizer, SgdMomentumConverges)
+{
+    Tensor w(Shape{1}, {0.0f});
+    Tensor g(Shape{1});
+    Sgd opt({{&w, &g, "w"}}, 0.05f, 0.9f);
+    for (int i = 0; i < 200; ++i) {
+        g[0] = 2.0f * (w[0] - 3.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace patdnn

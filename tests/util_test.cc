@@ -1,0 +1,141 @@
+/** @file Thread pool, stats, table and RNG tests. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace patdnn {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelChunksPartitionIsExact)
+{
+    ThreadPool pool(3);
+    std::mutex m;
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    pool.parallelChunks(100, [&](int64_t b, int64_t e) {
+        std::lock_guard<std::mutex> lk(m);
+        ranges.emplace_back(b, e);
+    });
+    int64_t covered = 0;
+    for (auto [b, e] : ranges)
+        covered += e - b;
+    EXPECT_EQ(covered, 100);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(64, [&](int64_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 64 * 63 / 2);
+    }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    int64_t sum = 0;
+    pool.parallelFor(10, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](int64_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(Stats, SummarizeBasics)
+{
+    Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Stats, SummarizeEmpty)
+{
+    Summary s = summarize({});
+    EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, TimeRunsReturnsRequestedReps)
+{
+    auto times = timeRuns([] {}, 1, 5);
+    EXPECT_EQ(times.size(), 5u);
+    for (double t : times)
+        EXPECT_GE(t, 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(3), b(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(5);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t({"name", "ms"});
+    t.addRow({"L1", "12.5"});
+    t.addRow({"longer-name", "3.0"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(TableDeath, RowWidthMismatchAborts)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width mismatch");
+}
+
+}  // namespace
+}  // namespace patdnn

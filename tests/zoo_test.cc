@@ -1,0 +1,99 @@
+/** @file Model zoo structure tests against the paper's Tables 5 and 6. */
+#include <gtest/gtest.h>
+
+#include "nn/zoo.h"
+
+namespace patdnn {
+namespace {
+
+TEST(Zoo, Vgg16HasThirteenConvAndThreeFc)
+{
+    Model m = buildVGG16(Dataset::kImageNet);
+    EXPECT_EQ(m.countKind(OpKind::kConv), 13);
+    EXPECT_EQ(m.countKind(OpKind::kFullyConnected), 3);
+    EXPECT_EQ(m.countKind(OpKind::kMaxPool), 5);
+}
+
+TEST(Zoo, Vgg16ImageNetSizeMatchesPaper)
+{
+    // Paper Table 5: VGG-16 ImageNet = 553.5 MB (serialized file);
+    // raw fp32 parameters are ~528 MB (138.4M params).
+    Model m = buildVGG16(Dataset::kImageNet);
+    EXPECT_NEAR(m.sizeMB(), 528.0, 8.0);
+}
+
+TEST(Zoo, Vgg16Cifar10IsSmall)
+{
+    Model m = buildVGG16(Dataset::kCifar10);
+    EXPECT_LT(m.sizeMB(), 80.0);
+    EXPECT_GT(m.sizeMB(), 30.0);
+}
+
+TEST(Zoo, ResNet50MainPathConvCount)
+{
+    // Paper Table 5 counts 49 conv layers (main path).
+    Model m = buildResNet50(Dataset::kImageNet);
+    EXPECT_EQ(mainPathConvCount(m), 49);
+    EXPECT_NEAR(m.sizeMB(), 102.5, 10.0);
+}
+
+TEST(Zoo, MobileNetV2Structure)
+{
+    Model m = buildMobileNetV2(Dataset::kImageNet);
+    // Paper Table 5: 52 conv layers, ~14.2 MB.
+    EXPECT_NEAR(static_cast<double>(m.countKind(OpKind::kConv)), 52.0, 3.0);
+    EXPECT_NEAR(m.sizeMB(), 14.2, 3.0);
+    // Depthwise blocks present.
+    bool has_dw = false;
+    for (const auto& l : m.layers())
+        if (l.kind == OpKind::kConv && l.conv.groups > 1)
+            has_dw = true;
+    EXPECT_TRUE(has_dw);
+}
+
+TEST(Zoo, VggUniqueLayersMatchTable6)
+{
+    auto layers = vggUniqueLayers();
+    ASSERT_EQ(layers.size(), 9u);
+    EXPECT_EQ(layers[0].filterShapeStr(), "[64,3,3,3]");
+    EXPECT_EQ(layers[3].filterShapeStr(), "[128,128,3,3]");
+    EXPECT_EQ(layers[8].filterShapeStr(), "[512,512,3,3]");
+    EXPECT_EQ(layers[0].h, 224);
+    EXPECT_EQ(layers[4].h, 56);
+    EXPECT_EQ(layers[8].h, 14);
+}
+
+TEST(Zoo, VggUniqueLayersSpatialDivisor)
+{
+    auto layers = vggUniqueLayers(4);
+    EXPECT_EQ(layers[0].h, 56);
+    EXPECT_EQ(layers[8].h, 4);  // Clamped at 4.
+}
+
+TEST(Zoo, OutputShapesChainCorrectly)
+{
+    for (Dataset ds : {Dataset::kImageNet, Dataset::kCifar10}) {
+        for (const char* name : {"VGG", "RNT", "MBNT"}) {
+            Model m = buildByShortName(name, ds);
+            for (const auto& l : m.layers())
+                if (l.kind == OpKind::kConv)
+                    l.conv.check();
+        }
+    }
+}
+
+TEST(Zoo, WeightsAreInitialized)
+{
+    Model m = buildVGG16(Dataset::kCifar10);
+    for (const auto& l : m.layers())
+        if (l.kind == OpKind::kConv)
+            EXPECT_GT(l.weight.countNonZero(), 0) << l.name;
+}
+
+TEST(ZooDeath, UnknownShortName)
+{
+    EXPECT_DEATH(buildByShortName("NOPE", Dataset::kCifar10), "unknown model");
+}
+
+}  // namespace
+}  // namespace patdnn
