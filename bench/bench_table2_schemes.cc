@@ -3,7 +3,7 @@
  * Table 2 reproduction: qualitative comparison of the pruning schemes
  * on accuracy and hardware speedup at the same pruning rate. We train
  * one small CNN per scheme on SyntheticShapes (the ImageNet stand-in,
- * see DESIGN.md), prune to ~2.25x, fine-tune, and measure execution
+ * see docs/ARCHITECTURE.md), prune to ~2.25x, fine-tune, and measure
  * speedup on a representative layer with the engine each scheme maps
  * to (CSR for non-structured, shrunken dense for filter/channel, the
  * pattern engine for pattern/connectivity).

@@ -1,0 +1,44 @@
+# Resolve GoogleTest, preferring offline sources so the build works in
+# sandboxed/air-gapped environments:
+#
+#   1. a system source tree (Debian/Ubuntu `libgtest-dev` ships
+#      /usr/src/googletest) built with our own flags/ABI;
+#   2. an installed GTest CMake package;
+#   3. FetchContent from GitHub as the online last resort.
+#
+# All paths yield the GTest::gtest_main imported/alias target.
+
+if(TARGET GTest::gtest_main)
+    return()
+endif()
+
+set(PATDNN_SYSTEM_GTEST_SRC "/usr/src/googletest" CACHE PATH
+    "System GoogleTest source tree used before trying find_package/FetchContent")
+
+if(EXISTS "${PATDNN_SYSTEM_GTEST_SRC}/CMakeLists.txt")
+    message(STATUS "PatDNN: using system GoogleTest sources at ${PATDNN_SYSTEM_GTEST_SRC}")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory(${PATDNN_SYSTEM_GTEST_SRC} ${CMAKE_BINARY_DIR}/_deps/system-googletest EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+        add_library(GTest::gtest_main ALIAS gtest_main)
+        add_library(GTest::gtest ALIAS gtest)
+    endif()
+    return()
+endif()
+
+find_package(GTest CONFIG QUIET)
+if(GTest_FOUND)
+    message(STATUS "PatDNN: using installed GTest package")
+    return()
+endif()
+
+message(STATUS "PatDNN: no offline GoogleTest found, falling back to FetchContent")
+include(FetchContent)
+FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

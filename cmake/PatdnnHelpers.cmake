@@ -1,0 +1,45 @@
+# Helper functions shared by every subsystem CMakeLists.
+#
+# The repo uses repo-root-relative includes ("util/logging.h"), so every
+# target publishes ${PROJECT_SOURCE_DIR}/src as its public include root.
+
+# Warning set applied to all first-party targets (never to vendored gtest).
+function(patdnn_apply_warnings target)
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(PATDNN_WERROR)
+        target_compile_options(${target} PRIVATE -Werror)
+    endif()
+endfunction()
+
+# patdnn_add_library(<name> SOURCES <srcs...> [DEPS <targets...>])
+#
+# Defines a static library `patdnn_<name>` with the repo-wide include
+# root and PUBLIC dependency edges, mirroring the include graph — a
+# target may only include headers of subsystems it lists in DEPS.
+function(patdnn_add_library name)
+    cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+    set(target patdnn_${name})
+    add_library(${target} STATIC ${ARG_SOURCES})
+    add_library(patdnn::${name} ALIAS ${target})
+    target_include_directories(${target} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+    if(ARG_DEPS)
+        target_link_libraries(${target} PUBLIC ${ARG_DEPS})
+    endif()
+    patdnn_apply_warnings(${target})
+endfunction()
+
+# patdnn_add_test(<name>)  — builds tests/<name>.cc against the full
+# stack + gtest_main and registers one ctest entry per suite binary.
+function(patdnn_add_test name)
+    add_executable(${name} ${name}.cc)
+    target_link_libraries(${name} PRIVATE patdnn::core GTest::gtest_main)
+    patdnn_apply_warnings(${name})
+    add_test(NAME ${name} COMMAND ${name})
+endfunction()
+
+# patdnn_add_binary(<name> <source>) — bench/example executable.
+function(patdnn_add_binary name source)
+    add_executable(${name} ${source})
+    target_link_libraries(${name} PRIVATE patdnn::core)
+    patdnn_apply_warnings(${name})
+endfunction()

@@ -5,10 +5,10 @@
  *   1. compress(): pattern-based training stage — design a pattern set
  *      and run the extended-ADMM kernel-pattern + connectivity pruning
  *      on a trainable net (or one-shot projection on zoo weights);
- *   2. compile(): execution-code-generation stage — FKR, FKW packing,
- *      LR construction and parameter auto-tuning for a device;
- *   3. the CompiledModel / PatternConv executors returned by compile()
- *      run inference.
+ *   2. compileLayer(): execution-code-generation stage — FKR, FKW
+ *      packing, LR construction and parameter auto-tuning for a device;
+ *   3. the returned CompiledLayer's PatternConv engine runs inference
+ *      (whole-model execution lives in CompiledModel, rt/framework.h).
  *
  * Everything here is a thin, documented facade over the subsystem
  * libraries; include this single header to use the framework.

@@ -7,7 +7,8 @@
  * that carries the scheduling-relevant properties of each target:
  * worker count, a GPU-like flag (filter groups scheduled as indivisible
  * "thread blocks", making load balance matter more — the Fig. 13
- * observation), and a cache tile budget. See DESIGN.md substitutions.
+ * observation), and a cache tile budget. See docs/ARCHITECTURE.md,
+ * "Substitutions".
  */
 #pragma once
 

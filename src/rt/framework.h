@@ -15,7 +15,7 @@
  *  - kPatDnn:     the full pattern engine (FKR + FKW + LRE + tuning).
  *
  * Relative orderings between these engines — not absolute ms — are the
- * reproduction target (see DESIGN.md).
+ * reproduction target (see docs/ARCHITECTURE.md, "Substitutions").
  */
 #pragma once
 

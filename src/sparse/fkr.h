@@ -49,7 +49,7 @@ struct FkrResult
     std::vector<FilterGroup> groups;
 };
 
-/** FKR knobs (ablations of DESIGN.md Section 5). */
+/** FKR knobs (the +Reorder ablation axes of Fig. 13 / Table 1). */
 struct FkrOptions
 {
     bool reorder_filters = true;   ///< Step 1 on/off.

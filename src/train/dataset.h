@@ -1,7 +1,7 @@
 /**
  * @file
  * SyntheticShapes: the stand-in for ImageNet/CIFAR-10 in the accuracy
- * experiments (see DESIGN.md substitution table).
+ * experiments (see the substitution table in docs/ARCHITECTURE.md).
  *
  * Each class is a procedurally rendered geometric template (oriented
  * bars, crosses, rings, corner blobs, ...) perturbed with per-sample

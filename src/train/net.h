@@ -2,7 +2,8 @@
  * @file
  * Net: an ordered stack of trainable layers plus factory functions for
  * the small CNN topologies the accuracy experiments train (a VGG-style
- * plain stack and a ResNet-style wider stack; see DESIGN.md).
+ * plain stack and a ResNet-style wider stack; see the substitution
+ * table in docs/ARCHITECTURE.md).
  */
 #pragma once
 

@@ -56,9 +56,11 @@ TEST(Admm, ConstraintsSatisfiedAfterPruning)
                     EXPECT_EQ(kp[j], 0.0f);
             } else {
                 const Pattern& p = fx.set.patterns[static_cast<size_t>(pid)];
-                for (int j = 0; j < 9; ++j)
-                    if (!((p.mask() >> j) & 1u))
+                for (int j = 0; j < 9; ++j) {
+                    if (!((p.mask() >> j) & 1u)) {
                         EXPECT_EQ(kp[j], 0.0f);
+                    }
+                }
             }
         }
     }

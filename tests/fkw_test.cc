@@ -76,8 +76,9 @@ TEST(Fkw, StrideSegmentsPartitionKernels)
         for (int b = 0; b <= 6; ++b) {
             int32_t s = p.fkw.strideAt(f, b);
             EXPECT_GE(s, prev - (b == 0 ? 0 : 0));
-            if (b > 0)
+            if (b > 0) {
                 EXPECT_GE(s, p.fkw.strideAt(f, b - 1));
+            }
             prev = s;
         }
     }

@@ -42,9 +42,11 @@ TEST(GraphPasses, BnFoldingRemovesBnNodes)
     EXPECT_GT(bn_before, 0);
     PassStats s = foldBatchNorm(g);
     EXPECT_EQ(s.nodes_affected, bn_before);
-    for (const auto& n : g.nodes())
-        if (!n.dead)
+    for (const auto& n : g.nodes()) {
+        if (!n.dead) {
             EXPECT_NE(n.kind, OpKind::kBatchNorm);
+        }
+    }
 }
 
 TEST(GraphPasses, BnFoldingScalesWeights)
@@ -82,9 +84,11 @@ TEST(GraphPasses, ConvReluFusion)
     foldBatchNorm(g);
     PassStats s = fuseConvRelu(g);
     EXPECT_GT(s.nodes_affected, 0);
-    for (const auto& n : g.nodes())
-        if (!n.dead && n.kind == OpKind::kConv)
+    for (const auto& n : g.nodes()) {
+        if (!n.dead && n.kind == OpKind::kConv) {
             EXPECT_TRUE(n.fused_relu) << n.name;
+        }
+    }
 }
 
 TEST(GraphPasses, FlattenFolded)

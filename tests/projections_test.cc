@@ -25,9 +25,11 @@ TEST(Projections, PatternProjectionSatisfiesConstraint)
         ASSERT_GE(pid, 0);
         const float* kp = w.data() + i * 9;
         const Pattern& p = set.patterns[static_cast<size_t>(pid)];
-        for (int pos = 0; pos < 9; ++pos)
-            if (!((p.mask() >> pos) & 1u))
+        for (int pos = 0; pos < 9; ++pos) {
+            if (!((p.mask() >> pos) & 1u)) {
                 EXPECT_EQ(kp[pos], 0.0f);
+            }
+        }
     }
 }
 
@@ -98,8 +100,9 @@ TEST(Projections, ConnectivityKeepsLargestNorms)
     std::sort(sorted.rbegin(), sorted.rend());
     double threshold = sorted[9];
     for (size_t i = 0; i < norms.size(); ++i) {
-        if (after[i] > 0.0)
+        if (after[i] > 0.0) {
             EXPECT_GE(norms[i], threshold - 1e-9);
+        }
     }
 }
 

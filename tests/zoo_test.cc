@@ -85,9 +85,11 @@ TEST(Zoo, OutputShapesChainCorrectly)
 TEST(Zoo, WeightsAreInitialized)
 {
     Model m = buildVGG16(Dataset::kCifar10);
-    for (const auto& l : m.layers())
-        if (l.kind == OpKind::kConv)
+    for (const auto& l : m.layers()) {
+        if (l.kind == OpKind::kConv) {
             EXPECT_GT(l.weight.countNonZero(), 0) << l.name;
+        }
+    }
 }
 
 TEST(ZooDeath, UnknownShortName)

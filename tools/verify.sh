@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verify: the exact command from ROADMAP.md, plus an optional
+# clang-format check (skipped with a notice when the tool is absent).
+# Usage: tools/verify.sh [--format-only|--no-format]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_format=1
+run_build=1
+case "${1:-}" in
+    --format-only) run_build=0 ;;
+    --no-format)   run_format=0 ;;
+    "") ;;
+    *) echo "usage: tools/verify.sh [--format-only|--no-format]" >&2; exit 2 ;;
+esac
+
+if [[ ${run_format} -eq 1 ]]; then
+    if command -v clang-format >/dev/null 2>&1; then
+        echo "== clang-format check =="
+        mapfile -t files < <(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' 'bench/*.cc' 'bench/*.h' 'examples/*.cpp')
+        clang-format --dry-run --Werror "${files[@]}"
+        echo "format OK (${#files[@]} files)"
+    else
+        echo "== clang-format not installed, skipping format check =="
+    fi
+fi
+
+if [[ ${run_build} -eq 1 ]]; then
+    echo "== tier-1: configure + build + ctest =="
+    cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+fi
