@@ -65,4 +65,22 @@ compileLayer(const ConvDesc& desc, Tensor weight, const PatternSet& set,
     return out;
 }
 
+bool
+saveModel(const CompiledModel& model, const std::string& path, std::string* error)
+{
+    return saveModelArtifact(model, path, error);
+}
+
+std::shared_ptr<CompiledModel>
+loadModel(const std::string& path, const DeviceSpec& device, std::string* error)
+{
+    return loadModelArtifact(path, device, error);
+}
+
+std::unique_ptr<InferenceServer>
+serve(std::shared_ptr<const CompiledModel> model, const ServerOptions& opts)
+{
+    return std::make_unique<InferenceServer>(std::move(model), opts);
+}
+
 }  // namespace patdnn

@@ -10,6 +10,11 @@
  *   3. the returned CompiledLayer's PatternConv engine runs inference
  *      (whole-model execution lives in CompiledModel, rt/framework.h).
  *
+ * Deployment extends the pipeline past Fig. 5: saveModel()/loadModel()
+ * freeze a CompiledModel into a distributable artifact, and serve()
+ * stands up an async batched InferenceServer over the loaded model
+ * (src/serve/).
+ *
  * Everything here is a thin, documented facade over the subsystem
  * libraries; include this single header to use the framework.
  */
@@ -23,6 +28,9 @@
 #include "rt/framework.h"
 #include "rt/load_analysis.h"
 #include "rt/tuner.h"
+#include "serve/artifact.h"
+#include "serve/server.h"
+#include "serve/session.h"
 #include "sparse/csr.h"
 #include "sparse/fkw.h"
 
@@ -58,5 +66,26 @@ struct CompiledLayer
 CompiledLayer compileLayer(const ConvDesc& desc, Tensor weight,
                            const PatternSet& set, double connectivity_rate,
                            const DeviceSpec& device, bool auto_tune = false);
+
+/**
+ * Freeze a compiled model into a versioned binary artifact at `path`
+ * (compile once, distribute everywhere). False + *error on failure.
+ */
+bool saveModel(const CompiledModel& model, const std::string& path,
+               std::string* error = nullptr);
+
+/**
+ * Load an artifact for `device`. The result is immutable and intended
+ * to be shared: hand it to any number of InferenceSession /
+ * InferenceServer instances. Null + *error on a missing, truncated or
+ * corrupted file.
+ */
+std::shared_ptr<CompiledModel> loadModel(const std::string& path,
+                                         const DeviceSpec& device,
+                                         std::string* error = nullptr);
+
+/** Stand up an async batched inference server over a shared model. */
+std::unique_ptr<InferenceServer> serve(std::shared_ptr<const CompiledModel> model,
+                                       const ServerOptions& opts = {});
 
 }  // namespace patdnn

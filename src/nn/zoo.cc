@@ -77,7 +77,7 @@ datasetClasses(Dataset ds)
 }
 
 Model
-buildVGG16(Dataset ds)
+buildVGG16(Dataset ds, ZooWeights weights)
 {
     Model m("VGG-16", datasetName(ds));
     int64_t s = datasetInputSize(ds);
@@ -105,12 +105,13 @@ buildVGG16(Dataset ds)
     addFc(m, "fc6", feat, hidden);
     addFc(m, "fc7", hidden, hidden);
     addFc(m, "fc8", hidden, datasetClasses(ds));
-    m.randomizeWeights(1);
+    if (weights == ZooWeights::kRandomized)
+        m.randomizeWeights(1);
     return m;
 }
 
 Model
-buildResNet50(Dataset ds)
+buildResNet50(Dataset ds, ZooWeights weights)
 {
     Model m("ResNet-50", datasetName(ds));
     int64_t res = datasetInputSize(ds);
@@ -171,12 +172,13 @@ buildResNet50(Dataset ds)
     fl.name = "flatten";
     m.addLayer(std::move(fl));
     addFc(m, "fc", cin, datasetClasses(ds));
-    m.randomizeWeights(2);
+    if (weights == ZooWeights::kRandomized)
+        m.randomizeWeights(2);
     return m;
 }
 
 Model
-buildMobileNetV2(Dataset ds)
+buildMobileNetV2(Dataset ds, ZooWeights weights)
 {
     Model m("MobileNet-V2", datasetName(ds));
     int64_t res = datasetInputSize(ds);
@@ -232,19 +234,20 @@ buildMobileNetV2(Dataset ds)
     fl.name = "flatten";
     m.addLayer(std::move(fl));
     addFc(m, "fc", 1280, datasetClasses(ds));
-    m.randomizeWeights(3);
+    if (weights == ZooWeights::kRandomized)
+        m.randomizeWeights(3);
     return m;
 }
 
 Model
-buildByShortName(const std::string& short_name, Dataset ds)
+buildByShortName(const std::string& short_name, Dataset ds, ZooWeights weights)
 {
     if (short_name == "VGG")
-        return buildVGG16(ds);
+        return buildVGG16(ds, weights);
     if (short_name == "RNT")
-        return buildResNet50(ds);
+        return buildResNet50(ds, weights);
     if (short_name == "MBNT")
-        return buildMobileNetV2(ds);
+        return buildMobileNetV2(ds, weights);
     PATDNN_CHECK(false, "unknown model short name: " << short_name);
 }
 

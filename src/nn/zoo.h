@@ -31,17 +31,30 @@ int64_t datasetInputSize(Dataset ds);
 /** Number of classes (1000 or 10). */
 int64_t datasetClasses(Dataset ds);
 
+/**
+ * Weight handling when instantiating a zoo model. Structure-only
+ * consumers (layer counts, sizeMB, shape chaining) should skip the He
+ * fill: on ImageNet-scale models the ~138M random draws dominate build
+ * time while the geometry-derived metrics never read a weight value.
+ */
+enum class ZooWeights
+{
+    kRandomized,  ///< He-initialized from the model's fixed seed.
+    kStructureOnly,  ///< Weight tensors left unallocated (empty).
+};
+
 /** Build VGG-16 (13 conv + 3 fc) for the dataset. */
-Model buildVGG16(Dataset ds);
+Model buildVGG16(Dataset ds, ZooWeights weights = ZooWeights::kRandomized);
 
 /** Build ResNet-50 (49 main-path convs + projections + fc). */
-Model buildResNet50(Dataset ds);
+Model buildResNet50(Dataset ds, ZooWeights weights = ZooWeights::kRandomized);
 
 /** Build MobileNet-V2 (inverted residual bottlenecks). */
-Model buildMobileNetV2(Dataset ds);
+Model buildMobileNetV2(Dataset ds, ZooWeights weights = ZooWeights::kRandomized);
 
 /** Build by the paper's short name: "VGG", "RNT" or "MBNT". */
-Model buildByShortName(const std::string& short_name, Dataset ds);
+Model buildByShortName(const std::string& short_name, Dataset ds,
+                       ZooWeights weights = ZooWeights::kRandomized);
 
 /**
  * The nine unique VGG-16 CONV layers of Table 6 (L1..L9) with their

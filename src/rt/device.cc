@@ -1,6 +1,7 @@
 #include "rt/device.h"
 
 #include <algorithm>
+#include <mutex>
 #include <thread>
 
 namespace patdnn {
@@ -8,6 +9,10 @@ namespace patdnn {
 ThreadPool&
 DeviceSpec::pool() const
 {
+    // Concurrent sessions may trigger the lazy creation from several
+    // threads; a process-wide guard keeps exactly one pool per spec.
+    static std::mutex create_mutex;
+    std::lock_guard<std::mutex> lk(create_mutex);
     if (!pool_)
         pool_ = std::make_shared<ThreadPool>(threads);
     return *pool_;

@@ -59,7 +59,6 @@ CompiledConvLayer::CompiledConvLayer(const ConvDesc& desc, FrameworkKind kind,
     weight_.fillHe(rng, desc_.cinPerGroup() * desc_.kh * desc_.kw);
     input_ = Tensor(Shape{1, desc_.cin, desc_.h, desc_.w});
     input_.fillUniform(rng, -1.0f, 1.0f);
-    output_ = makeConvOutput(desc_, 1);
 
     if (isSparseKind(kind_)) {
         PatternSet set = canonicalPatternSet(opts_.pattern_count);
@@ -132,7 +131,8 @@ CompiledConvLayer::run(const Tensor& in, Tensor& out) const
 double
 CompiledConvLayer::timeMs(int warmup, int reps) const
 {
-    return medianTimeMs([&] { run(input_, output_); }, warmup, reps);
+    Tensor out = makeConvOutput(desc_, 1);
+    return medianTimeMs([&] { run(input_, out); }, warmup, reps);
 }
 
 int64_t
@@ -163,6 +163,34 @@ CompiledConvLayer::timeWithParams(const TuneParams& params, int reps) const
 }
 
 // ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+Tensor&
+Workspace::raw(size_t id, const Shape& shape)
+{
+    Tensor& t = values_[id];
+    if (t.shape() != shape) {
+        // A never-used slot is rank-0 with NO storage but numel() == 1,
+        // so it must be allocated, not reshaped (a reshape would hand
+        // out a 1-element view over an empty buffer).
+        if (t.shape().rank() != 0 && t.numel() == shape.numel())
+            t.reshape(shape);
+        else
+            t = Tensor(shape);
+    }
+    return t;
+}
+
+Tensor&
+Workspace::fresh(size_t id, const Shape& shape)
+{
+    Tensor& t = raw(id, shape);
+    t.fill(0.0f);  // Conv executors accumulate into their output.
+    return t;
+}
+
+// ---------------------------------------------------------------------------
 // CompiledModel
 // ---------------------------------------------------------------------------
 
@@ -179,6 +207,8 @@ struct CompiledModel::Executor
     std::vector<int> inputs;
     bool fused_relu = false;
     std::unique_ptr<FkwLayer> fkw;
+    TuneParams tuning;   ///< Pattern-engine tuned parameters.
+    OptSwitches opts;    ///< Pattern-engine switches.
     std::unique_ptr<PatternConv> pattern;
     std::unique_ptr<NaiveConv> naive;
     std::unique_ptr<Im2colConv> im2col;
@@ -188,27 +218,73 @@ struct CompiledModel::Executor
 
 CompiledModel::~CompiledModel() = default;
 
+void
+CompiledModel::attachConvEngines(Executor& ex) const
+{
+    ex.ep.bias = ex.bias.numel() > 0 ? &ex.bias : nullptr;
+    ex.ep.relu = ex.fused_relu;
+    if (ex.fkw) {
+        LayerwiseRep lr;
+        lr.device = device_.gpu_like ? "GPU" : "CPU";
+        lr.conv = ex.conv;
+        lr.opts = ex.opts;
+        lr.tuning = ex.tuning;
+        for (size_t p = 0; p < ex.fkw->patterns.size(); ++p)
+            lr.pattern_types.push_back(static_cast<int>(p));
+        ex.pattern =
+            std::make_unique<PatternConv>(ex.conv, ex.fkw.get(), lr, device_);
+        return;
+    }
+    if (kind_ == FrameworkKind::kCsrSparse && ex.conv.groups == 1) {
+        ex.csr = std::make_unique<CsrConv>(ex.conv, buildCsr(ex.weight), device_);
+        return;
+    }
+    switch (kind_) {
+      case FrameworkKind::kTfliteLike:
+        ex.naive = std::make_unique<NaiveConv>(ex.conv, &ex.weight, device_);
+        break;
+      case FrameworkKind::kTvmLike:
+        if (ex.conv.groups == 1)
+            ex.im2col = std::make_unique<Im2colConv>(ex.conv, &ex.weight, device_);
+        else
+            ex.naive = std::make_unique<NaiveConv>(ex.conv, &ex.weight, device_);
+        break;
+      default:
+        if (ex.conv.groups == 1) {
+            ex.winograd = std::make_unique<WinogradConv>(ex.conv, &ex.weight,
+                                                         device_);
+            if (!ex.winograd->usesWinograd())
+                ex.im2col = std::make_unique<Im2colConv>(ex.conv, &ex.weight,
+                                                         device_);
+        } else {
+            ex.naive = std::make_unique<NaiveConv>(ex.conv, &ex.weight, device_);
+        }
+        break;
+    }
+}
+
 CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec device,
                              CompileOptions opts)
     : kind_(kind), device_(std::move(device))
 {
-    graph_ = buildGraph(model);
+    Graph graph = buildGraph(model);
     // Graph-level optimization (Table 1): all frameworks fold BN and
     // fuse ReLU; TFLite-like runs a reduced pass set ("less advanced").
     if (opts.run_graph_passes) {
-        foldBatchNorm(graph_);
+        foldBatchNorm(graph);
         if (kind_ != FrameworkKind::kTfliteLike)
-            fuseConvRelu(graph_);
-        foldConstants(graph_);
-        eliminateDeadNodes(graph_);
+            fuseConvRelu(graph);
+        foldConstants(graph);
+        eliminateDeadNodes(graph);
     }
+    output_node_ = graph.outputNode();
 
     // Shared pattern set mined from all 3x3 conv weights (training-stage
     // output in the real pipeline).
     PatternSet set;
     if (isSparseKind(kind_)) {
         std::vector<const Tensor*> ws;
-        for (const auto& n : graph_.nodes())
+        for (const auto& n : graph.nodes())
             if (!n.dead && n.kind == OpKind::kConv)
                 ws.push_back(&n.weight);
         set = canonicalPatternSet(opts.pattern_count);
@@ -217,9 +293,9 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
             set = selectTopK(freqs, opts.pattern_count);
     }
 
-    executors_.resize(graph_.nodes().size());
+    executors_.resize(graph.nodes().size());
     bool first_conv = true;
-    for (const auto& n : graph_.nodes()) {
+    for (const auto& n : graph.nodes()) {
         if (n.dead)
             continue;
         auto ex = std::make_unique<Executor>();
@@ -234,8 +310,8 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
         ex->bias = n.bias;
         if (n.kind == OpKind::kConv) {
             ex->weight = n.weight;
-            ex->ep.bias = ex->bias.numel() > 0 ? &ex->bias : nullptr;
-            ex->ep.relu = n.fused_relu;
+            ex->tuning = opts.default_tuning;
+            ex->opts = opts.opts;
             bool can_sparse = isSparseKind(kind_) && n.conv.groups == 1;
             if (can_sparse) {
                 PatternAssignment asg = pruneWeightsForCompile(
@@ -248,47 +324,9 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
                     FkrResult fkr = filterKernelReorder(asg, fkr_opts);
                     ex->fkw = std::make_unique<FkwLayer>(
                         buildFkw(ex->weight, set, asg, fkr));
-                    LayerwiseRep lr;
-                    lr.device = device_.gpu_like ? "GPU" : "CPU";
-                    lr.conv = n.conv;
-                    lr.opts = opts.opts;
-                    lr.tuning = opts.default_tuning;
-                    for (int p = 0; p < set.size(); ++p)
-                        lr.pattern_types.push_back(p);
-                    ex->pattern = std::make_unique<PatternConv>(
-                        n.conv, ex->fkw.get(), lr, device_);
-                } else {
-                    ex->csr = std::make_unique<CsrConv>(
-                        n.conv, buildCsr(ex->weight), device_);
-                }
-            } else {
-                switch (kind_) {
-                  case FrameworkKind::kTfliteLike:
-                    ex->naive = std::make_unique<NaiveConv>(n.conv, &ex->weight,
-                                                            device_);
-                    break;
-                  case FrameworkKind::kTvmLike:
-                    if (n.conv.groups == 1)
-                        ex->im2col = std::make_unique<Im2colConv>(
-                            n.conv, &ex->weight, device_);
-                    else
-                        ex->naive = std::make_unique<NaiveConv>(n.conv, &ex->weight,
-                                                                device_);
-                    break;
-                  default:
-                    if (n.conv.groups == 1) {
-                        ex->winograd = std::make_unique<WinogradConv>(
-                            n.conv, &ex->weight, device_);
-                        if (!ex->winograd->usesWinograd())
-                            ex->im2col = std::make_unique<Im2colConv>(
-                                n.conv, &ex->weight, device_);
-                    } else {
-                        ex->naive = std::make_unique<NaiveConv>(n.conv, &ex->weight,
-                                                                device_);
-                    }
-                    break;
                 }
             }
+            attachConvEngines(*ex);
             first_conv = false;
         } else if (n.kind == OpKind::kFullyConnected) {
             ex->weight = n.weight;
@@ -300,26 +338,94 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
     }
 }
 
-Tensor
-CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
+CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
+                             std::vector<CompiledLayerState> layers, int output_node)
+    : kind_(kind), device_(std::move(device)), output_node_(output_node)
 {
-    std::vector<Tensor> values(executors_.size());
+    PATDNN_CHECK(output_node_ >= 0 &&
+                     static_cast<size_t>(output_node_) < layers.size(),
+                 "output node out of range");
+    executors_.resize(layers.size());
+    for (size_t id = 0; id < layers.size(); ++id) {
+        CompiledLayerState& st = layers[id];
+        if (!st.live)
+            continue;
+        auto ex = std::make_unique<Executor>();
+        ex->kind = st.kind;
+        ex->conv = st.conv;
+        ex->inputs = std::move(st.inputs);
+        ex->fused_relu = st.fused_relu;
+        ex->pool_k = st.pool_k;
+        ex->pool_stride = st.pool_stride;
+        ex->in_features = st.in_features;
+        ex->out_features = st.out_features;
+        ex->weight = std::move(st.weight);
+        ex->bias = std::move(st.bias);
+        ex->fkw = std::move(st.fkw);
+        ex->tuning = st.tuning;
+        ex->opts = st.opts;
+        if (ex->kind == OpKind::kConv) {
+            // Pattern layers ship without the dense view; rebuild it for
+            // the nonzero/compression accounting. (A rank-0 Tensor is
+            // the "absent" marker — note numel() is 1 for rank 0.)
+            if (ex->fkw && ex->weight.shape().rank() == 0)
+                ex->weight = fkwToDense(*ex->fkw);
+            attachConvEngines(*ex);
+        }
+        executors_[id] = std::move(ex);
+    }
+}
+
+std::vector<CompiledLayerState>
+CompiledModel::exportState() const
+{
+    std::vector<CompiledLayerState> out(executors_.size());
+    for (size_t id = 0; id < executors_.size(); ++id) {
+        const auto& exp = executors_[id];
+        if (!exp)
+            continue;
+        const Executor& ex = *exp;
+        CompiledLayerState& st = out[id];
+        st.live = true;
+        st.kind = ex.kind;
+        st.conv = ex.conv;
+        st.inputs = ex.inputs;
+        st.fused_relu = ex.fused_relu;
+        st.pool_k = ex.pool_k;
+        st.pool_stride = ex.pool_stride;
+        st.in_features = ex.in_features;
+        st.out_features = ex.out_features;
+        st.bias = ex.bias;
+        st.tuning = ex.tuning;
+        st.opts = ex.opts;
+        if (ex.fkw)
+            st.fkw = std::make_unique<FkwLayer>(*ex.fkw);  // FKW replaces dense.
+        else
+            st.weight = ex.weight;
+    }
+    return out;
+}
+
+Tensor
+CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const
+{
+    ws.resize(executors_.size());
     auto input_of = [&](const Executor& ex, int i) -> const Tensor& {
         int id = ex.inputs[static_cast<size_t>(i)];
-        return id < 0 ? input : values[static_cast<size_t>(id)];
+        return id < 0 ? input : ws.value(static_cast<size_t>(id));
     };
     double conv_total = 0.0;
-    Tensor output;
     for (size_t id = 0; id < executors_.size(); ++id) {
         const auto& exp = executors_[id];
         if (!exp)
             continue;
         const Executor& ex = *exp;
         const Tensor& x = input_of(ex, 0);
-        Tensor y;
         switch (ex.kind) {
           case OpKind::kConv: {
-            y = makeConvOutput(ex.conv, x.shape().dim(0));
+            Tensor& y = ws.fresh(
+                id, Shape{x.shape().dim(0), ex.conv.cout, ex.conv.outH(),
+                          ex.conv.outW()});
             Timer t;
             if (ex.pattern)
                 ex.pattern->run(x, y, ex.ep);
@@ -335,7 +441,7 @@ CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
             break;
           }
           case OpKind::kBatchNorm: {
-            y = x;
+            Tensor& y = ws.raw(id, x.shape());
             int64_t c = ex.weight.numel();
             int64_t n = x.shape().dim(0);
             int64_t hw = x.numel() / (n * c);
@@ -343,16 +449,17 @@ CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
                 for (int64_t ch = 0; ch < c; ++ch) {
                     float s = ex.weight[ch];
                     float sh = ex.bias[ch];
-                    float* p = y.data() + (b * c + ch) * hw;
+                    const float* p = x.data() + (b * c + ch) * hw;
+                    float* q = y.data() + (b * c + ch) * hw;
                     for (int64_t i = 0; i < hw; ++i)
-                        p[i] = p[i] * s + sh;
+                        q[i] = p[i] * s + sh;
                 }
             break;
           }
           case OpKind::kReLU: {
-            y = x;
+            Tensor& y = ws.raw(id, x.shape());
             for (int64_t i = 0; i < y.numel(); ++i)
-                y[i] = std::max(0.0f, y[i]);
+                y[i] = std::max(0.0f, x[i]);
             break;
           }
           case OpKind::kMaxPool:
@@ -361,7 +468,7 @@ CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
             int64_t h = x.shape().dim(2), w = x.shape().dim(3);
             int64_t k = ex.pool_k, s = ex.pool_stride;
             int64_t oh = (h - k) / s + 1, ow = (w - k) / s + 1;
-            y = Tensor(Shape{n, c, oh, ow});
+            Tensor& y = ws.raw(id, Shape{n, c, oh, ow});
             bool is_max = ex.kind == OpKind::kMaxPool;
             for (int64_t bc = 0; bc < n * c; ++bc) {
                 const float* ip = x.data() + bc * h * w;
@@ -382,29 +489,29 @@ CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
           }
           case OpKind::kAdd: {
             const Tensor& r = input_of(ex, 1);
-            y = x;
+            Tensor& y = ws.raw(id, x.shape());
             for (int64_t i = 0; i < y.numel(); ++i)
-                y[i] += r[i];
+                y[i] = x[i] + r[i];
             if (ex.fused_relu)
                 for (int64_t i = 0; i < y.numel(); ++i)
                     y[i] = std::max(0.0f, y[i]);
             break;
           }
           case OpKind::kFlatten: {
-            y = x;
-            y.reshape(Shape{x.shape().dim(0), x.numel() / x.shape().dim(0)});
+            Tensor& y = ws.raw(
+                id, Shape{x.shape().dim(0), x.numel() / x.shape().dim(0)});
+            std::copy(x.data(), x.data() + x.numel(), y.data());
             break;
           }
           case OpKind::kFullyConnected: {
-            Tensor flat = x;
-            if (flat.shape().rank() != 2)
-                flat.reshape(Shape{x.shape().dim(0), x.numel() / x.shape().dim(0)});
-            int64_t n = flat.shape().dim(0);
-            y = Tensor(Shape{n, ex.out_features});
+            // Row-major NCHW is already flat per batch row; read the
+            // input in place instead of materializing a reshaped copy.
+            int64_t n = x.shape().dim(0);
+            Tensor& y = ws.raw(id, Shape{n, ex.out_features});
             device_.pool().parallelFor(ex.out_features, [&](int64_t o) {
                 const float* wr = ex.weight.data() + o * ex.in_features;
                 for (int64_t b = 0; b < n; ++b) {
-                    const float* xr = flat.data() + b * ex.in_features;
+                    const float* xr = x.data() + b * ex.in_features;
                     float acc = ex.bias.numel() > 0 ? ex.bias[o] : 0.0f;
                     for (int64_t i = 0; i < ex.in_features; ++i)
                         acc += wr[i] * xr[i];
@@ -416,36 +523,43 @@ CompiledModel::runLayers(const Tensor& input, double* conv_ms) const
             break;
           }
         }
-        values[id] = std::move(y);
-        if (static_cast<int>(id) == graph_.outputNode())
-            output = values[id];
     }
     if (conv_ms != nullptr)
         *conv_ms = conv_total;
-    return output;
+    // Deep-copy out of the workspace: the slot is reused by the next run.
+    return ws.value(static_cast<size_t>(output_node_));
 }
 
 Tensor
 CompiledModel::run(const Tensor& input) const
 {
-    return runLayers(input, nullptr);
+    Workspace ws;
+    return runLayers(input, ws, nullptr);
+}
+
+Tensor
+CompiledModel::run(const Tensor& input, Workspace& ws) const
+{
+    return runLayers(input, ws, nullptr);
 }
 
 double
 CompiledModel::timeMs(const Tensor& input, int warmup, int reps) const
 {
-    return medianTimeMs([&] { runLayers(input, nullptr); }, warmup, reps);
+    Workspace ws;
+    return medianTimeMs([&] { runLayers(input, ws, nullptr); }, warmup, reps);
 }
 
 double
 CompiledModel::convOnlyTimeMs(const Tensor& input, int warmup, int reps) const
 {
+    Workspace ws;
     for (int i = 0; i < warmup; ++i)
-        runLayers(input, nullptr);
+        runLayers(input, ws, nullptr);
     std::vector<double> times;
     for (int i = 0; i < reps; ++i) {
         double conv_ms = 0.0;
-        runLayers(input, &conv_ms);
+        runLayers(input, ws, &conv_ms);
         times.push_back(conv_ms);
     }
     return summarize(times).median;

@@ -63,8 +63,67 @@ struct CompileOptions
 };
 
 /**
+ * Serializable snapshot of one compiled graph node: everything needed
+ * to rebuild its executor on a (possibly different) device without
+ * re-running pruning, reordering or tuning. Produced by
+ * CompiledModel::exportState() and consumed by the state-restoring
+ * constructor and the serve/ model-artifact (de)serializer.
+ *
+ * For kPatDnn conv layers only the FKW storage plus tuned parameters
+ * are carried (the dense weight view is reconstructed on restore); all
+ * other layers carry their dense tensors.
+ */
+struct CompiledLayerState
+{
+    bool live = false;             ///< False for dead/eliminated node slots.
+    OpKind kind = OpKind::kConv;
+    ConvDesc conv;                 ///< For kConv.
+    std::vector<int> inputs;       ///< Producer node ids (-1 = model input).
+    bool fused_relu = false;
+    int64_t pool_k = 2, pool_stride = 2;
+    int64_t in_features = 0, out_features = 0;
+    Tensor weight;                 ///< Dense weights (empty for pattern convs).
+    Tensor bias;
+    std::unique_ptr<FkwLayer> fkw; ///< Pattern-engine storage (kPatDnn convs).
+    TuneParams tuning;             ///< Pattern-engine tuned parameters.
+    OptSwitches opts;              ///< Pattern-engine switches.
+};
+
+/**
+ * Per-session activation scratch: one value slot per graph node, reused
+ * across runs. Each InferenceSession owns its own Workspace so that
+ * concurrent sessions sharing one immutable CompiledModel never share
+ * intermediate buffers.
+ */
+class Workspace
+{
+  public:
+    void resize(size_t nodes) { values_.resize(nodes); }
+    size_t size() const { return values_.size(); }
+
+    /** Slot for node id shaped to `shape` and zero-filled (executors
+     * accumulate into their outputs). Reallocates only on shape change. */
+    Tensor& fresh(size_t id, const Shape& shape);
+
+    /** Slot for node id shaped to `shape`, contents unspecified; for
+     * ops that overwrite every element. */
+    Tensor& raw(size_t id, const Shape& shape);
+
+    /** Read access to a produced value. */
+    const Tensor& value(size_t id) const { return values_[id]; }
+
+  private:
+    std::vector<Tensor> values_;
+};
+
+/**
  * A compiled, runnable model: per-conv-layer executors plus the simple
  * non-conv ops (pool/add/fc) executed directly. Holds all storage.
+ *
+ * Immutable once constructed: run() is const and safe to call from
+ * many threads at once (each call only touches its Workspace and the
+ * device thread pool, which serializes concurrent submitters), which is
+ * what the serving layer's shared-weight sessions rely on.
  */
 class CompiledModel
 {
@@ -73,10 +132,22 @@ class CompiledModel
      * weights for sparse engines (pattern projection + connectivity). */
     CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec device,
                   CompileOptions opts = {});
+
+    /**
+     * Rebuild a model from previously exported per-layer state (the
+     * serve/ artifact load path). No pruning, reordering or tuning
+     * runs; engines are instantiated directly from the stored FKW /
+     * dense weights for `device`.
+     */
+    CompiledModel(FrameworkKind kind, DeviceSpec device,
+                  std::vector<CompiledLayerState> layers, int output_node);
     ~CompiledModel();
 
     /** Run one NCHW input through every layer; returns final output. */
     Tensor run(const Tensor& input) const;
+
+    /** Run using caller-owned activation scratch (serving sessions). */
+    Tensor run(const Tensor& input, Workspace& ws) const;
 
     /** Median wall-clock of `run` over reps (after warmup). */
     double timeMs(const Tensor& input, int warmup = 1, int reps = 3) const;
@@ -90,16 +161,31 @@ class CompiledModel
     /** Dense conv weight count. */
     int64_t convDense() const;
 
+    /**
+     * Snapshot every node's compiled state (deep copy). Slot order is
+     * node-id order; dead slots have live == false.
+     */
+    std::vector<CompiledLayerState> exportState() const;
+
+    /** Node-id of the output value. */
+    int outputNode() const { return output_node_; }
+
+    /** Number of node slots (live + dead). */
+    size_t nodeCount() const { return executors_.size(); }
+
     FrameworkKind kind() const { return kind_; }
     const DeviceSpec& device() const { return device_; }
 
   private:
     struct Executor;
-    Tensor runLayers(const Tensor& input, double* conv_ms) const;
+    Tensor runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const;
+    /** Instantiate engine objects for a conv executor whose state
+     * fields (weight / fkw / tuning) are already populated. */
+    void attachConvEngines(Executor& ex) const;
 
     FrameworkKind kind_;
     DeviceSpec device_;
-    Graph graph_;
+    int output_node_ = -1;
     std::vector<std::unique_ptr<Executor>> executors_;  ///< Per node id.
 };
 
@@ -144,7 +230,6 @@ class CompiledConvLayer
     std::unique_ptr<WinogradConv> winograd_;
     std::unique_ptr<CsrConv> csr_;
     Tensor input_;
-    mutable Tensor output_;
 };
 
 }  // namespace patdnn

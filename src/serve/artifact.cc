@@ -1,0 +1,359 @@
+#include "serve/artifact.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/byteio.h"
+#include "util/logging.h"
+
+namespace patdnn {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'D', 'N', 'N'};
+
+/** FNV-1a 64-bit over a byte range (the artifact integrity check). */
+uint64_t
+fnv1a(const uint8_t* data, size_t size)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+using bytes::putI64;
+using bytes::putU32;
+using bytes::putU64;
+
+void
+putTensor(std::vector<uint8_t>& out, const Tensor& t)
+{
+    // Rank-0 = "no tensor" (a default Tensor reports numel() == 1 but
+    // owns no storage); serialized as a bare zero rank.
+    const auto& dims = t.shape().dims();
+    putU32(out, static_cast<uint32_t>(dims.size()));
+    if (dims.empty())
+        return;
+    for (int64_t d : dims)
+        putI64(out, d);
+    size_t old = out.size();
+    out.resize(old + static_cast<size_t>(t.numel()) * sizeof(float));
+    if (t.numel() > 0)
+        std::memcpy(out.data() + old, t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+void
+putTuning(std::vector<uint8_t>& out, const TuneParams& p)
+{
+    putU32(out, p.permute == LoopPermutation::kCoCiHW ? 0u : 1u);
+    putU32(out, p.blocked ? 1u : 0u);
+    putI64(out, p.tile_oh);
+    putI64(out, p.tile_ow);
+    putU32(out, static_cast<uint32_t>(p.unroll_w));
+    putU32(out, static_cast<uint32_t>(p.unroll_oc));
+    putU32(out, static_cast<uint32_t>(p.filters_per_task));
+}
+
+/** Artifact-specific records (framing only; structural checks stay
+ * with validateFkw / the CompiledModel constructor) on top of the
+ * shared bounds-checked reader. */
+struct Reader : bytes::Reader
+{
+    bool
+    tensor(Tensor& t)
+    {
+        uint32_t rank = u32();
+        if (!ok || rank > 8)
+            return ok = false;
+        if (rank == 0) {
+            t = Tensor();  // "No tensor" marker, not a 1-element scalar.
+            return true;
+        }
+        std::vector<int64_t> dims(rank);
+        int64_t numel = 1;
+        for (uint32_t i = 0; i < rank; ++i) {
+            dims[i] = i64();
+            if (!ok || dims[i] < 0 || (numel != 0 && dims[i] > (1LL << 40) / numel))
+                return ok = false;
+            numel *= dims[i];
+        }
+        if (static_cast<uint64_t>(numel) > (size - pos) / sizeof(float))
+            return ok = false;
+        t = Tensor(Shape{std::move(dims)});
+        if (numel > 0)
+            std::memcpy(t.data(), data + pos,
+                        static_cast<size_t>(numel) * sizeof(float));
+        pos += static_cast<size_t>(numel) * sizeof(float);
+        return ok;
+    }
+
+    bool
+    tuning(TuneParams& p)
+    {
+        p.permute = u32() == 0 ? LoopPermutation::kCoCiHW : LoopPermutation::kCoHWCi;
+        p.blocked = u32() != 0;
+        p.tile_oh = i64();
+        p.tile_ow = i64();
+        p.unroll_w = static_cast<int>(u32());
+        p.unroll_oc = static_cast<int>(u32());
+        p.filters_per_task = static_cast<int>(u32());
+        return ok;
+    }
+};
+
+void
+putConvDesc(std::vector<uint8_t>& out, const ConvDesc& d)
+{
+    putU32(out, static_cast<uint32_t>(d.name.size()));
+    out.insert(out.end(), d.name.begin(), d.name.end());
+    for (int64_t v : {d.cin, d.cout, d.kh, d.kw, d.h, d.w, d.stride, d.pad,
+                      d.dilation, d.groups})
+        putI64(out, v);
+}
+
+/**
+ * Plausibility of a deserialized layer's scalar fields. ConvDesc::check()
+ * aborts on bad geometry, and the executors divide by groups/stride, so
+ * a crafted-but-well-framed artifact must be refused here to keep the
+ * "null + *error" load contract.
+ */
+bool
+plausibleLayer(const CompiledLayerState& st)
+{
+    if (st.kind == OpKind::kConv) {
+        const ConvDesc& d = st.conv;
+        if (d.cin < 1 || d.cout < 1 || d.kh < 1 || d.kw < 1 || d.h < 1 ||
+            d.w < 1 || d.stride < 1 || d.pad < 0 || d.dilation < 1 ||
+            d.groups < 1 || d.cin % d.groups != 0 || d.cout % d.groups != 0)
+            return false;
+        if (d.outH() < 1 || d.outW() < 1)
+            return false;
+    }
+    if ((st.kind == OpKind::kMaxPool || st.kind == OpKind::kAvgPool) &&
+        (st.pool_k < 1 || st.pool_stride < 1))
+        return false;
+    if (st.kind == OpKind::kFullyConnected &&
+        (st.in_features < 1 || st.out_features < 1))
+        return false;
+    return true;
+}
+
+bool
+readConvDesc(Reader& r, ConvDesc& d)
+{
+    uint32_t len = r.u32();
+    if (!r.ok || len > 4096 || !r.need(len))
+        return false;
+    d.name.assign(reinterpret_cast<const char*>(r.data + r.pos), len);
+    r.pos += len;
+    d.cin = r.i64();
+    d.cout = r.i64();
+    d.kh = r.i64();
+    d.kw = r.i64();
+    d.h = r.i64();
+    d.w = r.i64();
+    d.stride = r.i64();
+    d.pad = r.i64();
+    d.dilation = r.i64();
+    d.groups = r.i64();
+    return r.ok;
+}
+
+}  // namespace
+
+std::vector<uint8_t>
+serializeModel(const CompiledModel& model)
+{
+    std::vector<CompiledLayerState> layers = model.exportState();
+
+    // Serialize straight into the final buffer (the payload size is
+    // backpatched) so large models are not copied an extra time.
+    std::vector<uint8_t> out;
+    for (char c : kMagic)
+        out.push_back(static_cast<uint8_t>(c));
+    putU32(out, kModelArtifactVersion);
+    size_t size_at = out.size();
+    putU64(out, 0);  // Payload size placeholder.
+    size_t payload_begin = out.size();
+
+    putU32(out, static_cast<uint32_t>(model.kind()));
+    putU32(out, static_cast<uint32_t>(model.outputNode()));
+    putU32(out, static_cast<uint32_t>(layers.size()));
+    for (const CompiledLayerState& st : layers) {
+        out.push_back(st.live ? 1 : 0);
+        if (!st.live)
+            continue;
+        putU32(out, static_cast<uint32_t>(st.kind));
+        putConvDesc(out, st.conv);
+        putU32(out, static_cast<uint32_t>(st.inputs.size()));
+        for (int in : st.inputs)
+            putU32(out, static_cast<uint32_t>(in));
+        out.push_back(st.fused_relu ? 1 : 0);
+        putI64(out, st.pool_k);
+        putI64(out, st.pool_stride);
+        putI64(out, st.in_features);
+        putI64(out, st.out_features);
+        putTuning(out, st.tuning);
+        out.push_back(st.opts.reorder ? 1 : 0);
+        out.push_back(st.opts.lre ? 1 : 0);
+        out.push_back(st.opts.tuned ? 1 : 0);
+        putTensor(out, st.weight);
+        putTensor(out, st.bias);
+        out.push_back(st.fkw ? 1 : 0);
+        if (st.fkw)
+            serializeFkw(*st.fkw, out);
+    }
+
+    uint64_t payload_size = out.size() - payload_begin;
+    for (int i = 0; i < 8; ++i)
+        out[size_at + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(payload_size >> (8 * i));
+    putU64(out, fnv1a(out.data() + payload_begin,
+                      static_cast<size_t>(payload_size)));
+    return out;
+}
+
+std::shared_ptr<CompiledModel>
+deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
+                 std::string* error)
+{
+    auto fail = [&](const std::string& msg) {
+        if (error != nullptr)
+            *error = msg;
+        return nullptr;
+    };
+    if (bytes.size() < 4 + 4 + 8 + 8 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return fail("artifact: bad magic");
+    Reader hdr{{bytes.data() + 4, bytes.size() - 4}};
+    uint32_t version = hdr.u32();
+    if (version != kModelArtifactVersion)
+        return fail("artifact: unsupported version " + std::to_string(version));
+    uint64_t payload_size = hdr.u64();
+    if (!hdr.ok || payload_size != bytes.size() - 4 - 4 - 8 - 8)
+        return fail("artifact: truncated (payload size mismatch)");
+    const uint8_t* payload = bytes.data() + 4 + 4 + 8;
+    Reader tail{{payload + payload_size, 8}};
+    if (fnv1a(payload, static_cast<size_t>(payload_size)) != tail.u64())
+        return fail("artifact: checksum mismatch");
+
+    Reader r{{payload, static_cast<size_t>(payload_size)}};
+    uint32_t kind_raw = r.u32();
+    if (kind_raw > static_cast<uint32_t>(FrameworkKind::kPatDnn))
+        return fail("artifact: unknown framework kind");
+    FrameworkKind kind = static_cast<FrameworkKind>(kind_raw);
+    int output_node = static_cast<int>(r.u32());
+    uint32_t n_layers = r.u32();
+    if (!r.ok || n_layers > 1u << 20 || output_node < 0 ||
+        output_node >= static_cast<int>(n_layers))
+        return fail("artifact: bad layer table");
+
+    std::vector<CompiledLayerState> layers(n_layers);
+    for (uint32_t id = 0; id < n_layers; ++id) {
+        CompiledLayerState& st = layers[id];
+        st.live = r.u8() != 0;
+        if (!st.live)
+            continue;
+        st.kind = static_cast<OpKind>(r.u32());
+        if (static_cast<uint32_t>(st.kind) >
+            static_cast<uint32_t>(OpKind::kFlatten))
+            return fail("artifact: unknown op kind");
+        if (!readConvDesc(r, st.conv))
+            return fail("artifact: truncated conv descriptor");
+        uint32_t n_inputs = r.u32();
+        if (!r.ok || n_inputs > 8)
+            return fail("artifact: bad input list");
+        st.inputs.resize(n_inputs);
+        for (uint32_t i = 0; i < n_inputs; ++i) {
+            st.inputs[i] = static_cast<int>(r.u32());
+            if (st.inputs[i] >= static_cast<int>(id))
+                return fail("artifact: forward edge in layer inputs");
+        }
+        st.fused_relu = r.u8() != 0;
+        st.pool_k = r.i64();
+        st.pool_stride = r.i64();
+        st.in_features = r.i64();
+        st.out_features = r.i64();
+        if (!r.tuning(st.tuning))
+            return fail("artifact: truncated tuning block");
+        st.opts.reorder = r.u8() != 0;
+        st.opts.lre = r.u8() != 0;
+        st.opts.tuned = r.u8() != 0;
+        if (!r.tensor(st.weight) || !r.tensor(st.bias))
+            return fail("artifact: truncated tensor");
+        bool has_fkw = r.u8() != 0;
+        if (has_fkw) {
+            auto fkw = std::make_unique<FkwLayer>();
+            size_t consumed = 0;
+            std::string fkw_error;
+            if (!deserializeFkw(r.data + r.pos, r.size - r.pos, &consumed,
+                                fkw.get(), &fkw_error))
+                return fail("artifact: " + fkw_error);
+            r.pos += consumed;
+            // Re-check the structural invariants so a corrupted-but-
+            // well-framed record cannot reach an executor.
+            std::string invariant_error;
+            if (!validateFkw(*fkw, &invariant_error))
+                return fail("artifact: invalid FKW layer: " + invariant_error);
+            st.fkw = std::move(fkw);
+        }
+        if (!r.ok)
+            return fail("artifact: truncated layer record");
+        if (!plausibleLayer(st))
+            return fail("artifact: implausible layer geometry");
+    }
+    if (r.pos != r.size)
+        return fail("artifact: trailing bytes in payload");
+    if (!layers[static_cast<size_t>(output_node)].live)
+        return fail("artifact: output node is not a live layer");
+
+    return std::make_shared<CompiledModel>(kind, device, std::move(layers),
+                                           output_node);
+}
+
+bool
+saveModelArtifact(const CompiledModel& model, const std::string& path,
+                  std::string* error)
+{
+    std::vector<uint8_t> bytes = serializeModel(model);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = std::fclose(f) == 0 && written == bytes.size();
+    if (!ok && error != nullptr)
+        *error = "short write to " + path;
+    return ok;
+}
+
+std::shared_ptr<CompiledModel>
+loadModelArtifact(const std::string& path, const DeviceSpec& device,
+                  std::string* error)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return nullptr;
+    }
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
+    size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size()) {
+        if (error != nullptr)
+            *error = "short read from " + path;
+        return nullptr;
+    }
+    return deserializeModel(bytes, device, error);
+}
+
+}  // namespace patdnn

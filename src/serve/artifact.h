@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Versioned binary model artifacts: the distribution format for
+ * compiled models.
+ *
+ * PatDNN's deployment story (Fig. 5) ends at execution code
+ * generation; an artifact captures that stage's entire output — every
+ * layer's FKW-packed weights, ConvDesc, tuned parameters and graph
+ * wiring — so a model can be compiled (pruned, reordered, tuned) once
+ * and then distributed to serving hosts that only deserialize and run.
+ *
+ * On-disk layout (little-endian):
+ *
+ *   [magic "PDNN"] [u32 version] [u64 payload_size] [payload bytes]
+ *   [u64 FNV-1a checksum of payload]
+ *
+ * The payload holds the framework kind, output-node id and one record
+ * per graph-node slot; pattern-compiled conv layers embed their FKW
+ * storage via sparse/fkw.h's byte-level serializer and are re-validated
+ * with validateFkw() on load.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/framework.h"
+
+namespace patdnn {
+
+/** Artifact format version written by serializeModel. */
+constexpr uint32_t kModelArtifactVersion = 1;
+
+/** Serialize a compiled model into the artifact byte format. */
+std::vector<uint8_t> serializeModel(const CompiledModel& model);
+
+/**
+ * Reconstruct a compiled model for `device` from artifact bytes.
+ * Validates magic, version, framing and checksum, then every embedded
+ * FKW layer's structural invariants; returns null with a message in
+ * *error on any mismatch.
+ */
+std::shared_ptr<CompiledModel> deserializeModel(const std::vector<uint8_t>& bytes,
+                                                const DeviceSpec& device,
+                                                std::string* error = nullptr);
+
+/** Serialize + write to `path`; false with *error on I/O failure. */
+bool saveModelArtifact(const CompiledModel& model, const std::string& path,
+                       std::string* error = nullptr);
+
+/** Read `path` + deserialize; null with *error on failure. */
+std::shared_ptr<CompiledModel> loadModelArtifact(const std::string& path,
+                                                 const DeviceSpec& device,
+                                                 std::string* error = nullptr);
+
+}  // namespace patdnn

@@ -1,0 +1,278 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+namespace {
+
+/**
+ * A servable request: leading batch dimension with at least one
+ * non-empty sample. (Agreement of the per-sample dims with the model's
+ * compiled input geometry remains the caller's contract, as with
+ * CompiledModel::run.) Malformed tensors would otherwise break the
+ * batching arithmetic for everyone sharing the worker.
+ */
+bool
+validRequestInput(const Tensor& t)
+{
+    return t.shape().rank() >= 1 && t.shape().dim(0) >= 1 && t.numel() > 0;
+}
+
+/** Batchable = identical rank and per-sample dims (dim 0 is free). */
+bool
+sameSampleShape(const Shape& a, const Shape& b)
+{
+    if (a.rank() != b.rank())
+        return false;
+    for (int i = 1; i < a.rank(); ++i)
+        if (a.dim(i) != b.dim(i))
+            return false;
+    return true;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(std::shared_ptr<const CompiledModel> model,
+                                 ServerOptions opts)
+    : model_(std::move(model)), opts_(opts),
+      pool_(std::max(1, opts.workers))
+{
+    PATDNN_CHECK(model_ != nullptr, "server needs a model");
+    opts_.workers = std::max(1, opts_.workers);
+    opts_.max_batch = std::max<int64_t>(1, opts_.max_batch);
+    opts_.max_queue = std::max<size_t>(1, opts_.max_queue);
+    if (!opts_.start_paused)
+        start();
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+void
+InferenceServer::start()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (started_ || stopping_)
+            return;
+        started_ = true;
+        serving_clock_.reset();
+    }
+    // The launcher thread becomes pool worker 0, so all opts_.workers
+    // serving loops run on the util::ThreadPool.
+    launcher_ = std::thread([this] {
+        pool_.parallelFor(opts_.workers, [this](int64_t) { workerLoop(); });
+    });
+}
+
+std::future<Tensor>
+InferenceServer::submit(Tensor input)
+{
+    Request req;
+    req.input = std::move(input);
+    std::future<Tensor> result = req.promise.get_future();
+    if (!validRequestInput(req.input)) {
+        req.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+            "inference request needs a non-empty leading batch dimension")));
+        return result;
+    }
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_space_.wait(lk, [&] {
+            return queue_.size() < opts_.max_queue || stopping_;
+        });
+        if (stopping_) {
+            req.promise.set_exception(std::make_exception_ptr(
+                std::runtime_error("inference server is shut down")));
+            return result;
+        }
+        queue_.push_back(std::move(req));
+    }
+    cv_request_.notify_one();
+    return result;
+}
+
+bool
+InferenceServer::trySubmit(Tensor input, std::future<Tensor>* result)
+{
+    Request req;
+    req.input = std::move(input);
+    if (!validRequestInput(req.input)) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++rejected_;
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (stopping_ || queue_.size() >= opts_.max_queue) {
+            ++rejected_;
+            return false;
+        }
+        if (result != nullptr)
+            *result = req.promise.get_future();
+        queue_.push_back(std::move(req));
+    }
+    cv_request_.notify_one();
+    return true;
+}
+
+std::vector<InferenceServer::Request>
+InferenceServer::popBatch()
+{
+    std::vector<Request> batch;
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_request_.wait(lk, [&] { return !queue_.empty() || stopping_; });
+    if (queue_.empty())
+        return batch;  // Stopping and fully drained.
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    int64_t rows = batch.front().input.shape().dim(0);
+    // By value: push_back below reallocates batch's storage.
+    const Shape sample = batch.front().input.shape();
+    while (!queue_.empty() && rows < opts_.max_batch) {
+        const Shape& next = queue_.front().input.shape();
+        if (!sameSampleShape(next, sample) ||
+            rows + next.dim(0) > opts_.max_batch)
+            break;
+        rows += next.dim(0);
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    in_flight_ += static_cast<int>(batch.size());
+    cv_space_.notify_all();
+    return batch;
+}
+
+void
+InferenceServer::workerLoop()
+{
+    InferenceSession session(model_);
+    for (;;) {
+        std::vector<Request> batch = popBatch();
+        if (batch.empty())
+            return;
+
+        int64_t rows = 0;
+        for (const Request& r : batch)
+            rows += r.input.shape().dim(0);
+
+        Tensor out;
+        if (batch.size() == 1) {
+            out = session.run(batch.front().input);
+        } else {
+            // Transparent micro-batching: stack the inputs along N, run
+            // once, and hand each request back exactly its rows.
+            const Shape& s0 = batch.front().input.shape();
+            std::vector<int64_t> dims = s0.dims();
+            dims[0] = rows;
+            Tensor stacked{Shape{std::move(dims)}};
+            int64_t offset = 0;
+            for (const Request& r : batch) {
+                std::memcpy(stacked.data() + offset, r.input.data(),
+                            static_cast<size_t>(r.input.numel()) * sizeof(float));
+                offset += r.input.numel();
+            }
+            out = session.run(stacked);
+        }
+
+        std::vector<double> lat;
+        lat.reserve(batch.size());
+        if (batch.size() == 1) {
+            lat.push_back(batch.front().queued.elapsedMs());
+            batch.front().promise.set_value(std::move(out));
+        } else {
+            int64_t per_sample = out.numel() / rows;
+            std::vector<int64_t> odims = out.shape().dims();
+            int64_t row = 0;
+            for (Request& r : batch) {
+                int64_t n = r.input.shape().dim(0);
+                odims[0] = n;
+                Tensor slice{Shape{odims}};
+                std::memcpy(slice.data(), out.data() + row * per_sample,
+                            static_cast<size_t>(n * per_sample) * sizeof(float));
+                row += n;
+                lat.push_back(r.queued.elapsedMs());
+                r.promise.set_value(std::move(slice));
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            completed_ += static_cast<int64_t>(batch.size());
+            ++batches_;
+            batched_samples_ += rows;
+            for (double ms : lat) {
+                if (latencies_ms_.size() < kLatencyWindow) {
+                    latencies_ms_.push_back(ms);
+                } else {
+                    latencies_ms_[latency_cursor_] = ms;
+                    latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+                }
+            }
+            in_flight_ -= static_cast<int>(batch.size());
+            if (queue_.empty() && in_flight_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+void
+InferenceServer::drain()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_idle_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_request_.notify_all();
+    cv_space_.notify_all();
+    if (launcher_.joinable())
+        launcher_.join();
+    // Never-started servers may still hold staged requests; dropping
+    // them breaks their promises, which is the documented contract.
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    std::vector<double> lat;
+    ServerStats s;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        s.completed = completed_;
+        s.rejected = rejected_;
+        s.batches = batches_;
+        s.queue_depth = queue_.size();
+        s.avg_batch = batches_ > 0
+                          ? static_cast<double>(batched_samples_) /
+                                static_cast<double>(batches_)
+                          : 0.0;
+        if (started_) {
+            double sec = serving_clock_.elapsedMs() / 1000.0;
+            if (sec > 0.0)
+                s.throughput_rps = static_cast<double>(completed_) / sec;
+        }
+        lat = latencies_ms_;
+    }
+    s.mean_ms = summarize(lat).mean;
+    s.p50_ms = percentile(lat, 50.0);
+    s.p99_ms = percentile(lat, 99.0);
+    return s;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Asynchronous batched inference server.
+ *
+ * The north-star deployment serves heavy traffic from one compiled
+ * model: requests enter a bounded queue, serving workers (scheduled on
+ * a util::ThreadPool) pop them, transparently micro-batch compatible
+ * inputs along N, run their private InferenceSession over the shared
+ * artifact, and fulfill per-request futures. Per-model serving stats
+ * (p50/p99 latency, throughput, queue depth) come from util/stats.h.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/session.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace patdnn {
+
+/** Serving knobs. */
+struct ServerOptions
+{
+    int workers = 2;        ///< Serving threads (each owns one session).
+    int64_t max_batch = 8;  ///< Micro-batch cap in samples along N.
+    size_t max_queue = 64;  ///< Bounded pending-request queue depth.
+    /// Construct paused; call start() to begin serving. Lets callers
+    /// (and the queue-bound tests) stage a burst before any worker runs.
+    bool start_paused = false;
+};
+
+/** Snapshot of a server's serving statistics. */
+struct ServerStats
+{
+    int64_t completed = 0;       ///< Requests fulfilled.
+    int64_t rejected = 0;        ///< trySubmit calls refused (queue full).
+    int64_t batches = 0;         ///< Model invocations.
+    size_t queue_depth = 0;      ///< Requests currently waiting.
+    /// Latency percentiles are computed over a sliding window of the
+    /// most recent requests (InferenceServer::kLatencyWindow), so a
+    /// long-running server's stats stay bounded and current.
+    double p50_ms = 0.0;         ///< Median submit-to-completion latency.
+    double p99_ms = 0.0;         ///< Tail submit-to-completion latency.
+    double mean_ms = 0.0;
+    double throughput_rps = 0.0; ///< Completed requests / serving wall-clock.
+    double avg_batch = 0.0;      ///< Mean samples per model invocation.
+};
+
+/**
+ * Async inference server over one shared compiled model.
+ *
+ * submit() is safe from any number of producer threads. Workers run on
+ * an owned util::ThreadPool for the lifetime of the server; shutdown
+ * (or destruction) stops intake, drains the queue and joins them.
+ */
+class InferenceServer
+{
+  public:
+    explicit InferenceServer(std::shared_ptr<const CompiledModel> model,
+                             ServerOptions opts = {});
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer&) = delete;
+    InferenceServer& operator=(const InferenceServer&) = delete;
+
+    /**
+     * Enqueue one NCHW input (its dim-0 may already hold several
+     * samples); blocks while the queue is full. The future resolves to
+     * the model output rows for exactly this input. A malformed input
+     * (no leading batch dim / zero samples) fails only this request's
+     * future with std::invalid_argument.
+     */
+    std::future<Tensor> submit(Tensor input);
+
+    /** Non-blocking submit; false (and ++rejected) when the input is
+     * malformed, the queue is full, or intake has stopped. */
+    bool trySubmit(Tensor input, std::future<Tensor>* result);
+
+    /** Begin serving (no-op unless constructed with start_paused). */
+    void start();
+
+    /** Block until every accepted request has been fulfilled. */
+    void drain();
+
+    /** Stop intake, drain, and join the serving workers. Idempotent. */
+    void shutdown();
+
+    ServerStats stats() const;
+
+    const ServerOptions& options() const { return opts_; }
+
+    /// Latency samples retained for the stats percentiles (ring buffer;
+    /// bounds memory and stats() cost on long-running servers).
+    static constexpr size_t kLatencyWindow = 4096;
+
+  private:
+    struct Request
+    {
+        Tensor input;
+        std::promise<Tensor> promise;
+        Timer queued;  ///< Started at submit; read at completion.
+    };
+
+    void workerLoop();
+    /** Pop a shape-compatible micro-batch; empty when stopping. */
+    std::vector<Request> popBatch();
+
+    std::shared_ptr<const CompiledModel> model_;
+    ServerOptions opts_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_request_;  ///< Workers: queue non-empty/stop.
+    std::condition_variable cv_space_;    ///< Producers: queue has room.
+    std::condition_variable cv_idle_;     ///< drain(): all work finished.
+    std::deque<Request> queue_;
+    int in_flight_ = 0;      ///< Requests popped but not yet fulfilled.
+    bool started_ = false;
+    bool stopping_ = false;  ///< Intake closed; workers exit when drained.
+
+    // Serving statistics (guarded by mutex_).
+    std::vector<double> latencies_ms_;  ///< Ring of <= kLatencyWindow samples.
+    size_t latency_cursor_ = 0;         ///< Overwrite position once full.
+    int64_t completed_ = 0;
+    int64_t rejected_ = 0;
+    int64_t batches_ = 0;
+    int64_t batched_samples_ = 0;
+    Timer serving_clock_;    ///< Reset at start().
+
+    ThreadPool pool_;        ///< The serving workers.
+    std::thread launcher_;   ///< Drives pool_.parallelFor(workers, loop).
+};
+
+}  // namespace patdnn

@@ -1,0 +1,25 @@
+#include "serve/session.h"
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace patdnn {
+
+InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model)
+    : model_(std::move(model))
+{
+    PATDNN_CHECK(model_ != nullptr, "session needs a model");
+}
+
+Tensor
+InferenceSession::run(const Tensor& input)
+{
+    Timer t;
+    Tensor out = model_->run(input, workspace_);
+    stats_.total_ms += t.elapsedMs();
+    ++stats_.requests;
+    stats_.samples += input.shape().dim(0);
+    return out;
+}
+
+}  // namespace patdnn

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared-weight inference sessions.
+ *
+ * One compiled model (weights, FKW storage, LR, tuned parameters) is an
+ * immutable artifact that many concurrent sessions share through a
+ * shared_ptr; each session owns only its activation Workspace plus its
+ * latency bookkeeping. This is the serving-side answer to model-size
+ * pressure: N concurrent streams cost one copy of the weights and N
+ * copies of the (much smaller) activations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rt/framework.h"
+
+namespace patdnn {
+
+/** Per-session request counters. */
+struct SessionStats
+{
+    int64_t requests = 0;      ///< run() calls completed.
+    int64_t samples = 0;       ///< Total N across all inputs.
+    double total_ms = 0.0;     ///< Wall-clock summed over run() calls.
+};
+
+/**
+ * A single inference stream over a shared compiled model. Not
+ * thread-safe itself (one stream = one caller), but any number of
+ * sessions may run concurrently against the same model.
+ */
+class InferenceSession
+{
+  public:
+    explicit InferenceSession(std::shared_ptr<const CompiledModel> model);
+
+    /** Run one NCHW batch through the shared model. */
+    Tensor run(const Tensor& input);
+
+    const SessionStats& stats() const { return stats_; }
+    const CompiledModel& model() const { return *model_; }
+
+  private:
+    std::shared_ptr<const CompiledModel> model_;
+    Workspace workspace_;  ///< This session's private activation scratch.
+    SessionStats stats_;
+};
+
+}  // namespace patdnn

@@ -1,8 +1,10 @@
 #include "sparse/fkw.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
+#include "util/byteio.h"
 #include "util/logging.h"
 
 namespace patdnn {
@@ -19,6 +21,74 @@ bytesFor(int64_t maxv)
         return 2;
     return 4;
 }
+
+// --- byte-level encoding helpers (width-prefixed, over util/byteio) --------
+
+/** Array of non-negative int32 values at the minimal sufficient width:
+ *  [u8 width][u64 count][count * width bytes]. */
+void
+putIntArray(std::vector<uint8_t>& out, const std::vector<int32_t>& v)
+{
+    int32_t maxv = 0;
+    for (int32_t x : v)
+        maxv = std::max(maxv, x);
+    size_t width = bytesFor(maxv);
+    out.push_back(static_cast<uint8_t>(width));
+    bytes::putU64(out, v.size());
+    for (int32_t x : v) {
+        uint32_t u = static_cast<uint32_t>(x);
+        for (size_t i = 0; i < width; ++i)
+            out.push_back(static_cast<uint8_t>(u >> (8 * i)));
+    }
+}
+
+/** FKW-specific arrays on top of the shared bounds-checked reader. */
+struct ByteReader : bytes::Reader
+{
+    bool
+    intArray(std::vector<int32_t>& out)
+    {
+        if (!need(1))
+            return false;
+        size_t width = data[pos++];
+        if (width != 1 && width != 2 && width != 4) {
+            ok = false;
+            return false;
+        }
+        uint64_t count = u64();
+        // Reject counts the remaining bytes cannot possibly hold before
+        // sizing the output (guards against overflow on corrupt input).
+        if (!ok || count > (size - pos) / width) {
+            ok = false;
+            return false;
+        }
+        out.resize(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i) {
+            uint32_t v = 0;
+            for (size_t b = 0; b < width; ++b)
+                v |= static_cast<uint32_t>(data[pos + b]) << (8 * b);
+            pos += width;
+            out[static_cast<size_t>(i)] = static_cast<int32_t>(v);
+        }
+        return ok;
+    }
+
+    bool
+    floatArray(std::vector<float>& out)
+    {
+        uint64_t count = u64();
+        if (!ok || count > (size - pos) / sizeof(float)) {
+            ok = false;
+            return false;
+        }
+        out.resize(static_cast<size_t>(count));
+        if (count > 0)
+            std::memcpy(out.data(), data + pos,
+                        static_cast<size_t>(count) * sizeof(float));
+        pos += static_cast<size_t>(count) * sizeof(float);
+        return ok;
+    }
+};
 
 }  // namespace
 
@@ -242,6 +312,106 @@ validateFkw(const FkwLayer& fkw, std::string* error)
                               fkw.patterns[static_cast<size_t>(p)].popcount();
     if (expect_weights != static_cast<int64_t>(fkw.weights.size()))
         return fail("weight array size mismatch");
+    return true;
+}
+
+void
+serializeFkw(const FkwLayer& fkw, std::vector<uint8_t>& out)
+{
+    bytes::putU64(out, static_cast<uint64_t>(fkw.filters));
+    bytes::putU64(out, static_cast<uint64_t>(fkw.in_channels));
+    bytes::putU64(out, static_cast<uint64_t>(fkw.kh));
+    bytes::putU64(out, static_cast<uint64_t>(fkw.kw));
+    bytes::putU32(out, static_cast<uint32_t>(fkw.entries));
+
+    // Pattern table: geometry lives in the header, one mask per entry.
+    bytes::putU32(out, static_cast<uint32_t>(fkw.patterns.size()));
+    for (const Pattern& p : fkw.patterns)
+        bytes::putU32(out, p.mask());
+
+    putIntArray(out, fkw.offset);
+    putIntArray(out, fkw.reorder);
+    putIntArray(out, fkw.index);
+    putIntArray(out, fkw.stride);
+    putIntArray(out, fkw.kernel_pattern);
+
+    bytes::putU32(out, static_cast<uint32_t>(fkw.groups.size()));
+    for (const FilterGroup& g : fkw.groups) {
+        bytes::putU32(out, static_cast<uint32_t>(g.begin));
+        bytes::putU32(out, static_cast<uint32_t>(g.end));
+        bytes::putU32(out, static_cast<uint32_t>(g.length));
+    }
+
+    bytes::putU64(out, fkw.weights.size());
+    size_t old = out.size();
+    out.resize(old + fkw.weights.size() * sizeof(float));
+    if (!fkw.weights.empty())
+        std::memcpy(out.data() + old, fkw.weights.data(),
+                    fkw.weights.size() * sizeof(float));
+}
+
+bool
+deserializeFkw(const uint8_t* data, size_t size, size_t* consumed, FkwLayer* fkw,
+               std::string* error)
+{
+    auto fail = [&](const char* msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    ByteReader r{{data, size}};
+    FkwLayer out;
+    out.filters = static_cast<int64_t>(r.u64());
+    out.in_channels = static_cast<int64_t>(r.u64());
+    out.kh = static_cast<int64_t>(r.u64());
+    out.kw = static_cast<int64_t>(r.u64());
+    out.entries = static_cast<int>(r.u32());
+    if (!r.ok)
+        return fail("fkw: truncated header");
+    // Geometry sanity before any Pattern is built (the Pattern ctor
+    // aborts on kh*kw > 32, which corrupt bytes must not trigger).
+    if (out.filters < 0 || out.in_channels < 0 || out.kh <= 0 || out.kw <= 0 ||
+        out.kh * out.kw > 32)
+        return fail("fkw: implausible geometry");
+
+    uint32_t npat = r.u32();
+    if (!r.ok || npat > 1u << 20)
+        return fail("fkw: bad pattern table");
+    out.patterns.reserve(npat);
+    for (uint32_t i = 0; i < npat; ++i) {
+        uint32_t mask = r.u32();
+        if (!r.ok)
+            return fail("fkw: truncated pattern table");
+        out.patterns.emplace_back(out.kh, out.kw, mask);
+    }
+
+    if (!r.intArray(out.offset) || !r.intArray(out.reorder) ||
+        !r.intArray(out.index) || !r.intArray(out.stride) ||
+        !r.intArray(out.kernel_pattern))
+        return fail("fkw: truncated index arrays");
+
+    uint32_t ngroups = r.u32();
+    if (!r.ok || ngroups > 1u << 24)
+        return fail("fkw: bad group table");
+    out.groups.reserve(ngroups);
+    for (uint32_t i = 0; i < ngroups; ++i) {
+        FilterGroup g;
+        g.begin = static_cast<int32_t>(r.u32());
+        g.end = static_cast<int32_t>(r.u32());
+        g.length = static_cast<int32_t>(r.u32());
+        if (!r.ok)
+            return fail("fkw: truncated group table");
+        out.groups.push_back(g);
+    }
+
+    if (!r.floatArray(out.weights))
+        return fail("fkw: truncated weight array");
+    if (!r.ok)
+        return fail("fkw: truncated record");
+
+    if (consumed != nullptr)
+        *consumed = r.pos;
+    *fkw = std::move(out);
     return true;
 }
 

@@ -97,4 +97,23 @@ Tensor fkwToDense(const FkwLayer& fkw);
 /** Validate all structural invariants; false + message on corruption. */
 bool validateFkw(const FkwLayer& fkw, std::string* error = nullptr);
 
+/**
+ * Append the layer's byte-level serialized form to `out`: the five FKW
+ * arrays stored at the minimal sufficient integer width (1/2/4 bytes,
+ * the Fig. 16 accounting of indexBytes()), plus the pattern table and
+ * FKR groups. The model-artifact serializer (src/serve/) embeds one
+ * such record per pattern-compiled conv layer.
+ */
+void serializeFkw(const FkwLayer& fkw, std::vector<uint8_t>& out);
+
+/**
+ * Parse one serialized layer from [data, data + size). On success
+ * advances *consumed past the record and returns true; on a truncated
+ * or malformed record returns false with a message in *error. The
+ * caller should still run validateFkw() on the result (this routine
+ * only checks framing, not the structural invariants).
+ */
+bool deserializeFkw(const uint8_t* data, size_t size, size_t* consumed,
+                    FkwLayer* fkw, std::string* error = nullptr);
+
 }  // namespace patdnn

@@ -43,6 +43,14 @@ class TrainLayer
     /** Learnable parameters (empty for stateless layers). */
     virtual std::vector<ParamRef> params() { return {}; }
 
+    /**
+     * Deep copy including parameters, running statistics and any
+     * cached activations. Lets a trained Net be duplicated so several
+     * consumers (e.g. the pruning-scheme comparisons) can each mutate
+     * their own copy of one training run.
+     */
+    virtual std::unique_ptr<TrainLayer> clone() const = 0;
+
     /** Reset accumulated gradients to zero. */
     void zeroGrads();
 
@@ -60,6 +68,12 @@ class Conv2dLayer : public TrainLayer
     Tensor backward(const Tensor& grad_out) override;
     std::vector<ParamRef> params() override;
     std::string name() const override { return desc_.name; }
+
+    std::unique_ptr<TrainLayer>
+    clone() const override
+    {
+        return std::make_unique<Conv2dLayer>(*this);
+    }
 
     const ConvDesc& desc() const { return desc_; }
     Tensor& weight() { return weight_; }
@@ -86,6 +100,12 @@ class FcLayer : public TrainLayer
     std::vector<ParamRef> params() override;
     std::string name() const override { return name_; }
 
+    std::unique_ptr<TrainLayer>
+    clone() const override
+    {
+        return std::make_unique<FcLayer>(*this);
+    }
+
     Tensor& weight() { return weight_; }
 
   private:
@@ -108,6 +128,12 @@ class ReluLayer : public TrainLayer
     Tensor backward(const Tensor& grad_out) override;
     std::string name() const override { return name_; }
 
+    std::unique_ptr<TrainLayer>
+    clone() const override
+    {
+        return std::make_unique<ReluLayer>(*this);
+    }
+
   private:
     std::string name_;
     Tensor cached_in_;
@@ -124,6 +150,12 @@ class MaxPoolLayer : public TrainLayer
     Tensor forward(const Tensor& in, bool training) override;
     Tensor backward(const Tensor& grad_out) override;
     std::string name() const override { return name_; }
+
+    std::unique_ptr<TrainLayer>
+    clone() const override
+    {
+        return std::make_unique<MaxPoolLayer>(*this);
+    }
 
   private:
     std::string name_;
@@ -142,6 +174,12 @@ class BatchNormLayer : public TrainLayer
     Tensor backward(const Tensor& grad_out) override;
     std::vector<ParamRef> params() override;
     std::string name() const override { return name_; }
+
+    std::unique_ptr<TrainLayer>
+    clone() const override
+    {
+        return std::make_unique<BatchNormLayer>(*this);
+    }
 
   private:
     std::string name_;
@@ -162,6 +200,12 @@ class FlattenLayer : public TrainLayer
     Tensor forward(const Tensor& in, bool training) override;
     Tensor backward(const Tensor& grad_out) override;
     std::string name() const override { return name_; }
+
+    std::unique_ptr<TrainLayer>
+    clone() const override
+    {
+        return std::make_unique<FlattenLayer>(*this);
+    }
 
   private:
     std::string name_;

@@ -11,6 +11,15 @@ Net::add(std::unique_ptr<TrainLayer> layer)
     return static_cast<int>(layers_.size()) - 1;
 }
 
+Net
+Net::clone() const
+{
+    Net copy(name_);
+    for (const auto& l : layers_)
+        copy.add(l->clone());
+    return copy;
+}
+
 Tensor
 Net::forward(const Tensor& in, bool training)
 {

@@ -45,6 +45,14 @@ class Net
     /** Pointers to the conv layers themselves. */
     std::vector<Conv2dLayer*> convLayers();
 
+    /**
+     * Deep copy of the whole net (parameters, BN running statistics,
+     * cached state). A trained net can be cloned once per consumer so
+     * each pruning scheme or experiment mutates its own copy of a
+     * single training run.
+     */
+    Net clone() const;
+
     std::vector<std::unique_ptr<TrainLayer>>& layers() { return layers_; }
 
   private:

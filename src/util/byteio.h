@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Little-endian byte-stream primitives shared by the binary
+ * serializers (FKW records in src/sparse/fkw.cc, model artifacts in
+ * src/serve/artifact.cc). Writers append to a byte vector; the Reader
+ * is bounds-checked and latches `ok = false` on the first overrun so
+ * callers can parse a whole record and test once.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace patdnn {
+namespace bytes {
+
+inline void
+putU32(std::vector<uint8_t>& out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::vector<uint8_t>& out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putI64(std::vector<uint8_t>& out, int64_t v)
+{
+    putU64(out, static_cast<uint64_t>(v));
+}
+
+/** Bounds-checked little-endian reader over [data, data + size). */
+struct Reader
+{
+    const uint8_t* data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    /** True iff n more bytes are available; latches ok on failure. */
+    bool
+    need(size_t n)
+    {
+        if (!ok || size - pos < n)
+            ok = false;
+        return ok;
+    }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data[pos++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)])
+                 << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)])
+                 << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    int64_t
+    i64()
+    {
+        return static_cast<int64_t>(u64());
+    }
+};
+
+}  // namespace bytes
+}  // namespace patdnn

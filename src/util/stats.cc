@@ -19,6 +19,24 @@ Timer::elapsedUs() const
     return std::chrono::duration<double, std::micro>(now - start_).count();
 }
 
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (p <= 0.0)
+        return samples.front();
+    if (p >= 100.0)
+        return samples.back();
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
 Summary
 summarize(std::vector<double> samples)
 {

@@ -44,6 +44,13 @@ struct Summary
 Summary summarize(std::vector<double> samples);
 
 /**
+ * The p-th percentile (p in [0, 100]) of a sample using linear
+ * interpolation between closest ranks; 0 for an empty sample. Used by
+ * the serving layer for p50/p99 latency reporting.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
  * Time fn over repeated runs.
  *
  * Runs `warmup` untimed iterations followed by `reps` timed ones and

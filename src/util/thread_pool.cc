@@ -67,6 +67,9 @@ ThreadPool::parallelChunks(
         body(0, count);
         return;
     }
+    // One fork-join at a time: the generation/pending protocol below
+    // assumes a single submitter, so concurrent callers take turns.
+    std::lock_guard<std::mutex> submit_lk(submit_mutex_);
     Task task;
     task.body = &body;
     task.count = count;

@@ -39,8 +39,10 @@ class ThreadPool
      * Run body(i) for every i in [0, count) across the pool.
      *
      * Iterations are divided into numThreads() contiguous static chunks.
-     * Blocks until all iterations finish. Safe to call repeatedly; not
-     * reentrant from inside a body.
+     * Blocks until all iterations finish. Safe to call repeatedly and
+     * from multiple threads concurrently (concurrent submitters are
+     * serialized, one fork-join at a time); not reentrant from inside a
+     * body.
      */
     void parallelFor(int64_t count, const std::function<void(int64_t)>& body);
 
@@ -48,7 +50,8 @@ class ThreadPool
      * Run body(chunk_begin, chunk_end) once per worker over [0, count).
      *
      * Lower overhead than parallelFor when the body can iterate its own
-     * range; chunking is static and contiguous.
+     * range; chunking is static and contiguous. Same concurrency
+     * contract as parallelFor.
      */
     void parallelChunks(
         int64_t count,
@@ -69,6 +72,9 @@ class ThreadPool
 
     int n_threads_;
     std::vector<std::thread> workers_;
+    /// Serializes whole fork-joins so independent threads (e.g. several
+    /// inference sessions sharing one device) may submit concurrently.
+    std::mutex submit_mutex_;
     std::mutex mutex_;
     std::condition_variable cv_start_;
     std::condition_variable cv_done_;

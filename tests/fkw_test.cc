@@ -127,6 +127,78 @@ TEST(FkwFailureInjection, DetectsNonMonotonicStride)
     EXPECT_FALSE(validateFkw(p.fkw, &err));
 }
 
+TEST(FkwSerialization, ByteRoundTripTightAndLoose)
+{
+    FkrOptions no_reorder;
+    no_reorder.reorder_filters = false;
+    no_reorder.similarity_within_group = false;
+    no_reorder.reorder_kernels = false;
+    for (bool loose : {false, true}) {
+        Packed p = makePacked(12, 10, 45, 8, 21, loose ? no_reorder : FkrOptions{});
+        std::vector<uint8_t> bytes;
+        serializeFkw(p.fkw, bytes);
+        FkwLayer back;
+        size_t consumed = 0;
+        std::string err;
+        ASSERT_TRUE(deserializeFkw(bytes.data(), bytes.size(), &consumed, &back,
+                                   &err))
+            << err;
+        EXPECT_EQ(consumed, bytes.size());
+        ASSERT_TRUE(validateFkw(back, &err)) << err;
+        EXPECT_EQ(back.offset, p.fkw.offset);
+        EXPECT_EQ(back.reorder, p.fkw.reorder);
+        EXPECT_EQ(back.index, p.fkw.index);
+        EXPECT_EQ(back.stride, p.fkw.stride);
+        EXPECT_EQ(back.kernel_pattern, p.fkw.kernel_pattern);
+        EXPECT_EQ(back.weights, p.fkw.weights);
+        // Bit-identical dense reconstruction through the byte format.
+        EXPECT_EQ(Tensor::maxAbsDiff(fkwToDense(back), fkwToDense(p.fkw)), 0.0);
+    }
+}
+
+TEST(FkwSerialization, SizeMatchesIndexBytesAccounting)
+{
+    // The byte format stores the index arrays at exactly the minimal
+    // widths indexBytes() accounts for (plus fixed framing overhead).
+    Packed p = makePacked(64, 64, 1138, 8, 22);
+    std::vector<uint8_t> bytes;
+    serializeFkw(p.fkw, bytes);
+    size_t payload = p.fkw.indexBytes() + p.fkw.weights.size() * sizeof(float) +
+                     p.fkw.patterns.size() * sizeof(uint32_t);
+    EXPECT_GE(bytes.size(), payload);
+    // Framing: header + per-array width/count prefixes + group table.
+    size_t framing = bytes.size() - payload;
+    EXPECT_LT(framing, 256 + p.fkw.groups.size() * 12);
+}
+
+TEST(FkwSerialization, RejectsTruncatedBytes)
+{
+    Packed p = makePacked(12, 10, 45, 8, 23);
+    std::vector<uint8_t> bytes;
+    serializeFkw(p.fkw, bytes);
+    for (size_t keep : {size_t(0), size_t(7), size_t(40), bytes.size() - 1}) {
+        FkwLayer back;
+        size_t consumed = 0;
+        std::string err;
+        EXPECT_FALSE(deserializeFkw(bytes.data(), keep, &consumed, &back, &err))
+            << keep;
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST(FkwSerialization, RejectsImplausibleGeometry)
+{
+    Packed p = makePacked(8, 8, 30, 6, 24);
+    std::vector<uint8_t> bytes;
+    serializeFkw(p.fkw, bytes);
+    bytes[16] = 0xFF;  // kh low byte -> absurd kernel height.
+    FkwLayer back;
+    size_t consumed = 0;
+    std::string err;
+    EXPECT_FALSE(deserializeFkw(bytes.data(), bytes.size(), &consumed, &back, &err));
+    EXPECT_NE(err.find("geometry"), std::string::npos);
+}
+
 TEST(Fkw, PruneAndPackConvenience)
 {
     Rng rng(11);

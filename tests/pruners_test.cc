@@ -6,18 +6,31 @@
 namespace patdnn {
 namespace {
 
+/**
+ * Every test here used to retrain an identical net (same seeds, same
+ * config) from scratch, which dominated the suite's runtime. Train the
+ * master once per process and hand each test a deep clone to mutate.
+ */
 struct TrainedNet
 {
     SyntheticShapes data{4, 12, 1, 128, 64, 777};
-    Net net = buildVggStyleNet(4, 12, 1, 8, 21);
+    Net net = master().clone();
 
-    TrainedNet()
+  private:
+    static const Net&
+    master()
     {
-        TrainConfig cfg;
-        cfg.epochs = 5;
-        cfg.batch_size = 16;
-        cfg.lr = 2e-3f;
-        trainNet(net, data, cfg);
+        static const Net trained = [] {
+            Net net = buildVggStyleNet(4, 12, 1, 8, 21);
+            SyntheticShapes data{4, 12, 1, 128, 64, 777};
+            TrainConfig cfg;
+            cfg.epochs = 5;
+            cfg.batch_size = 16;
+            cfg.lr = 2e-3f;
+            trainNet(net, data, cfg);
+            return net;
+        }();
+        return trained;
     }
 };
 

@@ -1,0 +1,426 @@
+/** @file Serving subsystem tests: artifacts, sessions, async server. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/patdnn.h"
+
+namespace patdnn {
+namespace {
+
+Model
+tinyModel()
+{
+    Model m("tiny-serve", "test");
+    auto add_conv = [&](const std::string& name, int64_t cin, int64_t cout,
+                        int64_t res) {
+        Layer conv;
+        conv.kind = OpKind::kConv;
+        conv.name = name;
+        conv.conv = ConvDesc{name, cin, cout, 3, 3, res, res, 1, 1, 1, 1};
+        m.addLayer(std::move(conv));
+        Layer relu;
+        relu.kind = OpKind::kReLU;
+        relu.name = name + "_relu";
+        m.addLayer(std::move(relu));
+    };
+    add_conv("c1", 3, 16, 16);
+    add_conv("c2", 16, 16, 16);
+    Layer pool;
+    pool.kind = OpKind::kMaxPool;
+    pool.name = "p1";
+    m.addLayer(std::move(pool));
+    add_conv("c3", 16, 32, 8);
+    Layer fl;
+    fl.kind = OpKind::kFlatten;
+    fl.name = "flatten";
+    m.addLayer(std::move(fl));
+    Layer fc;
+    fc.kind = OpKind::kFullyConnected;
+    fc.name = "fc";
+    fc.in_features = 32 * 8 * 8;
+    fc.out_features = 10;
+    m.addLayer(std::move(fc));
+    m.randomizeWeights(123);
+    return m;
+}
+
+Tensor
+makeInput(uint64_t seed, int64_t n = 1)
+{
+    Tensor in(Shape{n, 3, 16, 16});
+    Rng rng(seed);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    return in;
+}
+
+std::string
+tempArtifactPath(const char* tag)
+{
+    return std::string(::testing::TempDir()) + "patdnn_" + tag + ".pdnn";
+}
+
+TEST(Artifact, RoundTripBitIdenticalOutputs)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    Tensor in = makeInput(9);
+    Tensor expect = compiled.run(in);
+
+    std::vector<uint8_t> bytes = serializeModel(compiled);
+    std::string error;
+    std::shared_ptr<CompiledModel> loaded = deserializeModel(bytes, dev, &error);
+    ASSERT_NE(loaded, nullptr) << error;
+    EXPECT_EQ(loaded->kind(), FrameworkKind::kPatDnn);
+    EXPECT_EQ(loaded->nodeCount(), compiled.nodeCount());
+    EXPECT_EQ(loaded->convNonZeros(), compiled.convNonZeros());
+
+    // Same FKW arrays + same engine configuration => bit-identical.
+    Tensor got = loaded->run(in);
+    EXPECT_EQ(got.shape(), expect.shape());
+    EXPECT_EQ(Tensor::maxAbsDiff(got, expect), 0.0);
+}
+
+TEST(Artifact, RoundTripAllFrameworkKinds)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    Tensor in = makeInput(10);
+    for (auto kind : {FrameworkKind::kTfliteLike, FrameworkKind::kTvmLike,
+                      FrameworkKind::kMnnLike, FrameworkKind::kPatDnnDense,
+                      FrameworkKind::kCsrSparse, FrameworkKind::kPatDnn}) {
+        CompiledModel compiled(m, kind, dev);
+        Tensor expect = compiled.run(in);
+        std::string error;
+        auto loaded = deserializeModel(serializeModel(compiled), dev, &error);
+        ASSERT_NE(loaded, nullptr) << frameworkName(kind) << ": " << error;
+        EXPECT_EQ(Tensor::maxAbsDiff(loaded->run(in), expect), 0.0)
+            << frameworkName(kind);
+    }
+}
+
+TEST(Artifact, SaveLoadFileRoundTrip)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    std::string path = tempArtifactPath("roundtrip");
+    std::string error;
+    ASSERT_TRUE(saveModel(compiled, path, &error)) << error;
+    std::shared_ptr<CompiledModel> loaded = loadModel(path, dev, &error);
+    ASSERT_NE(loaded, nullptr) << error;
+    Tensor in = makeInput(11);
+    EXPECT_EQ(Tensor::maxAbsDiff(loaded->run(in), compiled.run(in)), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, PatternArtifactSmallerThanDense)
+{
+    // FKW replaces the dense weight view in the artifact, so a pruned
+    // model must serialize smaller than its dense compilation.
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledModel sparse(m, FrameworkKind::kPatDnn, dev);
+    CompiledModel dense(m, FrameworkKind::kPatDnnDense, dev);
+    EXPECT_LT(serializeModel(sparse).size(), serializeModel(dense).size());
+}
+
+TEST(Artifact, RejectsCorruptedAndTruncatedBytes)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    std::vector<uint8_t> bytes = serializeModel(compiled);
+
+    std::string error;
+    // Bad magic.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[0] ^= 0xFF;
+        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr);
+        EXPECT_NE(error.find("magic"), std::string::npos) << error;
+    }
+    // Unsupported version.
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[4] = 0xEE;
+        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr);
+        EXPECT_NE(error.find("version"), std::string::npos) << error;
+    }
+    // Truncation at several depths.
+    for (size_t keep : {size_t(3), size_t(15), bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<uint8_t> bad(bytes.begin(),
+                                 bytes.begin() + static_cast<long>(keep));
+        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr) << keep;
+    }
+    // Payload bit flips must fail the checksum.
+    for (size_t at : {size_t(20), bytes.size() / 2, bytes.size() - 9}) {
+        std::vector<uint8_t> bad = bytes;
+        bad[at] ^= 0x01;
+        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr) << at;
+        EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+    }
+    // Missing file.
+    EXPECT_EQ(loadModel(tempArtifactPath("does_not_exist"), dev, &error), nullptr);
+}
+
+TEST(Session, SharedModelConcurrentSessionsMatchSerial)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnn, dev);
+
+    constexpr int kSessions = 4;
+    constexpr int kRequests = 6;
+    // Serial references from a fresh session per stream.
+    std::vector<std::vector<Tensor>> expect(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+        InferenceSession session(model);
+        for (int r = 0; r < kRequests; ++r)
+            expect[static_cast<size_t>(s)].push_back(
+                session.run(makeInput(100 + static_cast<uint64_t>(s * 31 + r))));
+    }
+
+    // Same streams, all sessions running concurrently.
+    std::vector<std::vector<Tensor>> got(kSessions);
+    std::vector<std::thread> threads;
+    for (int s = 0; s < kSessions; ++s)
+        threads.emplace_back([&, s] {
+            InferenceSession session(model);
+            for (int r = 0; r < kRequests; ++r)
+                got[static_cast<size_t>(s)].push_back(
+                    session.run(makeInput(100 + static_cast<uint64_t>(s * 31 + r))));
+        });
+    for (auto& t : threads)
+        t.join();
+
+    for (int s = 0; s < kSessions; ++s)
+        for (int r = 0; r < kRequests; ++r)
+            EXPECT_EQ(Tensor::maxAbsDiff(got[static_cast<size_t>(s)][static_cast<size_t>(r)],
+                                         expect[static_cast<size_t>(s)][static_cast<size_t>(r)]),
+                      0.0)
+                << "session " << s << " request " << r;
+}
+
+TEST(Session, SingleElementOutputReusesWorkspaceSafely)
+{
+    // Regression: a fresh Workspace slot is rank-0 with numel() == 1
+    // but no storage; a 1-element output (e.g. a scalar regression
+    // head) must allocate it rather than reshape it.
+    Model m("scalar-head", "test");
+    Layer fl;
+    fl.kind = OpKind::kFlatten;
+    fl.name = "flatten";
+    m.addLayer(std::move(fl));
+    Layer fc;
+    fc.kind = OpKind::kFullyConnected;
+    fc.name = "fc";
+    fc.in_features = 3 * 4 * 4;
+    fc.out_features = 1;
+    m.addLayer(std::move(fc));
+    m.randomizeWeights(5);
+
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+    InferenceSession session(model);
+    Tensor in(Shape{1, 3, 4, 4});
+    Rng rng(6);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tensor a = session.run(in);
+    Tensor b = session.run(in);
+    EXPECT_EQ(a.shape(), Shape({1, 1}));
+    EXPECT_EQ(Tensor::maxAbsDiff(a, b), 0.0);
+}
+
+TEST(Session, TracksStats)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+    InferenceSession session(model);
+    session.run(makeInput(1));
+    session.run(makeInput(2, /*n=*/3));
+    EXPECT_EQ(session.stats().requests, 2);
+    EXPECT_EQ(session.stats().samples, 4);
+    EXPECT_GT(session.stats().total_ms, 0.0);
+}
+
+TEST(Server, DrainsBurstWithCorrectResultsAndStats)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnn, dev);
+
+    constexpr int kBurst = 40;
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> expect;
+    {
+        InferenceSession reference(model);
+        for (int i = 0; i < kBurst; ++i) {
+            inputs.push_back(makeInput(500 + static_cast<uint64_t>(i)));
+            expect.push_back(reference.run(inputs.back()));
+        }
+    }
+
+    ServerOptions opts;
+    opts.workers = 3;
+    opts.max_batch = 4;
+    opts.max_queue = kBurst;
+    InferenceServer server(model, opts);
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < kBurst; ++i)
+        futures.push_back(server.submit(inputs[static_cast<size_t>(i)]));
+    for (int i = 0; i < kBurst; ++i) {
+        Tensor out = futures[static_cast<size_t>(i)].get();
+        EXPECT_EQ(Tensor::maxAbsDiff(out, expect[static_cast<size_t>(i)]), 0.0)
+            << "request " << i;
+    }
+    server.drain();
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, kBurst);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_GT(stats.p50_ms, 0.0);
+    EXPECT_GE(stats.p99_ms, stats.p50_ms);
+    EXPECT_GT(stats.throughput_rps, 0.0);
+    EXPECT_GT(stats.batches, 0);
+    EXPECT_LE(stats.batches, kBurst);
+    EXPECT_GE(stats.avg_batch, 1.0);
+    server.shutdown();
+}
+
+TEST(Server, MicroBatchesMultiSampleRequests)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    InferenceSession reference(model);
+    Tensor a = makeInput(71, 2), b = makeInput(72, 3), c = makeInput(73, 1);
+    Tensor ea = reference.run(a), eb = reference.run(b), ec = reference.run(c);
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_batch = 8;
+    opts.start_paused = true;  // Queue everything, then serve: one batch.
+    InferenceServer server(model, opts);
+    auto fa = server.submit(a);
+    auto fb = server.submit(b);
+    auto fc = server.submit(c);
+    server.start();
+    EXPECT_EQ(Tensor::maxAbsDiff(fa.get(), ea), 0.0);
+    EXPECT_EQ(Tensor::maxAbsDiff(fb.get(), eb), 0.0);
+    EXPECT_EQ(Tensor::maxAbsDiff(fc.get(), ec), 0.0);
+    server.drain();
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 3);
+    EXPECT_EQ(stats.batches, 1);          // 2+3+1 samples fit one batch.
+    EXPECT_DOUBLE_EQ(stats.avg_batch, 6.0);
+    server.shutdown();
+}
+
+TEST(Server, BoundedQueueRejectsWhenFull)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_queue = 4;
+    opts.start_paused = true;  // No draining: the bound must bite.
+    InferenceServer server(model, opts);
+    std::vector<std::future<Tensor>> accepted;
+    for (size_t i = 0; i < opts.max_queue; ++i) {
+        std::future<Tensor> f;
+        ASSERT_TRUE(server.trySubmit(makeInput(i), &f)) << i;
+        accepted.push_back(std::move(f));
+    }
+    std::future<Tensor> overflow;
+    EXPECT_FALSE(server.trySubmit(makeInput(99), &overflow));
+    EXPECT_EQ(server.stats().rejected, 1);
+    EXPECT_EQ(server.stats().queue_depth, opts.max_queue);
+
+    server.start();
+    for (auto& f : accepted)
+        EXPECT_EQ(f.get().shape(), Shape({1, 10}));
+    server.drain();
+    EXPECT_EQ(server.stats().completed, static_cast<int64_t>(opts.max_queue));
+    server.shutdown();
+}
+
+TEST(Server, MalformedInputFailsOnlyThatRequest)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+    InferenceServer server(model);
+
+    // Rank-0 and zero-sample tensors are rejected per-request.
+    EXPECT_THROW(server.submit(Tensor()).get(), std::invalid_argument);
+    EXPECT_THROW(server.submit(Tensor(Shape{0, 3, 16, 16})).get(),
+                 std::invalid_argument);
+    std::future<Tensor> f;
+    EXPECT_FALSE(server.trySubmit(Tensor(), &f));
+    EXPECT_EQ(server.stats().rejected, 1);
+
+    // The server keeps serving well-formed requests afterwards.
+    Tensor in = makeInput(77);
+    EXPECT_EQ(server.submit(in).get().shape(), Shape({1, 10}));
+}
+
+TEST(Server, SubmitAfterShutdownFails)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+    InferenceServer server(model);
+    server.shutdown();
+    std::future<Tensor> f;
+    EXPECT_FALSE(server.trySubmit(makeInput(1), &f));
+    EXPECT_THROW(server.submit(makeInput(2)).get(), std::runtime_error);
+}
+
+TEST(Server, LoadedArtifactServesBurst)
+{
+    // The full deployment path: compile -> save -> load -> serve.
+    Model m = tinyModel();
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    std::string path = tempArtifactPath("serve_e2e");
+    std::string error;
+    ASSERT_TRUE(saveModel(compiled, path, &error)) << error;
+    std::shared_ptr<CompiledModel> loaded = loadModel(path, dev, &error);
+    ASSERT_NE(loaded, nullptr) << error;
+    std::remove(path.c_str());
+
+    auto server = serve(loaded);
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(server->submit(makeInput(300 + static_cast<uint64_t>(i))));
+    InferenceSession reference(loaded);
+    for (int i = 0; i < 32; ++i) {
+        Tensor expect = reference.run(makeInput(300 + static_cast<uint64_t>(i)));
+        EXPECT_EQ(Tensor::maxAbsDiff(futures[static_cast<size_t>(i)].get(), expect),
+                  0.0);
+    }
+    server->drain();
+    EXPECT_EQ(server->stats().completed, 32);
+    EXPECT_GT(server->stats().p99_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace patdnn

@@ -6,9 +6,12 @@
 namespace patdnn {
 namespace {
 
+// Structure-only tests skip the He weight fill: ImageNet-scale random
+// init dominated this suite's runtime (~30 s) while every assertion
+// below reads only geometry-derived metadata.
 TEST(Zoo, Vgg16HasThirteenConvAndThreeFc)
 {
-    Model m = buildVGG16(Dataset::kImageNet);
+    Model m = buildVGG16(Dataset::kImageNet, ZooWeights::kStructureOnly);
     EXPECT_EQ(m.countKind(OpKind::kConv), 13);
     EXPECT_EQ(m.countKind(OpKind::kFullyConnected), 3);
     EXPECT_EQ(m.countKind(OpKind::kMaxPool), 5);
@@ -18,13 +21,13 @@ TEST(Zoo, Vgg16ImageNetSizeMatchesPaper)
 {
     // Paper Table 5: VGG-16 ImageNet = 553.5 MB (serialized file);
     // raw fp32 parameters are ~528 MB (138.4M params).
-    Model m = buildVGG16(Dataset::kImageNet);
+    Model m = buildVGG16(Dataset::kImageNet, ZooWeights::kStructureOnly);
     EXPECT_NEAR(m.sizeMB(), 528.0, 8.0);
 }
 
 TEST(Zoo, Vgg16Cifar10IsSmall)
 {
-    Model m = buildVGG16(Dataset::kCifar10);
+    Model m = buildVGG16(Dataset::kCifar10, ZooWeights::kStructureOnly);
     EXPECT_LT(m.sizeMB(), 80.0);
     EXPECT_GT(m.sizeMB(), 30.0);
 }
@@ -32,14 +35,14 @@ TEST(Zoo, Vgg16Cifar10IsSmall)
 TEST(Zoo, ResNet50MainPathConvCount)
 {
     // Paper Table 5 counts 49 conv layers (main path).
-    Model m = buildResNet50(Dataset::kImageNet);
+    Model m = buildResNet50(Dataset::kImageNet, ZooWeights::kStructureOnly);
     EXPECT_EQ(mainPathConvCount(m), 49);
     EXPECT_NEAR(m.sizeMB(), 102.5, 10.0);
 }
 
 TEST(Zoo, MobileNetV2Structure)
 {
-    Model m = buildMobileNetV2(Dataset::kImageNet);
+    Model m = buildMobileNetV2(Dataset::kImageNet, ZooWeights::kStructureOnly);
     // Paper Table 5: 52 conv layers, ~14.2 MB.
     EXPECT_NEAR(static_cast<double>(m.countKind(OpKind::kConv)), 52.0, 3.0);
     EXPECT_NEAR(m.sizeMB(), 14.2, 3.0);
@@ -74,7 +77,7 @@ TEST(Zoo, OutputShapesChainCorrectly)
 {
     for (Dataset ds : {Dataset::kImageNet, Dataset::kCifar10}) {
         for (const char* name : {"VGG", "RNT", "MBNT"}) {
-            Model m = buildByShortName(name, ds);
+            Model m = buildByShortName(name, ds, ZooWeights::kStructureOnly);
             for (const auto& l : m.layers())
                 if (l.kind == OpKind::kConv)
                     l.conv.check();
@@ -94,7 +97,8 @@ TEST(Zoo, WeightsAreInitialized)
 
 TEST(ZooDeath, UnknownShortName)
 {
-    EXPECT_DEATH(buildByShortName("NOPE", Dataset::kCifar10), "unknown model");
+    EXPECT_DEATH(buildByShortName("NOPE", Dataset::kCifar10, ZooWeights::kStructureOnly),
+                 "unknown model");
 }
 
 }  // namespace

@@ -28,5 +28,8 @@ fi
 
 if [[ ${run_build} -eq 1 ]]; then
     echo "== tier-1: configure + build + ctest =="
-    cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+    # Per-test timeout so a hung suite (e.g. a deadlocked server test)
+    # fails fast instead of stalling the whole job.
+    cmake -B build -S . && cmake --build build -j && cd build \
+        && ctest --output-on-failure -j --timeout 300
 fi
