@@ -35,6 +35,31 @@ struct KernelFixture
 };
 
 void
+BM_SimdAccumRows(benchmark::State& state, const SimdOps& ops)
+{
+    Rng rng(6);
+    constexpr int64_t kN = 1024;
+    constexpr int kLive = 4;
+    Tensor row_data(Shape{kLive, kN});
+    row_data.fillUniform(rng, -1.0f, 1.0f);
+    const float* rows[kLive];
+    float w[kLive];
+    for (int e = 0; e < kLive; ++e) {
+        rows[e] = row_data.data() + e * kN;
+        w[e] = rng.normal();
+    }
+    Tensor out(Shape{kN});
+    for (auto _ : state) {
+        ops.accum_rows(rows, w, kLive, out.data(), kN, 16);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kLive);
+    state.SetLabel(ops.name);
+}
+BENCHMARK_CAPTURE(BM_SimdAccumRows, scalar, scalarSimdOps());
+BENCHMARK_CAPTURE(BM_SimdAccumRows, dispatched, resolveSimdOps(detectSimdIsa()));
+
+void
 BM_MicrokernelLre(benchmark::State& state)
 {
     KernelFixture f;

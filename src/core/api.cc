@@ -58,7 +58,10 @@ compileLayer(const ConvDesc& desc, Tensor weight, const PatternSet& set,
         tuner_cfg.population = 8;
         tuner_cfg.generations = 2;
         tuner_cfg.measure_reps = 1;
-        TuneResult tuned = tuneLayer(measure, TuneSpace{}, tuner_cfg);
+        // Search the ISA-specialized space: unroll/tile choices are in
+        // units of the device's kernel vector width.
+        TuneResult tuned =
+            tuneLayer(measure, tuneSpaceFor(device.simd_isa), tuner_cfg);
         out.lr.tuning = tuned.best;
     }
     out.engine = std::make_unique<PatternConv>(desc, out.fkw.get(), out.lr, device);

@@ -24,7 +24,21 @@ buildGraph(const Model& model)
         n.bias = l.bias;
         n.bn_scale = l.bn_scale;
         n.bn_shift = l.bn_shift;
-        n.inputs.push_back(prev);
+        PATDNN_CHECK(l.input_from >= -2,
+                     "input_from below the -2 sentinel for " << l.name);
+        if (l.input_from >= -1) {
+            // Explicit producer (branch off the main chain, e.g. a
+            // projection shortcut); -1 selects the model input.
+            PATDNN_CHECK(l.input_from < static_cast<int>(li),
+                         "input_from must reference an earlier layer for "
+                             << l.name);
+            n.inputs.push_back(
+                l.input_from < 0
+                    ? -1
+                    : layer_to_node[static_cast<size_t>(l.input_from)]);
+        } else {
+            n.inputs.push_back(prev);
+        }
         if (l.kind == OpKind::kAdd) {
             PATDNN_CHECK(l.residual_from >= 0 &&
                              l.residual_from < static_cast<int>(li),

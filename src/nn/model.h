@@ -39,6 +39,11 @@ std::string opKindName(OpKind kind);
  * and `weight`/`bias`; fc uses in/out features and `weight`/`bias`;
  * pools use pool_k/pool_stride; add uses `residual_from` (index of the
  * earlier layer whose output is added).
+ *
+ * Layers normally consume the previous layer's output; `input_from`
+ * overrides that with an explicit earlier producer, which is how a
+ * branch off the main chain (e.g. a ResNet projection shortcut) is
+ * expressed.
  */
 struct Layer
 {
@@ -49,6 +54,7 @@ struct Layer
     int64_t out_features = 0;
     int64_t pool_k = 2;      ///< For pools.
     int64_t pool_stride = 2;
+    int input_from = -2;     ///< Producer layer index; -2 = previous layer.
     int residual_from = -1;  ///< For kAdd: producer layer index.
     Tensor weight;           ///< OIHW conv weight or [out,in] fc weight.
     Tensor bias;             ///< Optional; empty if absent.

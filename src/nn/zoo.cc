@@ -142,16 +142,24 @@ buildResNet50(Dataset ds, ZooWeights weights)
             addConvBnRelu(m, base + "_3x3", width, width, 3, inner_res, inner_res, 1, 1);
             addConvBnRelu(m, base + "_1x1b", width, out, 1, inner_res, inner_res, 1, 0,
                           1, /*relu=*/false);
+            int main_end = static_cast<int>(m.layers().size()) - 1;
+            int shortcut = last_input;
             if (b == 0) {
                 // Projection shortcut (tagged _proj, excluded from the
-                // paper's main-path conv count).
+                // paper's main-path conv count). It branches off the
+                // block input via input_from — not the main chain —
+                // and the add then combines main path and projection.
+                size_t proj_conv = m.layers().size();
                 addConvBnRelu(m, base + "_proj", cin, out, 1, res, res, stride, 0,
                               1, /*relu=*/false);
+                m.layers()[proj_conv].input_from = last_input;
+                shortcut = static_cast<int>(m.layers().size()) - 1;
             }
             Layer add;
             add.kind = OpKind::kAdd;
             add.name = base + "_add";
-            add.residual_from = last_input;
+            add.input_from = main_end;
+            add.residual_from = shortcut;
             m.addLayer(std::move(add));
             Layer relu;
             relu.kind = OpKind::kReLU;

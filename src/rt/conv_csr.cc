@@ -33,12 +33,26 @@ CsrConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
             int64_t r = rem / d.kw;
             int64_t c = rem % d.kw;
             const float* iptr = in.data() + ((b * d.cin + ic) * d.h) * d.w;
+            // Stride-1 rows touch a contiguous input span: resolve the
+            // guarded gather to one bounds computation + a vectorized
+            // saxpy over the valid columns (the per-nonzero FKW/CSR
+            // gather is where SIMD pays on this engine).
+            bool contiguous = d.stride == 1 && d.dilation == 1;
+            int64_t x_lo = contiguous ? std::max<int64_t>(0, d.pad - c) : 0;
+            int64_t x_hi =
+                contiguous ? std::min<int64_t>(ow, d.w + d.pad - c) : 0;
             for (int64_t y = 0; y < oh; ++y) {
                 int64_t iy = y * d.stride - d.pad + r * d.dilation;
                 if (iy < 0 || iy >= d.h)
                     continue;
                 const float* irow = iptr + iy * d.w;
                 float* orow = optr + y * ow;
+                if (contiguous) {
+                    if (x_hi > x_lo)
+                        ops_->axpy(wv, irow + x_lo - d.pad + c, orow + x_lo,
+                                   x_hi - x_lo);
+                    continue;
+                }
                 for (int64_t x = 0; x < ow; ++x) {
                     int64_t ix = x * d.stride - d.pad + c * d.dilation;
                     if (ix < 0 || ix >= d.w)
@@ -48,8 +62,7 @@ CsrConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
             }
         }
         if (ep.relu)
-            for (int64_t j = 0; j < oh * ow; ++j)
-                optr[j] = std::max(0.0f, optr[j]);
+            ops_->relu(optr, oh * ow);
     });
 }
 

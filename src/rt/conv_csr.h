@@ -21,7 +21,8 @@ class CsrConv
 {
   public:
     CsrConv(ConvDesc desc, CsrWeights csr, DeviceSpec device)
-        : desc_(std::move(desc)), csr_(std::move(csr)), device_(std::move(device))
+        : desc_(std::move(desc)), csr_(std::move(csr)),
+          device_(std::move(device)), ops_(&resolveSimdOps(device_.simd_isa))
     {
     }
 
@@ -33,6 +34,7 @@ class CsrConv
     ConvDesc desc_;
     CsrWeights csr_;
     DeviceSpec device_;
+    const SimdOps* ops_;  ///< Resolved once from device_.simd_isa.
 };
 
 }  // namespace patdnn

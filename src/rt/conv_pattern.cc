@@ -69,7 +69,12 @@ preparePatternPlan(const FkwLayer& fkw, const LayerwiseRep& lr,
                                   return a.pid < b.pid;
                               return a.fpos < b.fpos;
                           });
-                int max_bundle = std::max(1, lr.tuning.unroll_oc);
+                // Bundles are capped at 16 filters: the executor's
+                // pointer tables and the multi-filter kernels size for
+                // that, so an oversized tuning value (hand-written or
+                // from an artifact) must be clamped here, where the
+                // ops are built, not silently truncated at run time.
+                int max_bundle = std::min(16, std::max(1, lr.tuning.unroll_oc));
                 size_t i = 0;
                 while (i < refs.size()) {
                     size_t j = i + 1;
@@ -131,7 +136,7 @@ preparePatternPlan(const FkwLayer& fkw, const LayerwiseRep& lr,
 PatternConv::PatternConv(ConvDesc desc, const FkwLayer* fkw, LayerwiseRep lr,
                          DeviceSpec device)
     : desc_(std::move(desc)), fkw_(fkw), lr_(std::move(lr)),
-      device_(std::move(device))
+      device_(std::move(device)), ops_(&resolveSimdOps(device_.simd_isa))
 {
     PATDNN_CHECK_EQ(desc_.groups, 1, "PatternConv supports groups == 1");
     PATDNN_CHECK_EQ(fkw_->in_channels, desc_.cin, "fkw channels");
@@ -210,23 +215,27 @@ PatternConv::runItem(const WorkItem& item, const float* in, float* out,
         const float* in_plane =
             in + static_cast<int64_t>(op.input_channel) * d.h * d.w;
         if (op.filter_count > 1) {
+            // Plan construction caps bundles at 16 (preparePatternPlan).
+            PATDNN_CHECK_LE(op.filter_count, 16, "multi-filter bundle size");
             const float* wptrs[16];
             float* optrs[16];
-            int count = std::min<int32_t>(op.filter_count, 16);
+            int count = op.filter_count;
             for (int f = 0; f < count; ++f) {
                 wptrs[f] = fkw_->weights.data() +
                            static_cast<int64_t>(op.kernel_index[static_cast<size_t>(f)]) *
                                plan_.entries;
                 optrs[f] = out_plane(op.filter_pos[static_cast<size_t>(f)]);
             }
-            kernelAccumulateMultiFilter(pk, wptrs, in_plane, optrs, count, g);
+            kernelAccumulateMultiFilter(pk, wptrs, in_plane, optrs, count, g,
+                                        ops_);
         } else {
             const float* wptr = fkw_->weights.data() +
                                 static_cast<int64_t>(op.kernel_index[0]) *
                                     plan_.entries;
             float* optr = out_plane(op.filter_begin);
             if (lr_.opts.lre)
-                kernelAccumulateLre(pk, wptr, in_plane, optr, g, t.unroll_w);
+                kernelAccumulateLre(pk, wptr, in_plane, optr, g, t.unroll_w,
+                                    ops_);
             else
                 kernelAccumulateNoLre(pk, wptr, in_plane, optr, g);
         }
@@ -274,9 +283,7 @@ PatternConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
             });
         if (ep.relu) {
             device_.pool().parallelFor(d.cout, [&](int64_t oc) {
-                float* optr = obase + oc * oh * ow;
-                for (int64_t j = 0; j < oh * ow; ++j)
-                    optr[j] = std::max(0.0f, optr[j]);
+                ops_->relu(obase + oc * oh * ow, oh * ow);
             });
         }
     }

@@ -75,6 +75,9 @@ class PatternConv
     const PatternPlan& plan() const { return plan_; }
     const LayerwiseRep& lr() const { return lr_; }
 
+    /** Kernel table this executor dispatches to (device ISA, resolved). */
+    const SimdOps& simdOps() const { return *ops_; }
+
   private:
     void runItem(const WorkItem& item, const float* in, float* out,
                  int64_t b) const;
@@ -84,6 +87,7 @@ class PatternConv
     LayerwiseRep lr_;
     DeviceSpec device_;
     PatternPlan plan_;
+    const SimdOps* ops_;  ///< Resolved once from device_.simd_isa.
 };
 
 }  // namespace patdnn

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "rt/simd/dispatch.h"
 #include "util/thread_pool.h"
 
 namespace patdnn {
@@ -26,6 +27,17 @@ struct DeviceSpec
     int threads = 8;         ///< Worker count (paper uses 8 CPU threads).
     bool gpu_like = false;   ///< Schedule groups as thread blocks.
     int64_t tile_budget_kb = 32;  ///< L1-resident working-set budget.
+
+    /**
+     * Kernel ISA executors on this device use, defaulting to the best
+     * the process supports. Overridable per spec (tests force kScalar;
+     * tools/verify.sh --simd-off builds without vector tables at all);
+     * an unavailable value silently degrades to scalar at resolve time.
+     */
+    SimdIsa simd_isa = detectSimdIsa();
+
+    /** Active-ISA display name ("scalar"/"avx2"/"neon"). */
+    const char* simdName() const { return isaName(resolveSimdOps(simd_isa).isa); }
 
     /** Lazily created pool shared by every executor on this device. */
     ThreadPool& pool() const;

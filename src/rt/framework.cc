@@ -265,7 +265,8 @@ CompiledModel::attachConvEngines(Executor& ex) const
 
 CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec device,
                              CompileOptions opts)
-    : kind_(kind), device_(std::move(device))
+    : kind_(kind), device_(std::move(device)),
+      tuned_isa_(resolveSimdOps(device_.simd_isa).isa)
 {
     Graph graph = buildGraph(model);
     // Graph-level optimization (Table 1): all frameworks fold BN and
@@ -339,8 +340,10 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
 }
 
 CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
-                             std::vector<CompiledLayerState> layers, int output_node)
-    : kind_(kind), device_(std::move(device)), output_node_(output_node)
+                             std::vector<CompiledLayerState> layers, int output_node,
+                             SimdIsa tuned_isa)
+    : kind_(kind), device_(std::move(device)), tuned_isa_(tuned_isa),
+      output_node_(output_node)
 {
     PATDNN_CHECK(output_node_ >= 0 &&
                      static_cast<size_t>(output_node_) < layers.size(),
@@ -489,6 +492,8 @@ CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) co
           }
           case OpKind::kAdd: {
             const Tensor& r = input_of(ex, 1);
+            PATDNN_CHECK(r.shape() == x.shape(),
+                         "residual add operand shapes must match");
             Tensor& y = ws.raw(id, x.shape());
             for (int64_t i = 0; i < y.numel(); ++i)
                 y[i] = x[i] + r[i];

@@ -137,10 +137,14 @@ class CompiledModel
      * Rebuild a model from previously exported per-layer state (the
      * serve/ artifact load path). No pruning, reordering or tuning
      * runs; engines are instantiated directly from the stored FKW /
-     * dense weights for `device`.
+     * dense weights for `device`. `tuned_isa` is the kernel ISA the
+     * stored TuneParams were searched on (artifact header); execution
+     * always uses the ISA of `device`, so a mismatch only means the
+     * parameters may be off-width for this host.
      */
     CompiledModel(FrameworkKind kind, DeviceSpec device,
-                  std::vector<CompiledLayerState> layers, int output_node);
+                  std::vector<CompiledLayerState> layers, int output_node,
+                  SimdIsa tuned_isa = SimdIsa::kScalar);
     ~CompiledModel();
 
     /** Run one NCHW input through every layer; returns final output. */
@@ -176,6 +180,11 @@ class CompiledModel
     FrameworkKind kind() const { return kind_; }
     const DeviceSpec& device() const { return device_; }
 
+    /** Kernel ISA the model's TuneParams were searched on (compile
+     * time: the compile device's resolved ISA; restored models: the
+     * value recorded in the artifact header). */
+    SimdIsa tunedIsa() const { return tuned_isa_; }
+
   private:
     struct Executor;
     Tensor runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const;
@@ -185,6 +194,7 @@ class CompiledModel
 
     FrameworkKind kind_;
     DeviceSpec device_;
+    SimdIsa tuned_isa_ = SimdIsa::kScalar;
     int output_node_ = -1;
     std::vector<std::unique_ptr<Executor>> executors_;  ///< Per node id.
 };

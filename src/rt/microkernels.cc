@@ -67,7 +67,8 @@ guardedPatternDot(const PatternKernel& pk, const float* weights, const float* in
 
 void
 kernelAccumulateLre(const PatternKernel& pk, const float* weights, const float* in,
-                    float* out, const PlaneGeom& g, int unroll_w)
+                    float* out, const PlaneGeom& g, int unroll_w,
+                    const SimdOps* ops)
 {
     if (g.stride != 1) {
         // Generic strided path (guarded, single pass).
@@ -78,10 +79,13 @@ kernelAccumulateLre(const PatternKernel& pk, const float* weights, const float* 
         }
         return;
     }
+    const SimdOps& simd = ops != nullptr ? *ops : resolveSimdOps(detectSimdIsa());
     const int uw = std::max(1, unroll_w);
     for (int64_t y = g.y0; y < g.y1; ++y) {
         // Row validity per entry and hoisted input-row pointers: the
         // "statically determined data access" of the generated code.
+        // Folding dy/dx into the base pointers here is what lets the
+        // vector kernels run branch-free over the interior columns.
         const float* rows[9];
         int live = 0;
         float wv[9];
@@ -101,36 +105,16 @@ kernelAccumulateLre(const PatternKernel& pk, const float* weights, const float* 
         // Left border (guarded).
         for (int64_t x = g.x0; x < lo; ++x)
             orow[x] += guardedDot(pk, weights, in, g.h, g.w, g.pad, 1, y, x);
-        // Interior: single pass, register accumulators. The 4-entry
-        // case (every pattern row in bounds) is the hot path and gets
-        // a fully unrolled loop the compiler can vectorize.
-        int64_t x = lo;
-        if (live == 4) {
-            const float* r0 = rows[0];
-            const float* r1 = rows[1];
-            const float* r2 = rows[2];
-            const float* r3 = rows[3];
-            float w0 = wv[0], w1 = wv[1], w2 = wv[2], w3 = wv[3];
-            for (; x < hi; ++x)
-                orow[x] += w0 * r0[x] + w1 * r1[x] + w2 * r2[x] + w3 * r3[x];
-        } else {
-            for (; x + uw <= hi; x += uw) {
-                for (int u = 0; u < uw; ++u) {
-                    float acc = orow[x + u];
-                    for (int e = 0; e < live; ++e)
-                        acc += wv[e] * rows[e][x + u];
-                    orow[x + u] = acc;
-                }
-            }
-            for (; x < hi; ++x) {
-                float acc = orow[x];
-                for (int e = 0; e < live; ++e)
-                    acc += wv[e] * rows[e][x];
-                orow[x] = acc;
-            }
+        // Interior: single pass through the dispatched kernel table,
+        // output row loaded/stored once, weights broadcast per entry.
+        if (hi > lo) {
+            const float* shifted[9];
+            for (int e = 0; e < live; ++e)
+                shifted[e] = rows[e] + lo;
+            simd.accum_rows(shifted, wv, live, orow + lo, hi - lo, uw);
         }
         // Right border (guarded).
-        for (x = std::max(lo, hi); x < g.x1; ++x)
+        for (int64_t x = std::max(lo, hi); x < g.x1; ++x)
             orow[x] += guardedDot(pk, weights, in, g.h, g.w, g.pad, 1, y, x);
     }
 }
@@ -163,11 +147,12 @@ kernelAccumulateNoLre(const PatternKernel& pk, const float* weights, const float
 void
 kernelAccumulateMultiFilter(const PatternKernel& pk, const float* const* weights,
                             const float* in, float* const* outs, int count,
-                            const PlaneGeom& g)
+                            const PlaneGeom& g, const SimdOps* ops)
 {
+    const SimdOps& simd = ops != nullptr ? *ops : resolveSimdOps(detectSimdIsa());
     if (g.stride != 1 || count == 1) {
         for (int f = 0; f < count; ++f)
-            kernelAccumulateLre(pk, weights[f], in, outs[f], g, 4);
+            kernelAccumulateLre(pk, weights[f], in, outs[f], g, 4, &simd);
         return;
     }
     for (int64_t y = g.y0; y < g.y1; ++y) {
@@ -195,35 +180,19 @@ kernelAccumulateMultiFilter(const PatternKernel& pk, const float* const* weights
                 orow[x] +=
                     guardedDot(pk, weights[f], in, g.h, g.w, g.pad, 1, y, x);
         }
-        // Interior: load the shared input values once per x, then fan
-        // out to all filters — the filter-level reuse of Fig. 11. The
-        // all-rows-live 4-entry case is unrolled for vectorization.
-        if (live == 4) {
-            const float* r0 = rows[0];
-            const float* r1 = rows[1];
-            const float* r2 = rows[2];
-            const float* r3 = rows[3];
-            for (int f = 0; f < count; ++f) {
-                const float* wf = weights[f];
-                float w0 = wf[live_map[0]], w1 = wf[live_map[1]];
-                float w2 = wf[live_map[2]], w3 = wf[live_map[3]];
-                float* orow = outs[f] + y * g.ow;
-                for (int64_t x = lo; x < hi; ++x)
-                    orow[x] += w0 * r0[x] + w1 * r1[x] + w2 * r2[x] + w3 * r3[x];
-            }
-        } else {
-            for (int64_t x = lo; x < hi; ++x) {
-                float iv[9];
-                for (int e = 0; e < live; ++e)
-                    iv[e] = rows[e][x];
-                for (int f = 0; f < count; ++f) {
-                    const float* wf = weights[f];
-                    float acc = outs[f][y * g.ow + x];
-                    for (int e = 0; e < live; ++e)
-                        acc += wf[live_map[e]] * iv[e];
-                    outs[f][y * g.ow + x] = acc;
-                }
-            }
+        // Interior: the shared input columns are loaded once per vector
+        // and fanned out to all filters — the filter-level reuse of
+        // Fig. 11 — through the dispatched multi-filter kernel.
+        if (hi > lo) {
+            const float* shifted[9];
+            for (int e = 0; e < live; ++e)
+                shifted[e] = rows[e] + lo;
+            float* orow_ptrs[16];
+            PATDNN_CHECK_LE(count, 16, "multi-filter bundle limited to 16");
+            for (int f = 0; f < count; ++f)
+                orow_ptrs[f] = outs[f] + y * g.ow + lo;
+            simd.accum_rows_multi(shifted, live, live_map, weights, orow_ptrs,
+                                  count, hi - lo);
         }
     }
 }

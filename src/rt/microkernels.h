@@ -17,6 +17,11 @@
  *    (pattern, input channel) on one set of input loads (Fig. 11);
  *  - the no-LRE variant: one pass per entry, reloading output and
  *    input each time — the redundant-load behaviour LRE removes.
+ *
+ * The LRE variants execute their stride-1 interior through a SimdOps
+ * kernel table (rt/simd/dispatch.h) — AVX2/NEON when available, the
+ * bit-identical scalar table otherwise. The no-LRE variant is
+ * deliberately left scalar: it models the unoptimized baseline.
  */
 #pragma once
 
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "prune/pattern.h"
+#include "rt/simd/dispatch.h"
 
 namespace patdnn {
 
@@ -53,11 +59,15 @@ struct PlaneGeom
 /**
  * LRE micro-kernel: out[y][x] += sum_e w[e] * in[y*s-pad+dy[e]][...] for
  * the tile, single pass, `unroll_w`-wide register blocking on the
- * stride-1 interior fast path.
+ * stride-1 interior fast path. The interior runs through `ops`
+ * (a SimdOps kernel table; null = the process-best table), with the
+ * per-pattern dy/dx offsets pre-folded into hoisted row pointers so the
+ * vector kernels only broadcast weights and stream columns. Borders and
+ * strided tiles keep the guarded scalar path.
  */
 void kernelAccumulateLre(const PatternKernel& pk, const float* weights,
                          const float* in, float* out, const PlaneGeom& g,
-                         int unroll_w);
+                         int unroll_w, const SimdOps* ops = nullptr);
 
 /**
  * No-LRE micro-kernel: one full pass over the tile per entry (output
@@ -71,12 +81,13 @@ void kernelAccumulateNoLre(const PatternKernel& pk, const float* weights,
  * this (pattern, input channel); input values are loaded once and
  * accumulated into every filter's output plane. `weights[f]` points at
  * the f-th filter's packed kernel weights and `outs[f]` at its output
- * plane.
+ * plane. Interior columns go through `ops->accum_rows_multi` (input
+ * rows loaded once per vector, fanned out to every filter).
  */
 void kernelAccumulateMultiFilter(const PatternKernel& pk,
                                  const float* const* weights, const float* in,
                                  float* const* outs, int count,
-                                 const PlaneGeom& g);
+                                 const PlaneGeom& g, const SimdOps* ops = nullptr);
 
 /**
  * One guarded output element: sum over the pattern's entries with full

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Kernel-table registry and load-time CPU feature detection.
+ *
+ * PATDNN_HAVE_AVX2 / PATDNN_HAVE_NEON are set by src/rt/CMakeLists.txt
+ * (private to the rt target) when the matching kernels_<isa>.cc was
+ * compiled in; runtime support is re-checked here so one binary runs
+ * on any host.
+ */
+#include "rt/simd/dispatch.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+#if defined(PATDNN_HAVE_AVX2)
+const SimdOps& avx2SimdOps();  // kernels_avx2.cc
+#endif
+#if defined(PATDNN_HAVE_NEON)
+const SimdOps& neonSimdOps();  // kernels_neon.cc
+#endif
+
+const char*
+isaName(SimdIsa isa)
+{
+    switch (isa) {
+      case SimdIsa::kScalar: return "scalar";
+      case SimdIsa::kAvx2: return "avx2";
+      case SimdIsa::kNeon: return "neon";
+    }
+    return "unknown";
+}
+
+bool
+parseIsaName(const std::string& s, SimdIsa* out)
+{
+    for (SimdIsa isa :
+         {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+        if (s == isaName(isa)) {
+            *out = isa;
+            return true;
+        }
+    }
+    return false;
+}
+
+const SimdOps*
+simdOpsFor(SimdIsa isa)
+{
+    switch (isa) {
+      case SimdIsa::kScalar:
+        return &scalarSimdOps();
+      case SimdIsa::kAvx2:
+#if defined(PATDNN_HAVE_AVX2)
+        if (__builtin_cpu_supports("avx2"))
+            return &avx2SimdOps();
+#endif
+        return nullptr;
+      case SimdIsa::kNeon:
+#if defined(PATDNN_HAVE_NEON)
+        return &neonSimdOps();
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+std::vector<SimdIsa>
+availableSimdIsas()
+{
+    std::vector<SimdIsa> out;
+    for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon})
+        if (simdOpsFor(isa) != nullptr)
+            out.push_back(isa);
+    return out;
+}
+
+SimdIsa
+detectSimdIsa()
+{
+    static const SimdIsa detected = [] {
+        if (const char* env = std::getenv("PATDNN_SIMD")) {
+            SimdIsa want;
+            if (parseIsaName(env, &want) && simdOpsFor(want) != nullptr)
+                return want;
+            logMessage(LogLevel::kWarn,
+                       std::string("PATDNN_SIMD=") + env +
+                           " is unknown or unavailable; using scalar kernels");
+            return SimdIsa::kScalar;
+        }
+        // Widest table wins; every table advertises its vector width.
+        SimdIsa best = SimdIsa::kScalar;
+        int best_width = 0;
+        for (SimdIsa isa : availableSimdIsas()) {
+            int w = simdOpsFor(isa)->width;
+            if (w > best_width) {
+                best_width = w;
+                best = isa;
+            }
+        }
+        return best;
+    }();
+    return detected;
+}
+
+const SimdOps&
+resolveSimdOps(SimdIsa isa)
+{
+    const SimdOps* ops = simdOpsFor(isa);
+    return ops != nullptr ? *ops : scalarSimdOps();
+}
+
+}  // namespace patdnn

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the pattern micro-kernels.
+ *
+ * PatDNN's generated mobile code leans on the vector units (NEON on the
+ * paper's Snapdragon/Kirin targets); this layer is the host-side
+ * equivalent. Each ISA provides one table of vectorized primitives
+ * (SimdOps) for the hot inner loops — the LRE interior accumulation,
+ * the filter-level multi-filter fan-out, the CSR row saxpy and the ReLU
+ * epilogue — and one binary selects the best table at load time from
+ * CPU features (AVX2 on x86-64, NEON on aarch64, scalar otherwise).
+ *
+ * Determinism contract: every table computes bit-identical results to
+ * scalarSimdOps() — same per-element operation order, plain IEEE mul
+ * then add, no FMA contraction — so executors can switch ISA freely
+ * (and tests can diff exactly). Vector kernels only widen the x loop;
+ * they never reassociate the per-entry accumulation chain.
+ *
+ * Build gating: PATDNN_ENABLE_SIMD=OFF compiles only the scalar table.
+ * The AVX2 translation unit is compiled with -mavx2 but its table is
+ * only ever returned after a cpuid check, so one binary runs anywhere.
+ * Adding an ISA = one kernels_<isa>.cc defining a SimdOps table + a
+ * case in simdOpsFor(); see docs/ARCHITECTURE.md.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace patdnn {
+
+/** Instruction sets a kernel table can be specialized for. */
+enum class SimdIsa : uint32_t
+{
+    kScalar = 0,  ///< Portable C++ (also the exactness reference).
+    kAvx2 = 1,    ///< x86-64 AVX2, 8 floats per vector.
+    kNeon = 2,    ///< aarch64 NEON, 4 floats per vector.
+};
+
+/** Display name ("scalar" / "avx2" / "neon"). */
+const char* isaName(SimdIsa isa);
+
+/** Parse an ISA name; false if `s` names no known ISA. */
+bool parseIsaName(const std::string& s, SimdIsa* out);
+
+/**
+ * One ISA's vectorized primitives. All functions tolerate unaligned
+ * pointers and any n >= 0; `out`/`y` must not alias the inputs.
+ */
+struct SimdOps
+{
+    SimdIsa isa = SimdIsa::kScalar;
+    const char* name = "scalar";
+    int width = 1;  ///< Floats per vector step (tuning hint).
+
+    /**
+     * LRE interior accumulation over `n` output columns:
+     *   out[i] = (((out[i] + w[0]*rows[0][i]) + w[1]*rows[1][i]) + ...)
+     * for e in [0, live). `unroll` is the tuner's register-block width
+     * (columns per blocked step); ISAs treat it as a hint.
+     */
+    void (*accum_rows)(const float* const* rows, const float* w, int live,
+                       float* out, int64_t n, int unroll);
+
+    /**
+     * Filter-level LRE interior (Fig. 11 right): load rows[e][i] once,
+     * fan out to `count` filters:
+     *   outs[f][i] += sum_e w[f][wsel[e]] * rows[e][i]
+     * with the same sequential per-entry order as accum_rows.
+     */
+    void (*accum_rows_multi)(const float* const* rows, int live,
+                             const int* wsel, const float* const* w,
+                             float* const* outs, int count, int64_t n);
+
+    /** y[i] += a * x[i] (the CSR stride-1 inner row update). */
+    void (*axpy)(float a, const float* x, float* y, int64_t n);
+
+    /** y[i] = max(0, y[i]) (fused ReLU epilogue). */
+    void (*relu)(float* y, int64_t n);
+};
+
+/** The portable reference table; always available. */
+const SimdOps& scalarSimdOps();
+
+/**
+ * Table for `isa`, or nullptr when it was not compiled in
+ * (PATDNN_ENABLE_SIMD=OFF / wrong arch) or this CPU lacks the feature.
+ */
+const SimdOps* simdOpsFor(SimdIsa isa);
+
+/** ISAs usable in this process (compiled in + CPU-supported). */
+std::vector<SimdIsa> availableSimdIsas();
+
+/**
+ * Best ISA for this process, decided once at first use: the widest
+ * available table, overridable with PATDNN_SIMD=scalar|avx2|neon (an
+ * unavailable override falls back to scalar with a warning).
+ */
+SimdIsa detectSimdIsa();
+
+/** Table for `isa` if available, else the scalar table (never null). */
+const SimdOps& resolveSimdOps(SimdIsa isa);
+
+}  // namespace patdnn

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * AVX2 SimdOps table: 8 output columns per vector, 16 on the blocked
+ * main loop. Compiled with -mavx2 (no -mfma: the mul+add pair must
+ * round like the scalar reference — the FMA's single rounding would
+ * break the bit-exactness contract of dispatch.h). Per-pattern weights
+ * arrive pre-hoisted by the caller (rows[] already folds dy/dx into
+ * the base pointers) and are broadcast-loaded once per entry.
+ *
+ * This TU contains AVX2 instructions, so it must only be reached via
+ * simdOpsFor(kAvx2), which checks cpuid first.
+ */
+#include "rt/simd/dispatch.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace patdnn {
+namespace {
+
+void
+accumRowsAvx2(const float* const* rows, const float* w, int live, float* out,
+              int64_t n, int unroll)
+{
+    int64_t i = 0;
+    // Two accumulators per step when the tuner asks for a block of at
+    // least two vectors: hides the add latency without reassociating
+    // any per-lane chain.
+    if (unroll >= 16) {
+        for (; i + 16 <= n; i += 16) {
+            __m256 a0 = _mm256_loadu_ps(out + i);
+            __m256 a1 = _mm256_loadu_ps(out + i + 8);
+            for (int e = 0; e < live; ++e) {
+                const __m256 wv = _mm256_set1_ps(w[e]);
+                a0 = _mm256_add_ps(
+                    a0, _mm256_mul_ps(wv, _mm256_loadu_ps(rows[e] + i)));
+                a1 = _mm256_add_ps(
+                    a1, _mm256_mul_ps(wv, _mm256_loadu_ps(rows[e] + i + 8)));
+            }
+            _mm256_storeu_ps(out + i, a0);
+            _mm256_storeu_ps(out + i + 8, a1);
+        }
+    }
+    for (; i + 8 <= n; i += 8) {
+        __m256 acc = _mm256_loadu_ps(out + i);
+        for (int e = 0; e < live; ++e)
+            acc = _mm256_add_ps(
+                acc, _mm256_mul_ps(_mm256_set1_ps(w[e]),
+                                   _mm256_loadu_ps(rows[e] + i)));
+        _mm256_storeu_ps(out + i, acc);
+    }
+    for (; i < n; ++i) {
+        float acc = out[i];
+        for (int e = 0; e < live; ++e)
+            acc += w[e] * rows[e][i];
+        out[i] = acc;
+    }
+}
+
+void
+accumRowsMultiAvx2(const float* const* rows, int live, const int* wsel,
+                   const float* const* w, float* const* outs, int count,
+                   int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Shared input loads (live <= 9 vectors + 1 accumulator + 1
+        // broadcast fits the 16 ymm registers).
+        __m256 iv[9];
+        for (int e = 0; e < live; ++e)
+            iv[e] = _mm256_loadu_ps(rows[e] + i);
+        for (int f = 0; f < count; ++f) {
+            const float* wf = w[f];
+            __m256 acc = _mm256_loadu_ps(outs[f] + i);
+            for (int e = 0; e < live; ++e)
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(wf[wsel[e]]), iv[e]));
+            _mm256_storeu_ps(outs[f] + i, acc);
+        }
+    }
+    for (; i < n; ++i) {
+        float iv[9];
+        for (int e = 0; e < live; ++e)
+            iv[e] = rows[e][i];
+        for (int f = 0; f < count; ++f) {
+            const float* wf = w[f];
+            float acc = outs[f][i];
+            for (int e = 0; e < live; ++e)
+                acc += wf[wsel[e]] * iv[e];
+            outs[f][i] = acc;
+        }
+    }
+}
+
+void
+axpyAvx2(float a, const float* x, float* y, int64_t n)
+{
+    const __m256 av = _mm256_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        _mm256_storeu_ps(
+            y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                 _mm256_mul_ps(av, _mm256_loadu_ps(x + i))));
+        _mm256_storeu_ps(
+            y + i + 8,
+            _mm256_add_ps(_mm256_loadu_ps(y + i + 8),
+                          _mm256_mul_ps(av, _mm256_loadu_ps(x + i + 8))));
+    }
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(
+            y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                 _mm256_mul_ps(av, _mm256_loadu_ps(x + i))));
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+reluAvx2(float* y, int64_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t i = 0;
+    // maxps returns the second operand on equal/NaN lanes; (v, zero)
+    // ordering matches std::max(0.0f, v) for ±0.0 and NaN inputs.
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(y + i), zero));
+    for (; i < n; ++i)
+        y[i] = 0.0f < y[i] ? y[i] : 0.0f;
+}
+
+}  // namespace
+
+const SimdOps&
+avx2SimdOps()
+{
+    static const SimdOps ops = {SimdIsa::kAvx2, "avx2", 8,
+                                accumRowsAvx2, accumRowsMultiAvx2,
+                                axpyAvx2, reluAvx2};
+    return ops;
+}
+
+}  // namespace patdnn
+
+#endif  // defined(__AVX2__)

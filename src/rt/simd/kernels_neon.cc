@@ -1,0 +1,127 @@
+/**
+ * @file
+ * NEON SimdOps table (aarch64): 4 output columns per vector, 8 on the
+ * blocked main loop — the layout PatDNN's generated mobile kernels
+ * target. Explicit vmulq+vaddq (never vmlaq/vfmaq: aarch64 fuses those
+ * into a single-rounding FMLA, which would break the bit-exactness
+ * contract of dispatch.h). NEON is baseline on aarch64, so this TU
+ * needs no extra compile flags and no cpuid gate.
+ */
+#include "rt/simd/dispatch.h"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace patdnn {
+namespace {
+
+void
+accumRowsNeon(const float* const* rows, const float* w, int live, float* out,
+              int64_t n, int unroll)
+{
+    int64_t i = 0;
+    if (unroll >= 8) {
+        for (; i + 8 <= n; i += 8) {
+            float32x4_t a0 = vld1q_f32(out + i);
+            float32x4_t a1 = vld1q_f32(out + i + 4);
+            for (int e = 0; e < live; ++e) {
+                const float32x4_t wv = vdupq_n_f32(w[e]);
+                a0 = vaddq_f32(a0, vmulq_f32(wv, vld1q_f32(rows[e] + i)));
+                a1 = vaddq_f32(a1, vmulq_f32(wv, vld1q_f32(rows[e] + i + 4)));
+            }
+            vst1q_f32(out + i, a0);
+            vst1q_f32(out + i + 4, a1);
+        }
+    }
+    for (; i + 4 <= n; i += 4) {
+        float32x4_t acc = vld1q_f32(out + i);
+        for (int e = 0; e < live; ++e)
+            acc = vaddq_f32(
+                acc, vmulq_f32(vdupq_n_f32(w[e]), vld1q_f32(rows[e] + i)));
+        vst1q_f32(out + i, acc);
+    }
+    for (; i < n; ++i) {
+        float acc = out[i];
+        for (int e = 0; e < live; ++e)
+            acc += w[e] * rows[e][i];
+        out[i] = acc;
+    }
+}
+
+void
+accumRowsMultiNeon(const float* const* rows, int live, const int* wsel,
+                   const float* const* w, float* const* outs, int count,
+                   int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        float32x4_t iv[9];
+        for (int e = 0; e < live; ++e)
+            iv[e] = vld1q_f32(rows[e] + i);
+        for (int f = 0; f < count; ++f) {
+            const float* wf = w[f];
+            float32x4_t acc = vld1q_f32(outs[f] + i);
+            for (int e = 0; e < live; ++e)
+                acc = vaddq_f32(acc,
+                                vmulq_f32(vdupq_n_f32(wf[wsel[e]]), iv[e]));
+            vst1q_f32(outs[f] + i, acc);
+        }
+    }
+    for (; i < n; ++i) {
+        float iv[9];
+        for (int e = 0; e < live; ++e)
+            iv[e] = rows[e][i];
+        for (int f = 0; f < count; ++f) {
+            const float* wf = w[f];
+            float acc = outs[f][i];
+            for (int e = 0; e < live; ++e)
+                acc += wf[wsel[e]] * iv[e];
+            outs[f][i] = acc;
+        }
+    }
+}
+
+void
+axpyNeon(float a, const float* x, float* y, int64_t n)
+{
+    const float32x4_t av = vdupq_n_f32(a);
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i),
+                                   vmulq_f32(av, vld1q_f32(x + i))));
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+reluNeon(float* y, int64_t n)
+{
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    int64_t i = 0;
+    // vmaxq returns the non-NaN operand lane-wise on aarch64 only for
+    // fmax semantics; select explicitly so NaN lanes become 0 exactly
+    // like std::max(0.0f, v).
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t v = vld1q_f32(y + i);
+        const uint32x4_t keep = vcgtq_f32(v, zero);  // v > 0, false on NaN
+        vst1q_f32(y + i, vbslq_f32(keep, v, zero));
+    }
+    for (; i < n; ++i)
+        y[i] = 0.0f < y[i] ? y[i] : 0.0f;
+}
+
+}  // namespace
+
+const SimdOps&
+neonSimdOps()
+{
+    static const SimdOps ops = {SimdIsa::kNeon, "neon", 4,
+                                accumRowsNeon, accumRowsMultiNeon,
+                                axpyNeon, reluNeon};
+    return ops;
+}
+
+}  // namespace patdnn
+
+#endif  // defined(__aarch64__) || defined(__ARM_NEON)

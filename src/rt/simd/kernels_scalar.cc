@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Portable scalar SimdOps table: the exactness reference every vector
+ * table must match bit-for-bit (see dispatch.h). The accumulation
+ * order here — output loaded once, entries added in index order —
+ * defines the numerics of the whole pattern engine.
+ */
+#include "rt/simd/dispatch.h"
+
+#include <algorithm>
+
+namespace patdnn {
+namespace {
+
+void
+accumRowsScalar(const float* const* rows, const float* w, int live, float* out,
+                int64_t n, int unroll)
+{
+    const int uw = std::max(1, unroll);
+    int64_t i = 0;
+    // Register-blocked main loop: `uw` independent accumulators per
+    // step (the tuner's unroll_w knob; the compiler maps them onto
+    // whatever vector width the baseline target has).
+    for (; i + uw <= n; i += uw) {
+        for (int u = 0; u < uw; ++u) {
+            float acc = out[i + u];
+            for (int e = 0; e < live; ++e)
+                acc += w[e] * rows[e][i + u];
+            out[i + u] = acc;
+        }
+    }
+    for (; i < n; ++i) {
+        float acc = out[i];
+        for (int e = 0; e < live; ++e)
+            acc += w[e] * rows[e][i];
+        out[i] = acc;
+    }
+}
+
+void
+accumRowsMultiScalar(const float* const* rows, int live, const int* wsel,
+                     const float* const* w, float* const* outs, int count,
+                     int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        float iv[9];
+        for (int e = 0; e < live; ++e)
+            iv[e] = rows[e][i];
+        for (int f = 0; f < count; ++f) {
+            const float* wf = w[f];
+            float acc = outs[f][i];
+            for (int e = 0; e < live; ++e)
+                acc += wf[wsel[e]] * iv[e];
+            outs[f][i] = acc;
+        }
+    }
+}
+
+void
+axpyScalar(float a, const float* x, float* y, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+reluScalar(float* y, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        y[i] = std::max(0.0f, y[i]);
+}
+
+}  // namespace
+
+const SimdOps&
+scalarSimdOps()
+{
+    static const SimdOps ops = {SimdIsa::kScalar, "scalar", 1,
+                                accumRowsScalar, accumRowsMultiScalar,
+                                axpyScalar, reluScalar};
+    return ops;
+}
+
+}  // namespace patdnn

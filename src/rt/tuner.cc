@@ -78,6 +78,20 @@ mutate(Genes& g, const TuneSpace& s, double rate, Rng& rng)
 
 }  // namespace
 
+TuneSpace
+tuneSpaceFor(SimdIsa isa)
+{
+    TuneSpace s;
+    const SimdOps& ops = resolveSimdOps(isa);
+    if (ops.width > 1) {
+        // One, two and four vectors per register block; column tiles
+        // sized so every blocked step is a whole number of vectors.
+        s.unroll_w = {ops.width, 2 * ops.width, 4 * ops.width};
+        s.tile_ow = {8 * ops.width, 16 * ops.width, 32 * ops.width};
+    }
+    return s;
+}
+
 TuneResult
 tuneLayer(const std::function<double(const TuneParams&)>& measure,
           const TuneSpace& space, const TunerConfig& cfg)

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "rt/lr.h"
+#include "rt/simd/dispatch.h"
 #include "util/rng.h"
 
 namespace patdnn {
@@ -30,6 +31,15 @@ struct TuneSpace
                                                  LoopPermutation::kCoHWCi};
     std::vector<bool> blocked = {false, true};
 };
+
+/**
+ * Search space specialized to the kernel ISA the layer will execute
+ * with: register-block widths are multiples of the vector width and
+ * column tiles scale with it, so tuned TuneParams are meaningful for
+ * the kernels that will actually run (and an artifact records which
+ * ISA its parameters were searched on — serve/artifact.h).
+ */
+TuneSpace tuneSpaceFor(SimdIsa isa);
 
 /** GA knobs. */
 struct TunerConfig

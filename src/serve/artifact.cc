@@ -181,6 +181,7 @@ serializeModel(const CompiledModel& model)
     size_t payload_begin = out.size();
 
     putU32(out, static_cast<uint32_t>(model.kind()));
+    putU32(out, static_cast<uint32_t>(model.tunedIsa()));
     putU32(out, static_cast<uint32_t>(model.outputNode()));
     putU32(out, static_cast<uint32_t>(layers.size()));
     for (const CompiledLayerState& st : layers) {
@@ -230,7 +231,7 @@ deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
         return fail("artifact: bad magic");
     Reader hdr{{bytes.data() + 4, bytes.size() - 4}};
     uint32_t version = hdr.u32();
-    if (version != kModelArtifactVersion)
+    if (version < 1 || version > kModelArtifactVersion)
         return fail("artifact: unsupported version " + std::to_string(version));
     uint64_t payload_size = hdr.u64();
     if (!hdr.ok || payload_size != bytes.size() - 4 - 4 - 8 - 8)
@@ -245,6 +246,22 @@ deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
     if (kind_raw > static_cast<uint32_t>(FrameworkKind::kPatDnn))
         return fail("artifact: unknown framework kind");
     FrameworkKind kind = static_cast<FrameworkKind>(kind_raw);
+    // Version 1 predates the tuned-ISA record; those artifacts were
+    // tuned by scalar-only builds.
+    SimdIsa tuned_isa = SimdIsa::kScalar;
+    if (version >= 2) {
+        uint32_t isa_raw = r.u32();
+        if (isa_raw > static_cast<uint32_t>(SimdIsa::kNeon))
+            return fail("artifact: unknown kernel ISA");
+        tuned_isa = static_cast<SimdIsa>(isa_raw);
+    }
+    SimdIsa host_isa = resolveSimdOps(device.simd_isa).isa;
+    if (tuned_isa != host_isa)
+        logMessage(LogLevel::kWarn,
+                   std::string("artifact: tuned parameters were searched on ") +
+                       isaName(tuned_isa) + " kernels but this host runs " +
+                       isaName(host_isa) +
+                       "; execution is exact, tuning may be off-width");
     int output_node = static_cast<int>(r.u32());
     uint32_t n_layers = r.u32();
     if (!r.ok || n_layers > 1u << 20 || output_node < 0 ||
@@ -311,7 +328,7 @@ deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
         return fail("artifact: output node is not a live layer");
 
     return std::make_shared<CompiledModel>(kind, device, std::move(layers),
-                                           output_node);
+                                           output_node, tuned_isa);
 }
 
 bool

@@ -14,10 +14,13 @@
  *   [magic "PDNN"] [u32 version] [u64 payload_size] [payload bytes]
  *   [u64 FNV-1a checksum of payload]
  *
- * The payload holds the framework kind, output-node id and one record
- * per graph-node slot; pattern-compiled conv layers embed their FKW
- * storage via sparse/fkw.h's byte-level serializer and are re-validated
- * with validateFkw() on load.
+ * The payload holds the framework kind, the kernel ISA the embedded
+ * TuneParams were searched on (version >= 2 — loading on a host with a
+ * different active ISA still works, with a warning that the tuned
+ * unroll/tile widths were chosen for another vector width), the
+ * output-node id and one record per graph-node slot; pattern-compiled
+ * conv layers embed their FKW storage via sparse/fkw.h's byte-level
+ * serializer and are re-validated with validateFkw() on load.
  */
 #pragma once
 
@@ -30,8 +33,10 @@
 
 namespace patdnn {
 
-/** Artifact format version written by serializeModel. */
-constexpr uint32_t kModelArtifactVersion = 1;
+/** Artifact format version written by serializeModel. Version 2 added
+ * the tuned-ISA field; version-1 artifacts still load (ISA assumed
+ * scalar). */
+constexpr uint32_t kModelArtifactVersion = 2;
 
 /** Serialize a compiled model into the artifact byte format. */
 std::vector<uint8_t> serializeModel(const CompiledModel& model);

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * SIMD kernel-table conformance: every compiled ISA table must produce
+ * bit-identical results to the scalar reference (the dispatch.h
+ * exactness contract) across the primitives and the whole micro-kernels
+ * — pattern shapes x strides x paddings x widths, including widths
+ * below one vector — plus dispatch-layer behaviour when each ISA level
+ * is forced.
+ */
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/patdnn.h"
+
+namespace patdnn {
+namespace {
+
+std::vector<const SimdOps*>
+allTables()
+{
+    std::vector<const SimdOps*> tables;
+    for (SimdIsa isa : availableSimdIsas())
+        tables.push_back(simdOpsFor(isa));
+    return tables;
+}
+
+std::vector<float>
+randomVec(Rng& rng, size_t n)
+{
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = rng.normal();
+    return v;
+}
+
+// n == 0 is skipped: empty vectors hand memcmp a null pointer, which
+// is UB even for zero lengths.
+#define EXPECT_BITWISE_EQ(a, b, n, label)                                     \
+    EXPECT_TRUE((n) == 0 || std::memcmp((a), (b), (n) * sizeof(float)) == 0)  \
+        << label
+
+// ---------------------------------------------------------------------------
+// Dispatch layer
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysAvailable)
+{
+    const SimdOps* scalar = simdOpsFor(SimdIsa::kScalar);
+    ASSERT_NE(scalar, nullptr);
+    EXPECT_EQ(scalar->isa, SimdIsa::kScalar);
+    EXPECT_EQ(scalar->width, 1);
+    EXPECT_EQ(&scalarSimdOps(), scalar);
+}
+
+TEST(SimdDispatch, DetectedIsaIsAvailable)
+{
+    SimdIsa best = detectSimdIsa();
+    const SimdOps* ops = simdOpsFor(best);
+    ASSERT_NE(ops, nullptr);
+    EXPECT_EQ(ops->isa, best);
+    // The detected table is the widest available one.
+    for (SimdIsa isa : availableSimdIsas())
+        EXPECT_LE(simdOpsFor(isa)->width, ops->width);
+}
+
+TEST(SimdDispatch, ResolveFallsBackToScalar)
+{
+    // Force every ISA level: available levels resolve to themselves,
+    // unavailable ones degrade to scalar instead of crashing.
+    for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+        const SimdOps& ops = resolveSimdOps(isa);
+        if (simdOpsFor(isa) != nullptr)
+            EXPECT_EQ(ops.isa, isa) << isaName(isa);
+        else
+            EXPECT_EQ(ops.isa, SimdIsa::kScalar) << isaName(isa);
+    }
+}
+
+TEST(SimdDispatch, IsaNamesRoundTrip)
+{
+    for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+        SimdIsa parsed;
+        ASSERT_TRUE(parseIsaName(isaName(isa), &parsed));
+        EXPECT_EQ(parsed, isa);
+    }
+    SimdIsa parsed;
+    EXPECT_FALSE(parseIsaName("sse42", &parsed));
+}
+
+TEST(SimdDispatch, DeviceSpecReportsIsa)
+{
+    DeviceSpec dev = makeCpuDevice(2);
+    EXPECT_EQ(dev.simd_isa, detectSimdIsa());
+    EXPECT_STREQ(dev.simdName(), isaName(resolveSimdOps(dev.simd_isa).isa));
+    dev.simd_isa = SimdIsa::kScalar;
+    EXPECT_STREQ(dev.simdName(), "scalar");
+}
+
+// ---------------------------------------------------------------------------
+// Primitive conformance vs the scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, AccumRowsMatchesScalar)
+{
+    Rng rng(7);
+    const SimdOps& ref = scalarSimdOps();
+    for (const SimdOps* ops : allTables()) {
+        for (int live = 1; live <= 9; ++live) {
+            for (int64_t n : {0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64,
+                              100}) {
+                for (int unroll : {1, 4, 8, 16, 32}) {
+                    std::vector<std::vector<float>> storage;
+                    std::vector<const float*> rows;
+                    for (int e = 0; e < live; ++e) {
+                        storage.push_back(randomVec(rng, static_cast<size_t>(n)));
+                        rows.push_back(storage.back().data());
+                    }
+                    std::vector<float> w = randomVec(rng, 9);
+                    std::vector<float> base =
+                        randomVec(rng, static_cast<size_t>(n));
+                    std::vector<float> got = base, want = base;
+                    ref.accum_rows(rows.data(), w.data(), live, want.data(), n,
+                                   unroll);
+                    ops->accum_rows(rows.data(), w.data(), live, got.data(), n,
+                                    unroll);
+                    EXPECT_BITWISE_EQ(got.data(), want.data(),
+                                      static_cast<size_t>(n),
+                                      ops->name << " live=" << live
+                                                << " n=" << n
+                                                << " unroll=" << unroll);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, AccumRowsMultiMatchesScalar)
+{
+    Rng rng(11);
+    const SimdOps& ref = scalarSimdOps();
+    for (const SimdOps* ops : allTables()) {
+        for (int live : {1, 2, 3, 4, 7, 9}) {
+            for (int count : {1, 2, 3, 7, 16}) {
+                for (int64_t n : {0, 1, 3, 7, 8, 9, 17, 33, 64}) {
+                    std::vector<std::vector<float>> row_storage;
+                    std::vector<const float*> rows;
+                    for (int e = 0; e < live; ++e) {
+                        row_storage.push_back(
+                            randomVec(rng, static_cast<size_t>(n)));
+                        rows.push_back(row_storage.back().data());
+                    }
+                    // wsel indexes into each filter's 9-entry kernel.
+                    std::vector<int> wsel;
+                    for (int e = 0; e < live; ++e)
+                        wsel.push_back((e * 2) % 9);
+                    std::vector<std::vector<float>> w_storage;
+                    std::vector<const float*> weights;
+                    for (int f = 0; f < count; ++f) {
+                        w_storage.push_back(randomVec(rng, 9));
+                        weights.push_back(w_storage.back().data());
+                    }
+                    std::vector<std::vector<float>> want_storage, got_storage;
+                    for (int f = 0; f < count; ++f) {
+                        auto base = randomVec(rng, static_cast<size_t>(n));
+                        want_storage.push_back(base);
+                        got_storage.push_back(base);
+                    }
+                    std::vector<float*> want_ptrs, got_ptrs;
+                    for (int f = 0; f < count; ++f) {
+                        want_ptrs.push_back(want_storage[static_cast<size_t>(f)]
+                                                .data());
+                        got_ptrs.push_back(
+                            got_storage[static_cast<size_t>(f)].data());
+                    }
+                    ref.accum_rows_multi(rows.data(), live, wsel.data(),
+                                         weights.data(), want_ptrs.data(),
+                                         count, n);
+                    ops->accum_rows_multi(rows.data(), live, wsel.data(),
+                                          weights.data(), got_ptrs.data(),
+                                          count, n);
+                    for (int f = 0; f < count; ++f)
+                        EXPECT_BITWISE_EQ(got_ptrs[static_cast<size_t>(f)],
+                                          want_ptrs[static_cast<size_t>(f)],
+                                          static_cast<size_t>(n),
+                                          ops->name << " live=" << live
+                                                    << " count=" << count
+                                                    << " n=" << n << " f="
+                                                    << f);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, AxpyMatchesScalar)
+{
+    Rng rng(13);
+    const SimdOps& ref = scalarSimdOps();
+    for (const SimdOps* ops : allTables()) {
+        for (int64_t n : {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100}) {
+            std::vector<float> x = randomVec(rng, static_cast<size_t>(n));
+            std::vector<float> base = randomVec(rng, static_cast<size_t>(n));
+            float a = rng.normal();
+            std::vector<float> got = base, want = base;
+            ref.axpy(a, x.data(), want.data(), n);
+            ops->axpy(a, x.data(), got.data(), n);
+            EXPECT_BITWISE_EQ(got.data(), want.data(), static_cast<size_t>(n),
+                              ops->name << " n=" << n);
+        }
+    }
+}
+
+TEST(SimdKernels, ReluMatchesScalarIncludingSpecials)
+{
+    const SimdOps& ref = scalarSimdOps();
+    for (const SimdOps* ops : allTables()) {
+        for (int64_t n : {0, 1, 3, 7, 8, 9, 17, 33}) {
+            std::vector<float> base(static_cast<size_t>(n));
+            for (int64_t i = 0; i < n; ++i) {
+                switch (i % 5) {
+                  case 0: base[static_cast<size_t>(i)] = -1.5f; break;
+                  case 1: base[static_cast<size_t>(i)] = 2.25f; break;
+                  case 2: base[static_cast<size_t>(i)] = 0.0f; break;
+                  case 3: base[static_cast<size_t>(i)] = -0.0f; break;
+                  case 4:
+                    base[static_cast<size_t>(i)] =
+                        std::numeric_limits<float>::quiet_NaN();
+                    break;
+                }
+            }
+            std::vector<float> got = base, want = base;
+            ref.relu(want.data(), n);
+            ops->relu(got.data(), n);
+            for (int64_t i = 0; i < n; ++i)
+                EXPECT_EQ(got[static_cast<size_t>(i)],
+                          want[static_cast<size_t>(i)])
+                    << ops->name << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole micro-kernel conformance across geometries
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, KernelAccumulateLreMatchesScalarAcrossGeometries)
+{
+    const std::vector<std::vector<int>> shapes = {
+        {4},                          // single entry
+        {0, 8},                       // opposite corners
+        {4, 1, 3, 5},                 // the canonical cross
+        {0, 2, 4, 6, 8},              // X shape
+        {0, 1, 2, 3, 4, 5, 6, 7, 8},  // dense 3x3
+    };
+    Rng rng(17);
+    const SimdOps& ref = scalarSimdOps();
+    for (const SimdOps* ops : allTables()) {
+        for (const auto& kept : shapes) {
+            PatternKernel pk = lowerPattern(Pattern(3, 3, kept));
+            std::vector<float> w = randomVec(rng, kept.size());
+            for (int64_t stride : {1, 2}) {
+                for (int64_t pad : {0, 1, 2}) {
+                    // Widths below one vector (1..7), around one vector
+                    // and spanning several.
+                    for (int64_t in_w : {1, 2, 3, 5, 7, 8, 9, 17, 33}) {
+                        for (int64_t in_h : {1, 3, 7}) {
+                            int64_t ow = (in_w + 2 * pad - 3) / stride + 1;
+                            int64_t oh = (in_h + 2 * pad - 3) / stride + 1;
+                            if (ow < 1 || oh < 1)
+                                continue;
+                            for (int unroll : {1, 8, 16}) {
+                                auto in = randomVec(
+                                    rng, static_cast<size_t>(in_h * in_w));
+                                auto base = randomVec(
+                                    rng, static_cast<size_t>(oh * ow));
+                                PlaneGeom g;
+                                g.h = in_h;
+                                g.w = in_w;
+                                g.oh = oh;
+                                g.ow = ow;
+                                g.pad = pad;
+                                g.stride = stride;
+                                g.y0 = 0;
+                                g.y1 = oh;
+                                g.x0 = 0;
+                                g.x1 = ow;
+                                auto want = base;
+                                auto got = base;
+                                kernelAccumulateLre(pk, w.data(), in.data(),
+                                                    want.data(), g, unroll,
+                                                    &ref);
+                                kernelAccumulateLre(pk, w.data(), in.data(),
+                                                    got.data(), g, unroll,
+                                                    ops);
+                                EXPECT_BITWISE_EQ(
+                                    got.data(), want.data(),
+                                    static_cast<size_t>(oh * ow),
+                                    ops->name << " entries=" << pk.entries
+                                              << " stride=" << stride
+                                              << " pad=" << pad << " w="
+                                              << in_w << " h=" << in_h
+                                              << " unroll=" << unroll);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, KernelAccumulateMultiFilterMatchesScalar)
+{
+    Rng rng(19);
+    const SimdOps& ref = scalarSimdOps();
+    PatternKernel pk = lowerPattern(Pattern(3, 3, std::vector<int>{4, 1, 3, 5}));
+    for (const SimdOps* ops : allTables()) {
+        for (int count : {2, 5, 16}) {
+            for (int64_t stride : {1, 2}) {
+                for (int64_t pad : {0, 1}) {
+                    for (int64_t in_w : {5, 8, 20, 33}) {
+                        int64_t in_h = 9;
+                        int64_t ow = (in_w + 2 * pad - 3) / stride + 1;
+                        int64_t oh = (in_h + 2 * pad - 3) / stride + 1;
+                        if (ow < 1 || oh < 1)
+                            continue;
+                        auto in =
+                            randomVec(rng, static_cast<size_t>(in_h * in_w));
+                        std::vector<std::vector<float>> w_storage;
+                        std::vector<const float*> weights;
+                        for (int f = 0; f < count; ++f) {
+                            w_storage.push_back(randomVec(rng, 4));
+                            weights.push_back(w_storage.back().data());
+                        }
+                        std::vector<std::vector<float>> want_storage,
+                            got_storage;
+                        std::vector<float*> want_ptrs, got_ptrs;
+                        for (int f = 0; f < count; ++f) {
+                            auto base =
+                                randomVec(rng, static_cast<size_t>(oh * ow));
+                            want_storage.push_back(base);
+                            got_storage.push_back(base);
+                        }
+                        for (int f = 0; f < count; ++f) {
+                            want_ptrs.push_back(
+                                want_storage[static_cast<size_t>(f)].data());
+                            got_ptrs.push_back(
+                                got_storage[static_cast<size_t>(f)].data());
+                        }
+                        PlaneGeom g;
+                        g.h = in_h;
+                        g.w = in_w;
+                        g.oh = oh;
+                        g.ow = ow;
+                        g.pad = pad;
+                        g.stride = stride;
+                        g.y0 = 0;
+                        g.y1 = oh;
+                        g.x0 = 0;
+                        g.x1 = ow;
+                        kernelAccumulateMultiFilter(pk, weights.data(),
+                                                    in.data(), want_ptrs.data(),
+                                                    count, g, &ref);
+                        kernelAccumulateMultiFilter(pk, weights.data(),
+                                                    in.data(), got_ptrs.data(),
+                                                    count, g, ops);
+                        for (int f = 0; f < count; ++f)
+                            EXPECT_BITWISE_EQ(
+                                got_ptrs[static_cast<size_t>(f)],
+                                want_ptrs[static_cast<size_t>(f)],
+                                static_cast<size_t>(oh * ow),
+                                ops->name << " count=" << count << " stride="
+                                          << stride << " pad=" << pad
+                                          << " w=" << in_w << " f=" << f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor-level: forcing each ISA on a device yields identical outputs
+// ---------------------------------------------------------------------------
+
+TEST(SimdExecutors, PatternConvIdenticalAcrossForcedIsas)
+{
+    ConvDesc d{"simd", 8, 12, 3, 3, 19, 23, 1, 1, 1, 1};
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    Rng rng(23);
+    in.fillUniform(rng, -1.0f, 1.0f);
+
+    DeviceSpec ref_dev = makeCpuDevice(2);
+    ref_dev.simd_isa = SimdIsa::kScalar;
+    CompileOptions opts;
+    opts.seed = 23;
+    CompiledConvLayer ref_layer(d, FrameworkKind::kPatDnn, ref_dev, opts);
+    Tensor ref_out = makeConvOutput(d, 1);
+    ref_layer.run(in, ref_out);
+
+    for (SimdIsa isa : availableSimdIsas()) {
+        DeviceSpec dev = makeCpuDevice(2);
+        dev.simd_isa = isa;
+        CompiledConvLayer layer(d, FrameworkKind::kPatDnn, dev, opts);
+        Tensor out = makeConvOutput(d, 1);
+        layer.run(in, out);
+        ASSERT_EQ(out.numel(), ref_out.numel());
+        EXPECT_BITWISE_EQ(out.data(), ref_out.data(),
+                          static_cast<size_t>(out.numel()), isaName(isa));
+    }
+}
+
+TEST(SimdExecutors, CsrConvIdenticalAcrossForcedIsas)
+{
+    for (int64_t stride : {1, 2}) {
+        ConvDesc d{"csr", 6, 10, 3, 3, 17, 21, stride, 1, 1, 1};
+        Tensor in(Shape{1, d.cin, d.h, d.w});
+        Rng rng(29);
+        in.fillUniform(rng, -1.0f, 1.0f);
+
+        DeviceSpec ref_dev = makeCpuDevice(2);
+        ref_dev.simd_isa = SimdIsa::kScalar;
+        CompileOptions opts;
+        opts.seed = 29;
+        CompiledConvLayer ref_layer(d, FrameworkKind::kCsrSparse, ref_dev, opts);
+        Tensor ref_out = makeConvOutput(d, 1);
+        ref_layer.run(in, ref_out);
+
+        for (SimdIsa isa : availableSimdIsas()) {
+            DeviceSpec dev = makeCpuDevice(2);
+            dev.simd_isa = isa;
+            CompiledConvLayer layer(d, FrameworkKind::kCsrSparse, dev, opts);
+            Tensor out = makeConvOutput(d, 1);
+            layer.run(in, out);
+            EXPECT_BITWISE_EQ(out.data(), ref_out.data(),
+                              static_cast<size_t>(out.numel()),
+                              isaName(isa) << " stride=" << stride);
+        }
+    }
+}
+
+TEST(SimdExecutors, OversizedUnrollOcClampsToBundleCap)
+{
+    // unroll_oc beyond the 16-filter bundle cap (hand-written tuning
+    // or a crafted artifact) must clamp at plan time — same plan, same
+    // bits as 16 — not silently drop filters 17+ at run time.
+    ConvDesc d{"clamp", 8, 48, 3, 3, 15, 17, 1, 1, 1, 1};
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    Rng rng(37);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    DeviceSpec dev = makeCpuDevice(2);
+    CompileOptions opts;
+    opts.seed = 37;
+    opts.default_tuning.unroll_oc = 16;
+    CompiledConvLayer capped(d, FrameworkKind::kPatDnn, dev, opts);
+    opts.default_tuning.unroll_oc = 64;
+    CompiledConvLayer oversized(d, FrameworkKind::kPatDnn, dev, opts);
+    Tensor out_capped = makeConvOutput(d, 1);
+    Tensor out_oversized = makeConvOutput(d, 1);
+    capped.run(in, out_capped);
+    oversized.run(in, out_oversized);
+    EXPECT_BITWISE_EQ(out_oversized.data(), out_capped.data(),
+                      static_cast<size_t>(out_capped.numel()), "unroll_oc=64");
+}
+
+TEST(SimdExecutors, TuneSpaceScalesWithVectorWidth)
+{
+    TuneSpace scalar_space = tuneSpaceFor(SimdIsa::kScalar);
+    EXPECT_EQ(scalar_space.unroll_w, TuneSpace{}.unroll_w);
+    for (SimdIsa isa : availableSimdIsas()) {
+        const SimdOps& ops = *simdOpsFor(isa);
+        if (ops.width <= 1)
+            continue;
+        TuneSpace space = tuneSpaceFor(isa);
+        for (int uw : space.unroll_w)
+            EXPECT_EQ(uw % ops.width, 0)
+                << isaName(isa) << " unroll_w=" << uw;
+        for (int64_t tow : space.tile_ow)
+            EXPECT_EQ(tow % ops.width, 0)
+                << isaName(isa) << " tile_ow=" << tow;
+    }
+}
+
+TEST(SimdExecutors, ArtifactRecordsTunedIsa)
+{
+    Model m("tiny-simd", "test");
+    Layer conv;
+    conv.kind = OpKind::kConv;
+    conv.name = "c1";
+    conv.conv = ConvDesc{"c1", 3, 8, 3, 3, 12, 12, 1, 1, 1, 1};
+    m.addLayer(std::move(conv));
+    m.randomizeWeights(31);
+    DeviceSpec dev = makeCpuDevice(2);
+    CompiledModel model(m, FrameworkKind::kPatDnn, dev);
+    EXPECT_EQ(model.tunedIsa(), resolveSimdOps(dev.simd_isa).isa);
+
+    std::vector<uint8_t> bytes = serializeModel(model);
+    std::string error;
+    auto restored = deserializeModel(bytes, dev, &error);
+    ASSERT_NE(restored, nullptr) << error;
+    EXPECT_EQ(restored->tunedIsa(), model.tunedIsa());
+
+    // A host with a different forced ISA still loads (params are
+    // valid, just tuned for another vector width).
+    DeviceSpec scalar_dev = makeCpuDevice(2);
+    scalar_dev.simd_isa = SimdIsa::kScalar;
+    auto cross = deserializeModel(bytes, scalar_dev, &error);
+    ASSERT_NE(cross, nullptr) << error;
+    EXPECT_EQ(cross->tunedIsa(), model.tunedIsa());
+}
+
+}  // namespace
+}  // namespace patdnn

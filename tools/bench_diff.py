@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Diff two benchmark outputs: relative orderings + regression flags.
+
+The repo's reproduction target is *relative orderings* between engines
+(docs/ARCHITECTURE.md, "Substitutions"), not absolute milliseconds, so
+this tool compares two captured bench outputs structurally:
+
+  * util::Table blocks (every bench_table*/bench_fig* binary): each
+    numeric cell is keyed (table index, row label, column header).
+  * google-benchmark console lines (bench_micro): each `BM_*` line's
+    real-time value, normalized to nanoseconds.
+
+Checks, in decreasing severity:
+
+  1. ORDER FLIP — within one (table, column) the ranking of rows
+     changed between baseline and current. Orderings are what the
+     figures claim, so flips are the strongest signal.
+  2. REGRESSION — a time-like metric (ns/ms/time columns, all
+     google-benchmark times) grew by more than --threshold (default
+     20%).
+  3. CHANGE — any other numeric cell moved by more than --threshold
+     (informational; GFLOPS-style metrics shrink on regression).
+
+--orders-only suppresses the value-delta checks (2 and 3): use it when
+baseline and current ran on different hardware, where absolute-time
+deltas are meaningless but orderings still carry signal (the CI
+bench-gate does).
+
+Exit status is 0 unless --strict is given and an ORDER FLIP or
+REGRESSION was found; CI runs it non-blocking and uploads the report
+(--report FILE) as an artifact. Usage:
+
+    tools/bench_diff.py BASELINE CURRENT [--threshold 0.20]
+                        [--report FILE] [--strict] [--orders-only]
+"""
+
+import argparse
+import re
+import sys
+
+
+def _to_float(cell):
+    """Numeric value of a table cell ('1.23', '4.5x', '12.3%') or None."""
+    m = re.fullmatch(r"(-?\d+(?:\.\d+)?)\s*(?:x|%)?", cell.strip())
+    return float(m.group(1)) if m else None
+
+
+def _split_columns(line):
+    """Split an aligned table line on runs of >= 2 spaces."""
+    return [c for c in re.split(r"\s{2,}", line.strip()) if c]
+
+
+def parse_tables(text):
+    """Extract util::Table blocks: {(table#, row, col): value}."""
+    metrics = {}
+    lines = text.splitlines()
+    table_idx = 0
+    i = 0
+    while i < len(lines) - 1:
+        # A table is a header line directly above a dashed rule.
+        if re.fullmatch(r"-{4,}", lines[i + 1].strip()) and _split_columns(lines[i]):
+            headers = _split_columns(lines[i])
+            i += 2
+            while i < len(lines):
+                cells = _split_columns(lines[i])
+                if len(cells) != len(headers) or not cells:
+                    break
+                row_label = cells[0]
+                for col, cell in zip(headers[1:], cells[1:]):
+                    value = _to_float(cell)
+                    if value is not None:
+                        metrics[(f"table{table_idx}", row_label, col)] = value
+                i += 1
+            table_idx += 1
+        else:
+            i += 1
+    return metrics
+
+
+_GB_LINE = re.compile(
+    r"^(BM_\S+)\s+([\d.]+)\s+(ns|us|ms|s)\s+[\d.]+\s+(?:ns|us|ms|s)\s"
+)
+_GB_SCALE = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def parse_google_benchmark(text):
+    """Extract BM_* real-time values, normalized to ns."""
+    metrics = {}
+    for line in text.splitlines():
+        m = _GB_LINE.match(line)
+        if m:
+            metrics[("gbench", m.group(1), "time_ns")] = float(
+                m.group(2)
+            ) * _GB_SCALE[m.group(3)]
+    return metrics
+
+
+def parse(text):
+    metrics = parse_tables(text)
+    metrics.update(parse_google_benchmark(text))
+    return metrics
+
+
+_TIME_TOKENS = {"ns", "us", "ms", "s", "time", "latency"}
+
+
+def _time_like(key):
+    """Whether higher values of this metric are worse. Matches whole
+    tokens only: a substring test would classify 'Dense'/'Patterns'
+    columns (GFLOPS / counts) as time-like via the embedded 'ns'."""
+    tokens = re.findall(r"[a-z]+", key[2].lower())
+    return any(t in _TIME_TOKENS for t in tokens)
+
+
+def rankings(metrics):
+    """Row order per (table, column), sorted by value."""
+    groups = {}
+    for (table, row, col), value in metrics.items():
+        groups.setdefault((table, col), []).append((row, value))
+    return {
+        group: [row for row, _ in sorted(entries, key=lambda rv: rv[1])]
+        for group, entries in groups.items()
+        if len(entries) > 1
+    }
+
+
+def diff(baseline, current, threshold, orders_only=False):
+    flips, regressions, changes = [], [], []
+
+    base_rank = rankings(baseline)
+    cur_rank = rankings(current)
+    for group, order in sorted(base_rank.items()):
+        cur = cur_rank.get(group)
+        if cur is not None and sorted(cur) == sorted(order) and cur != order:
+            flips.append(
+                f"ORDER FLIP  {group[0]}/{group[1]}: "
+                f"{' < '.join(order)}  ->  {' < '.join(cur)}"
+            )
+    if orders_only:
+        return flips, regressions, changes
+
+    for key in sorted(set(baseline) & set(current)):
+        b, c = baseline[key], current[key]
+        if b == 0:
+            continue
+        rel = (c - b) / abs(b)
+        label = "/".join(key)
+        if _time_like(key) and rel > threshold:
+            regressions.append(
+                f"REGRESSION  {label}: {b:g} -> {c:g}  (+{rel * 100:.0f}%)"
+            )
+        elif abs(rel) > threshold:
+            changes.append(
+                f"CHANGE      {label}: {b:g} -> {c:g}  ({rel * 100:+.0f}%)"
+            )
+    return flips, regressions, changes
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative change that counts (default 0.20)")
+    ap.add_argument("--report", help="also write the report to this file")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on order flips or regressions")
+    ap.add_argument("--orders-only", action="store_true",
+                    help="only check orderings (cross-machine comparisons)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = parse(f.read())
+    with open(args.current) as f:
+        current = parse(f.read())
+
+    if not baseline:
+        print(f"warning: no metrics parsed from {args.baseline}", file=sys.stderr)
+    missing = sorted(set(baseline) - set(current))
+    flips, regressions, changes = diff(baseline, current, args.threshold,
+                                       args.orders_only)
+
+    out = []
+    out.append(
+        f"bench_diff: {len(baseline)} baseline / {len(current)} current "
+        f"metrics, {len(set(baseline) & set(current))} compared, "
+        f"threshold {args.threshold * 100:.0f}%"
+    )
+    out.extend(flips)
+    out.extend(regressions)
+    out.extend(changes)
+    if missing:
+        out.append(f"missing from current run: {len(missing)} metric(s), "
+                   f"e.g. {'/'.join(missing[0])}")
+    if not (flips or regressions or changes):
+        out.append("OK: no order flips, regressions or >threshold changes")
+
+    report = "\n".join(out) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+
+    if args.strict and (flips or regressions):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

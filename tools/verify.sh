@@ -1,19 +1,36 @@
 #!/usr/bin/env bash
 # Tier-1 verify: the exact command from ROADMAP.md, plus an optional
 # clang-format check (skipped with a notice when the tool is absent).
-# Usage: tools/verify.sh [--format-only|--no-format]
+#
+# --simd-off configures with -DPATDNN_ENABLE_SIMD=OFF in a separate
+# build directory (build-scalar/), so developers on machines without
+# AVX2 — and anyone reproducing the CI matrix's scalar cell — run
+# tier-1 against the same configuration CI uses without clobbering the
+# default build tree's cache.
+#
+# Usage: tools/verify.sh [--format-only|--no-format] [--simd-off]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_format=1
 run_build=1
-case "${1:-}" in
-    --format-only) run_build=0 ;;
-    --no-format)   run_format=0 ;;
-    "") ;;
-    *) echo "usage: tools/verify.sh [--format-only|--no-format]" >&2; exit 2 ;;
-esac
+build_dir=build
+cmake_args=()
+for arg in "$@"; do
+    case "${arg}" in
+        --format-only) run_build=0 ;;
+        --no-format)   run_format=0 ;;
+        --simd-off)
+            build_dir=build-scalar
+            cmake_args+=(-DPATDNN_ENABLE_SIMD=OFF)
+            ;;
+        *)
+            echo "usage: tools/verify.sh [--format-only|--no-format] [--simd-off]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 if [[ ${run_format} -eq 1 ]]; then
     if command -v clang-format >/dev/null 2>&1; then
@@ -27,9 +44,10 @@ if [[ ${run_format} -eq 1 ]]; then
 fi
 
 if [[ ${run_build} -eq 1 ]]; then
-    echo "== tier-1: configure + build + ctest =="
+    echo "== tier-1: configure + build + ctest (${build_dir}) =="
     # Per-test timeout so a hung suite (e.g. a deadlocked server test)
     # fails fast instead of stalling the whole job.
-    cmake -B build -S . && cmake --build build -j && cd build \
+    cmake -B "${build_dir}" -S . "${cmake_args[@]}" \
+        && cmake --build "${build_dir}" -j && cd "${build_dir}" \
         && ctest --output-on-failure -j --timeout 300
 fi
