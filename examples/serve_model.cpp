@@ -1,9 +1,12 @@
 /**
  * @file
  * The deployment path end-to-end: compile a zoo model with the full
- * pattern engine, freeze it into a binary artifact, reload it the way a
- * serving host would, and drive a burst of asynchronous requests
- * through the micro-batching inference server.
+ * pattern engine, freeze it into a binary artifact (header v3 records
+ * the compile options + device fingerprint), reload it the way a
+ * serving host would, and serve it from a multi-model ModelRegistry —
+ * two named models sharing one compute pool, a linger window
+ * coalescing the sparse tail of the request stream, and a deadline on
+ * every request so backlogged work is shed, not computed.
  *
  * Build & run:   cmake -B build && cmake --build build -j
  *                ./build/examples/serve_model
@@ -33,50 +36,82 @@ main()
                 static_cast<double>(compiled.convDense()) /
                     static_cast<double>(compiled.convNonZeros()));
 
-    // Freeze to a distributable artifact and reload it (checksum +
-    // FKW invariants re-validated on the way in).
+    // Freeze to a distributable artifact and inspect its provenance on
+    // the way back in (checksum + FKW invariants re-validated; the v3
+    // header carries the compile options + device fingerprint).
     const std::string path = "vgg16_cifar10.pdnn";
     std::string error;
     if (!saveModel(compiled, path, &error)) {
         std::printf("save failed: %s\n", error.c_str());
         return 1;
     }
-    std::shared_ptr<CompiledModel> loaded = loadModel(path, device, &error);
+    ArtifactInfo info;
+    std::shared_ptr<CompiledModel> loaded =
+        loadModel(path, device, ArtifactLoadOptions{}, &error, &info);
     if (!loaded) {
         std::printf("load failed: %s\n", error.c_str());
         return 1;
     }
-    std::printf("artifact %s round-tripped\n", path.c_str());
+    std::printf("artifact %s round-tripped: v%u, tuned on %s, pool width %d, "
+                "%d patterns, connectivity %.1f\n",
+                path.c_str(), info.version, isaName(info.tuned_isa),
+                info.pool_width, info.compile_opts.pattern_count,
+                info.compile_opts.connectivity_rate);
 
-    // Serve a burst of async requests; the server micro-batches
-    // compatible inputs along N behind the scenes.
-    ServerOptions opts;
-    opts.workers = 2;
-    opts.max_batch = 8;
-    auto server = serve(loaded, opts);
+    // One serving process, several named models, one shared compute
+    // pool: the registry routes by name. A dense compilation of the
+    // same net stands in for "a second model".
+    RegistryOptions ropts;
+    ropts.device = device;
+    ropts.server.workers = 2;
+    ropts.server.max_batch = 8;
+    ropts.server.max_linger_ms = 2.0;  // Coalesce the sparse tail.
+    auto registry = serveRegistry(ropts);
+    registry->add("vgg16-pattern", loaded);
+    registry->add("vgg16-dense", std::make_shared<const CompiledModel>(
+                                     model, FrameworkKind::kPatDnnDense,
+                                     registry->device()));
+
+    // A burst of async requests against both models; every request
+    // carries a deadline so a backlogged server sheds instead of
+    // serving stale work.
     constexpr int kBurst = 32;
     Rng rng(42);
     std::vector<std::future<Tensor>> futures;
-    futures.reserve(kBurst);
+    futures.reserve(2 * kBurst);
     for (int i = 0; i < kBurst; ++i) {
-        Tensor in(Shape{1, 3, 32, 32});
-        in.fillUniform(rng, -1.0f, 1.0f);
-        futures.push_back(server->submit(std::move(in)));
+        SubmitOptions sopts;
+        sopts.deadline = registry->deadlineIn(10000.0);
+        for (const char* name : {"vgg16-pattern", "vgg16-dense"}) {
+            Tensor in(Shape{1, 3, 32, 32});
+            in.fillUniform(rng, -1.0f, 1.0f);
+            futures.push_back(registry->submit(name, std::move(in), sopts));
+        }
     }
-    for (auto& f : futures)
-        f.get();
-    server->drain();
+    int completed = 0, shed = 0;
+    for (auto& f : futures) {
+        try {
+            f.get();
+            ++completed;
+        } catch (const DeadlineExceededError&) {
+            ++shed;
+        }
+    }
+    registry->drainAll();
 
-    ServerStats stats = server->stats();
-    Table table({"metric", "value"});
-    table.addRow({"requests completed", Table::num(stats.completed, 0)});
-    table.addRow({"model invocations", Table::num(stats.batches, 0)});
-    table.addRow({"avg batch (samples)", Table::num(stats.avg_batch)});
-    table.addRow({"p50 latency (ms)", Table::num(stats.p50_ms)});
-    table.addRow({"p99 latency (ms)", Table::num(stats.p99_ms)});
-    table.addRow({"throughput (req/s)", Table::num(stats.throughput_rps, 1)});
+    Table table({"model", "completed", "batches", "avg batch", "p50 ms",
+                 "p99 ms", "shed"});
+    for (const std::string& name : registry->names()) {
+        ServerStats stats = registry->stats(name);
+        table.addRow({name, Table::num(stats.completed, 0),
+                      Table::num(stats.batches, 0), Table::num(stats.avg_batch),
+                      Table::num(stats.p50_ms), Table::num(stats.p99_ms),
+                      Table::num(stats.deadline_exceeded, 0)});
+    }
     table.print();
+    std::printf("client view: %d completed, %d deadline-shed\n", completed, shed);
 
+    registry->shutdownAll();
     std::remove(path.c_str());
     return 0;
 }

@@ -80,10 +80,23 @@ loadModel(const std::string& path, const DeviceSpec& device, std::string* error)
     return loadModelArtifact(path, device, error);
 }
 
+std::shared_ptr<CompiledModel>
+loadModel(const std::string& path, const DeviceSpec& device,
+          const ArtifactLoadOptions& opts, std::string* error, ArtifactInfo* info)
+{
+    return loadModelArtifact(path, device, opts, error, info);
+}
+
 std::unique_ptr<InferenceServer>
 serve(std::shared_ptr<const CompiledModel> model, const ServerOptions& opts)
 {
     return std::make_unique<InferenceServer>(std::move(model), opts);
+}
+
+std::unique_ptr<ModelRegistry>
+serveRegistry(const RegistryOptions& opts)
+{
+    return std::make_unique<ModelRegistry>(opts);
 }
 
 }  // namespace patdnn

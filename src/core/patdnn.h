@@ -11,9 +11,13 @@
  *      (whole-model execution lives in CompiledModel, rt/framework.h).
  *
  * Deployment extends the pipeline past Fig. 5: saveModel()/loadModel()
- * freeze a CompiledModel into a distributable artifact, and serve()
- * stands up an async batched InferenceServer over the loaded model
- * (src/serve/).
+ * freeze a CompiledModel into a distributable artifact (header v3
+ * records the compile options + device fingerprint, so a mismatched
+ * host gets a diagnostic instead of a failed invariant), serve()
+ * stands up an async batched InferenceServer — per-request deadlines,
+ * cancellation, and a linger window that coalesces sparse request
+ * streams — and ModelRegistry serves several named artifacts from one
+ * process over one shared compute pool (src/serve/).
  *
  * Everything here is a thin, documented facade over the subsystem
  * libraries; include this single header to use the framework.
@@ -29,6 +33,7 @@
 #include "rt/load_analysis.h"
 #include "rt/tuner.h"
 #include "serve/artifact.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "sparse/csr.h"
@@ -78,14 +83,25 @@ bool saveModel(const CompiledModel& model, const std::string& path,
  * Load an artifact for `device`. The result is immutable and intended
  * to be shared: hand it to any number of InferenceSession /
  * InferenceServer instances. Null + *error on a missing, truncated or
- * corrupted file.
+ * corrupted file, or a device-fingerprint mismatch (see artifact.h).
  */
 std::shared_ptr<CompiledModel> loadModel(const std::string& path,
                                          const DeviceSpec& device,
                                          std::string* error = nullptr);
 
+/** Strict/diagnostic overload: load options + header provenance. */
+std::shared_ptr<CompiledModel> loadModel(const std::string& path,
+                                         const DeviceSpec& device,
+                                         const ArtifactLoadOptions& opts,
+                                         std::string* error = nullptr,
+                                         ArtifactInfo* info = nullptr);
+
 /** Stand up an async batched inference server over a shared model. */
 std::unique_ptr<InferenceServer> serve(std::shared_ptr<const CompiledModel> model,
                                        const ServerOptions& opts = {});
+
+/** Stand up a multi-model registry (serve several named artifacts from
+ * one process over one shared compute pool). */
+std::unique_ptr<ModelRegistry> serveRegistry(const RegistryOptions& opts = {});
 
 }  // namespace patdnn

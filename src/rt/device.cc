@@ -43,6 +43,17 @@ makeCpuDevice(int threads)
 }
 
 DeviceSpec
+makeFixedWidthCpuDevice(int threads)
+{
+    DeviceSpec d;
+    d.name = "mobile-cpu-sim-fixed";
+    d.threads = std::max(1, threads);
+    d.gpu_like = false;
+    d.tile_budget_kb = 32;
+    return d;
+}
+
+DeviceSpec
 makeGpuDevice()
 {
     DeviceSpec d;

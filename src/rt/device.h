@@ -46,8 +46,20 @@ struct DeviceSpec
     mutable std::shared_ptr<ThreadPool> pool_;
 };
 
-/** Snapdragon-855-class CPU stand-in (the paper's primary platform). */
+/** Snapdragon-855-class CPU stand-in (the paper's primary platform).
+ * The pool width is clamped to the host's hardware concurrency. */
 DeviceSpec makeCpuDevice(int threads = 8);
+
+/**
+ * CPU device whose pool width is taken verbatim — NOT clamped to
+ * std::thread::hardware_concurrency(). Analytic models (load counts,
+ * per-thread balance) and committed bench baselines must describe the
+ * *target* width, not whatever core count the current CI cell happens
+ * to have; serving tests likewise pin their width so single-core
+ * runners exercise the same schedules. Oversubscription is fine for
+ * both uses (the pool is just threads).
+ */
+DeviceSpec makeFixedWidthCpuDevice(int threads);
 
 /** Adreno-640-class GPU stand-in: max parallelism, block scheduling. */
 DeviceSpec makeGpuDevice();

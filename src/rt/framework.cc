@@ -266,7 +266,7 @@ CompiledModel::attachConvEngines(Executor& ex) const
 CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec device,
                              CompileOptions opts)
     : kind_(kind), device_(std::move(device)),
-      tuned_isa_(resolveSimdOps(device_.simd_isa).isa)
+      tuned_isa_(resolveSimdOps(device_.simd_isa).isa), compile_opts_(opts)
 {
     Graph graph = buildGraph(model);
     // Graph-level optimization (Table 1): all frameworks fold BN and
@@ -341,9 +341,9 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
 
 CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
                              std::vector<CompiledLayerState> layers, int output_node,
-                             SimdIsa tuned_isa)
+                             SimdIsa tuned_isa, CompileOptions compile_opts)
     : kind_(kind), device_(std::move(device)), tuned_isa_(tuned_isa),
-      output_node_(output_node)
+      compile_opts_(std::move(compile_opts)), output_node_(output_node)
 {
     PATDNN_CHECK(output_node_ >= 0 &&
                      static_cast<size_t>(output_node_) < layers.size(),

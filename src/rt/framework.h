@@ -140,11 +140,14 @@ class CompiledModel
      * dense weights for `device`. `tuned_isa` is the kernel ISA the
      * stored TuneParams were searched on (artifact header); execution
      * always uses the ISA of `device`, so a mismatch only means the
-     * parameters may be off-width for this host.
+     * parameters may be off-width for this host. `compile_opts` is the
+     * option record from the artifact header (v3+; defaults for older
+     * artifacts).
      */
     CompiledModel(FrameworkKind kind, DeviceSpec device,
                   std::vector<CompiledLayerState> layers, int output_node,
-                  SimdIsa tuned_isa = SimdIsa::kScalar);
+                  SimdIsa tuned_isa = SimdIsa::kScalar,
+                  CompileOptions compile_opts = {});
     ~CompiledModel();
 
     /** Run one NCHW input through every layer; returns final output. */
@@ -185,6 +188,12 @@ class CompiledModel
      * value recorded in the artifact header). */
     SimdIsa tunedIsa() const { return tuned_isa_; }
 
+    /** Options this model was compiled with (restored models: the
+     * record from the artifact header, defaults for pre-v3 artifacts).
+     * Recorded so a serving host can diagnose what produced an
+     * artifact without re-deriving it from the weights. */
+    const CompileOptions& compileOptions() const { return compile_opts_; }
+
   private:
     struct Executor;
     Tensor runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const;
@@ -195,6 +204,7 @@ class CompiledModel
     FrameworkKind kind_;
     DeviceSpec device_;
     SimdIsa tuned_isa_ = SimdIsa::kScalar;
+    CompileOptions compile_opts_;
     int output_node_ = -1;
     std::vector<std::unique_ptr<Executor>> executors_;  ///< Per node id.
 };

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 
 #include "util/byteio.h"
 #include "util/logging.h"
@@ -11,12 +12,15 @@ namespace patdnn {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'D', 'N', 'N'};
+constexpr size_t kHeaderSize = 4 + 4 + 8;  ///< magic + version + payload size.
+constexpr size_t kIoChunk = 256 * 1024;    ///< Streamed-load read granularity.
 
-/** FNV-1a 64-bit over a byte range (the artifact integrity check). */
+/** Incremental FNV-1a 64-bit (the artifact integrity check). */
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
 uint64_t
-fnv1a(const uint8_t* data, size_t size)
+fnv1aUpdate(uint64_t h, const uint8_t* data, size_t size)
 {
-    uint64_t h = 0xcbf29ce484222325ULL;
     for (size_t i = 0; i < size; ++i) {
         h ^= data[i];
         h *= 0x100000001b3ULL;
@@ -24,6 +28,7 @@ fnv1a(const uint8_t* data, size_t size)
     return h;
 }
 
+using bytes::putF64;
 using bytes::putI64;
 using bytes::putU32;
 using bytes::putU64;
@@ -163,89 +168,120 @@ readConvDesc(Reader& r, ConvDesc& d)
     return r.ok;
 }
 
-}  // namespace
+/** Byte consumer for the streaming payload serializer. */
+using Emit = std::function<void(const uint8_t*, size_t)>;
 
-std::vector<uint8_t>
-serializeModel(const CompiledModel& model)
+void
+emitBuf(const Emit& emit, std::vector<uint8_t>& buf)
 {
-    std::vector<CompiledLayerState> layers = model.exportState();
-
-    // Serialize straight into the final buffer (the payload size is
-    // backpatched) so large models are not copied an extra time.
-    std::vector<uint8_t> out;
-    for (char c : kMagic)
-        out.push_back(static_cast<uint8_t>(c));
-    putU32(out, kModelArtifactVersion);
-    size_t size_at = out.size();
-    putU64(out, 0);  // Payload size placeholder.
-    size_t payload_begin = out.size();
-
-    putU32(out, static_cast<uint32_t>(model.kind()));
-    putU32(out, static_cast<uint32_t>(model.tunedIsa()));
-    putU32(out, static_cast<uint32_t>(model.outputNode()));
-    putU32(out, static_cast<uint32_t>(layers.size()));
-    for (const CompiledLayerState& st : layers) {
-        out.push_back(st.live ? 1 : 0);
-        if (!st.live)
-            continue;
-        putU32(out, static_cast<uint32_t>(st.kind));
-        putConvDesc(out, st.conv);
-        putU32(out, static_cast<uint32_t>(st.inputs.size()));
-        for (int in : st.inputs)
-            putU32(out, static_cast<uint32_t>(in));
-        out.push_back(st.fused_relu ? 1 : 0);
-        putI64(out, st.pool_k);
-        putI64(out, st.pool_stride);
-        putI64(out, st.in_features);
-        putI64(out, st.out_features);
-        putTuning(out, st.tuning);
-        out.push_back(st.opts.reorder ? 1 : 0);
-        out.push_back(st.opts.lre ? 1 : 0);
-        out.push_back(st.opts.tuned ? 1 : 0);
-        putTensor(out, st.weight);
-        putTensor(out, st.bias);
-        out.push_back(st.fkw ? 1 : 0);
-        if (st.fkw)
-            serializeFkw(*st.fkw, out);
-    }
-
-    uint64_t payload_size = out.size() - payload_begin;
-    for (int i = 0; i < 8; ++i)
-        out[size_at + static_cast<size_t>(i)] =
-            static_cast<uint8_t>(payload_size >> (8 * i));
-    putU64(out, fnv1a(out.data() + payload_begin,
-                      static_cast<size_t>(payload_size)));
-    return out;
+    if (!buf.empty())
+        emit(buf.data(), buf.size());
+    buf.clear();
 }
 
+/**
+ * Serialize the payload one record at a time through `emit` (bounded
+ * scratch: header fields, then one layer record per call). Both the
+ * in-memory serializer and the streaming file writer share this.
+ */
+void
+emitPayload(const CompiledModel& model, uint32_t version, const Emit& emit)
+{
+    std::vector<CompiledLayerState> layers = model.exportState();
+    std::vector<uint8_t> buf;
+
+    putU32(buf, static_cast<uint32_t>(model.kind()));
+    if (version >= 2)
+        putU32(buf, static_cast<uint32_t>(model.tunedIsa()));
+    if (version >= 3) {
+        // Device fingerprint: what the artifact was compiled against.
+        const DeviceSpec& dev = model.device();
+        putU32(buf, static_cast<uint32_t>(dev.threads));
+        buf.push_back(dev.gpu_like ? 1 : 0);
+        putI64(buf, dev.tile_budget_kb);
+        // Compile-option record (provenance; per-layer tuning is stored
+        // with each layer, so default_tuning is not repeated here).
+        const CompileOptions& co = model.compileOptions();
+        putU32(buf, static_cast<uint32_t>(co.pattern_count));
+        putF64(buf, co.connectivity_rate);
+        putF64(buf, co.first_layer_rate);
+        buf.push_back(co.opts.reorder ? 1 : 0);
+        buf.push_back(co.opts.lre ? 1 : 0);
+        buf.push_back(co.opts.tuned ? 1 : 0);
+        buf.push_back(co.run_graph_passes ? 1 : 0);
+        putU64(buf, co.seed);
+    }
+    putU32(buf, static_cast<uint32_t>(model.outputNode()));
+    putU32(buf, static_cast<uint32_t>(layers.size()));
+    emitBuf(emit, buf);
+
+    for (CompiledLayerState& st : layers) {
+        buf.push_back(st.live ? 1 : 0);
+        if (st.live) {
+            putU32(buf, static_cast<uint32_t>(st.kind));
+            putConvDesc(buf, st.conv);
+            putU32(buf, static_cast<uint32_t>(st.inputs.size()));
+            for (int in : st.inputs)
+                putU32(buf, static_cast<uint32_t>(in));
+            buf.push_back(st.fused_relu ? 1 : 0);
+            putI64(buf, st.pool_k);
+            putI64(buf, st.pool_stride);
+            putI64(buf, st.in_features);
+            putI64(buf, st.out_features);
+            putTuning(buf, st.tuning);
+            buf.push_back(st.opts.reorder ? 1 : 0);
+            buf.push_back(st.opts.lre ? 1 : 0);
+            buf.push_back(st.opts.tuned ? 1 : 0);
+            putTensor(buf, st.weight);
+            putTensor(buf, st.bias);
+            buf.push_back(st.fkw ? 1 : 0);
+            if (st.fkw)
+                serializeFkw(*st.fkw, buf);
+            // Release this layer's copy as soon as it is emitted so the
+            // streaming save never holds state + bytes for the whole
+            // model at once.
+            st.fkw.reset();
+            st.weight = Tensor();
+            st.bias = Tensor();
+        }
+        emitBuf(emit, buf);
+    }
+}
+
+void
+warn(ArtifactInfo* info, const std::string& msg)
+{
+    logMessage(LogLevel::kWarn, msg);
+    if (info != nullptr)
+        info->warnings.push_back(msg);
+}
+
+/**
+ * Parse + validate a payload (any supported version) and rebuild the
+ * model for `device`. Shared by the in-memory and file loaders, which
+ * have already verified framing and checksum.
+ */
 std::shared_ptr<CompiledModel>
-deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
-                 std::string* error)
+deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version,
+                   const DeviceSpec& device, const ArtifactLoadOptions& opts,
+                   std::string* error, ArtifactInfo* info)
 {
     auto fail = [&](const std::string& msg) {
         if (error != nullptr)
             *error = msg;
         return nullptr;
     };
-    if (bytes.size() < 4 + 4 + 8 + 8 || std::memcmp(bytes.data(), kMagic, 4) != 0)
-        return fail("artifact: bad magic");
-    Reader hdr{{bytes.data() + 4, bytes.size() - 4}};
-    uint32_t version = hdr.u32();
-    if (version < 1 || version > kModelArtifactVersion)
-        return fail("artifact: unsupported version " + std::to_string(version));
-    uint64_t payload_size = hdr.u64();
-    if (!hdr.ok || payload_size != bytes.size() - 4 - 4 - 8 - 8)
-        return fail("artifact: truncated (payload size mismatch)");
-    const uint8_t* payload = bytes.data() + 4 + 4 + 8;
-    Reader tail{{payload + payload_size, 8}};
-    if (fnv1a(payload, static_cast<size_t>(payload_size)) != tail.u64())
-        return fail("artifact: checksum mismatch");
+    if (info != nullptr)
+        info->version = version;
 
-    Reader r{{payload, static_cast<size_t>(payload_size)}};
+    Reader r{{payload, payload_size}};
     uint32_t kind_raw = r.u32();
     if (kind_raw > static_cast<uint32_t>(FrameworkKind::kPatDnn))
         return fail("artifact: unknown framework kind");
     FrameworkKind kind = static_cast<FrameworkKind>(kind_raw);
+    if (info != nullptr)
+        info->kind = kind;
+
     // Version 1 predates the tuned-ISA record; those artifacts were
     // tuned by scalar-only builds.
     SimdIsa tuned_isa = SimdIsa::kScalar;
@@ -255,13 +291,72 @@ deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
             return fail("artifact: unknown kernel ISA");
         tuned_isa = static_cast<SimdIsa>(isa_raw);
     }
+    if (info != nullptr)
+        info->tuned_isa = tuned_isa;
+
+    CompileOptions compile_opts;
+    if (version < 3) {
+        warn(info, "artifact: pre-v3 header (version " + std::to_string(version) +
+                       "): no device fingerprint or compile-option record; "
+                       "host compatibility cannot be verified");
+    } else {
+        int pool_width = static_cast<int>(r.u32());
+        bool gpu_like = r.u8() != 0;
+        int64_t tile_budget_kb = r.i64();
+        compile_opts.pattern_count = static_cast<int>(r.u32());
+        compile_opts.connectivity_rate = r.f64();
+        compile_opts.first_layer_rate = r.f64();
+        compile_opts.opts.reorder = r.u8() != 0;
+        compile_opts.opts.lre = r.u8() != 0;
+        compile_opts.opts.tuned = r.u8() != 0;
+        compile_opts.run_graph_passes = r.u8() != 0;
+        compile_opts.seed = r.u64();
+        if (!r.ok)
+            return fail("artifact: truncated provenance record");
+        if (pool_width < 1 || pool_width > 4096 ||
+            compile_opts.pattern_count < 0 ||
+            compile_opts.pattern_count > (1 << 16))
+            return fail("artifact: implausible provenance record");
+        if (info != nullptr) {
+            info->has_fingerprint = true;
+            info->pool_width = pool_width;
+            info->gpu_like = gpu_like;
+            info->tile_budget_kb = tile_budget_kb;
+            info->has_compile_opts = true;
+            info->compile_opts = compile_opts;
+        }
+        if (gpu_like != device.gpu_like)
+            return fail(std::string("artifact: device fingerprint mismatch: "
+                                    "compiled for a ") +
+                        (gpu_like ? "GPU-like (block-scheduled)" : "CPU") +
+                        " device but this host device is " +
+                        (device.gpu_like ? "GPU-like (block-scheduled)"
+                                         : "a CPU") +
+                        "; the tuned execution plan does not transfer across "
+                        "scheduling models");
+        if (pool_width != device.threads || tile_budget_kb != device.tile_budget_kb) {
+            std::string msg =
+                "artifact: device fingerprint mismatch: compiled for pool "
+                "width " +
+                std::to_string(pool_width) + ", tile budget " +
+                std::to_string(tile_budget_kb) + " KB but this host runs pool "
+                "width " +
+                std::to_string(device.threads) + ", tile budget " +
+                std::to_string(device.tile_budget_kb) +
+                " KB; execution is exact, tuned parameters may be off-width";
+            if (opts.require_matching_fingerprint)
+                return fail(msg + " (rejected: matching fingerprint required)");
+            warn(info, msg);
+        }
+    }
+
     SimdIsa host_isa = resolveSimdOps(device.simd_isa).isa;
     if (tuned_isa != host_isa)
-        logMessage(LogLevel::kWarn,
-                   std::string("artifact: tuned parameters were searched on ") +
+        warn(info, std::string("artifact: tuned parameters were searched on ") +
                        isaName(tuned_isa) + " kernels but this host runs " +
                        isaName(host_isa) +
                        "; execution is exact, tuning may be off-width");
+
     int output_node = static_cast<int>(r.u32());
     uint32_t n_layers = r.u32();
     if (!r.ok || n_layers > 1u << 20 || output_node < 0 ||
@@ -328,22 +423,118 @@ deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
         return fail("artifact: output node is not a live layer");
 
     return std::make_shared<CompiledModel>(kind, device, std::move(layers),
-                                           output_node, tuned_isa);
+                                           output_node, tuned_isa,
+                                           std::move(compile_opts));
+}
+
+void
+putHeaderPrefix(std::vector<uint8_t>& out, uint32_t version)
+{
+    for (char c : kMagic)
+        out.push_back(static_cast<uint8_t>(c));
+    putU32(out, version);
+    putU64(out, 0);  // Payload size placeholder, backpatched.
+}
+
+}  // namespace
+
+std::vector<uint8_t>
+serializeModel(const CompiledModel& model, uint32_t version)
+{
+    PATDNN_CHECK(version >= 1 && version <= kModelArtifactVersion,
+                 "unsupported artifact serialization version " << version);
+    std::vector<uint8_t> out;
+    putHeaderPrefix(out, version);
+    size_t payload_begin = out.size();
+    uint64_t h = kFnvOffset;
+    emitPayload(model, version, [&](const uint8_t* p, size_t n) {
+        h = fnv1aUpdate(h, p, n);
+        out.insert(out.end(), p, p + n);
+    });
+    uint64_t payload_size = out.size() - payload_begin;
+    for (int i = 0; i < 8; ++i)
+        out[payload_begin - 8 + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(payload_size >> (8 * i));
+    putU64(out, h);
+    return out;
+}
+
+std::vector<uint8_t>
+serializeModel(const CompiledModel& model)
+{
+    return serializeModel(model, kModelArtifactVersion);
+}
+
+std::shared_ptr<CompiledModel>
+deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
+                 const ArtifactLoadOptions& opts, std::string* error,
+                 ArtifactInfo* info)
+{
+    auto fail = [&](const std::string& msg) {
+        if (error != nullptr)
+            *error = msg;
+        return nullptr;
+    };
+    if (bytes.size() < kHeaderSize + 8 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return fail("artifact: bad magic");
+    Reader hdr{{bytes.data() + 4, bytes.size() - 4}};
+    uint32_t version = hdr.u32();
+    if (version < 1 || version > kModelArtifactVersion)
+        return fail("artifact: unsupported version " + std::to_string(version));
+    uint64_t payload_size = hdr.u64();
+    if (!hdr.ok || payload_size != bytes.size() - kHeaderSize - 8)
+        return fail("artifact: truncated (payload size mismatch)");
+    const uint8_t* payload = bytes.data() + kHeaderSize;
+    Reader tail{{payload + payload_size, 8}};
+    if (fnv1aUpdate(kFnvOffset, payload, static_cast<size_t>(payload_size)) !=
+        tail.u64())
+        return fail("artifact: checksum mismatch");
+    return deserializePayload(payload, static_cast<size_t>(payload_size), version,
+                              device, opts, error, info);
+}
+
+std::shared_ptr<CompiledModel>
+deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
+                 std::string* error)
+{
+    return deserializeModel(bytes, device, ArtifactLoadOptions{}, error, nullptr);
 }
 
 bool
 saveModelArtifact(const CompiledModel& model, const std::string& path,
                   std::string* error)
 {
-    std::vector<uint8_t> bytes = serializeModel(model);
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
         if (error != nullptr)
             *error = "cannot open " + path + " for writing";
         return false;
     }
-    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    bool ok = std::fclose(f) == 0 && written == bytes.size();
+    std::vector<uint8_t> header;
+    putHeaderPrefix(header, kModelArtifactVersion);
+    bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    // Stream the payload record-by-record: the checksum and size are
+    // accumulated as bytes pass through, never materializing the whole
+    // serialized model in memory.
+    uint64_t h = kFnvOffset;
+    uint64_t payload_size = 0;
+    emitPayload(model, kModelArtifactVersion, [&](const uint8_t* p, size_t n) {
+        if (!ok)
+            return;
+        h = fnv1aUpdate(h, p, n);
+        payload_size += n;
+        ok = std::fwrite(p, 1, n, f) == n;
+    });
+    std::vector<uint8_t> trailer;
+    putU64(trailer, h);
+    ok = ok && std::fwrite(trailer.data(), 1, trailer.size(), f) == trailer.size();
+    // Backpatch the payload size in the fixed header.
+    ok = ok && std::fseek(f, 4 + 4, SEEK_SET) == 0;
+    std::vector<uint8_t> size_bytes;
+    putU64(size_bytes, payload_size);
+    ok = ok &&
+         std::fwrite(size_bytes.data(), 1, size_bytes.size(), f) == size_bytes.size();
+    ok = std::fclose(f) == 0 && ok;
     if (!ok && error != nullptr)
         *error = "short write to " + path;
     return ok;
@@ -351,26 +542,81 @@ saveModelArtifact(const CompiledModel& model, const std::string& path,
 
 std::shared_ptr<CompiledModel>
 loadModelArtifact(const std::string& path, const DeviceSpec& device,
-                  std::string* error)
+                  const ArtifactLoadOptions& opts, std::string* error,
+                  ArtifactInfo* info)
 {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) {
+    auto fail = [&](const std::string& msg) {
         if (error != nullptr)
-            *error = "cannot open " + path;
+            *error = msg;
         return nullptr;
-    }
+    };
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return fail("cannot open " + path);
     std::fseek(f, 0, SEEK_END);
     long len = std::ftell(f);
     std::fseek(f, 0, SEEK_SET);
-    std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
-    size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
-    if (got != bytes.size()) {
-        if (error != nullptr)
-            *error = "short read from " + path;
-        return nullptr;
+    if (len < static_cast<long>(kHeaderSize + 8)) {
+        std::fclose(f);
+        return fail("artifact: truncated stream (" + std::to_string(len < 0 ? 0 : len) +
+                    " bytes is smaller than the fixed header)");
     }
-    return deserializeModel(bytes, device, error);
+    uint8_t header[kHeaderSize];
+    if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize) {
+        std::fclose(f);
+        return fail("artifact: truncated stream (short header read)");
+    }
+    if (std::memcmp(header, kMagic, 4) != 0) {
+        std::fclose(f);
+        return fail("artifact: bad magic");
+    }
+    Reader hdr{{header + 4, kHeaderSize - 4}};
+    uint32_t version = hdr.u32();
+    if (version < 1 || version > kModelArtifactVersion) {
+        std::fclose(f);
+        return fail("artifact: unsupported version " + std::to_string(version));
+    }
+    uint64_t payload_size = hdr.u64();
+    if (payload_size != static_cast<uint64_t>(len) - kHeaderSize - 8) {
+        std::fclose(f);
+        return fail("artifact: truncated stream (header claims " +
+                    std::to_string(payload_size) + " payload bytes, file holds " +
+                    std::to_string(static_cast<uint64_t>(len) - kHeaderSize - 8) +
+                    ")");
+    }
+    // Chunked read with incremental checksum: bounded I/O granularity,
+    // one payload allocation (which the model needs anyway).
+    std::vector<uint8_t> payload(static_cast<size_t>(payload_size));
+    uint64_t h = kFnvOffset;
+    size_t got = 0;
+    while (got < payload.size()) {
+        size_t want = std::min(kIoChunk, payload.size() - got);
+        size_t n = std::fread(payload.data() + got, 1, want, f);
+        if (n == 0) {
+            std::fclose(f);
+            return fail("artifact: truncated stream (short payload read)");
+        }
+        h = fnv1aUpdate(h, payload.data() + got, n);
+        got += n;
+    }
+    uint8_t trailer[8];
+    if (std::fread(trailer, 1, 8, f) != 8) {
+        std::fclose(f);
+        return fail("artifact: truncated stream (missing checksum)");
+    }
+    std::fclose(f);
+    Reader tail{{trailer, 8}};
+    if (h != tail.u64())
+        return fail("artifact: checksum mismatch");
+    return deserializePayload(payload.data(), payload.size(), version, device,
+                              opts, error, info);
+}
+
+std::shared_ptr<CompiledModel>
+loadModelArtifact(const std::string& path, const DeviceSpec& device,
+                  std::string* error)
+{
+    return loadModelArtifact(path, device, ArtifactLoadOptions{}, error, nullptr);
 }
 
 }  // namespace patdnn

@@ -15,12 +15,28 @@
  *   [u64 FNV-1a checksum of payload]
  *
  * The payload holds the framework kind, the kernel ISA the embedded
- * TuneParams were searched on (version >= 2 — loading on a host with a
- * different active ISA still works, with a warning that the tuned
- * unroll/tile widths were chosen for another vector width), the
- * output-node id and one record per graph-node slot; pattern-compiled
- * conv layers embed their FKW storage via sparse/fkw.h's byte-level
- * serializer and are re-validated with validateFkw() on load.
+ * TuneParams were searched on (version >= 2), a device fingerprint +
+ * compile-option record (version >= 3), the output-node id and one
+ * record per graph-node slot; pattern-compiled conv layers embed their
+ * FKW storage via sparse/fkw.h's byte-level serializer and are
+ * re-validated with validateFkw() on load.
+ *
+ * Version 3 provenance: the header records what produced the artifact
+ * (pool width, GPU-like scheduling flag, tile budget, pattern count,
+ * connectivity rates, optimization switches, seed), so a serving host
+ * can reject or warn about a mismatched artifact with a *diagnostic*
+ * ("compiled for pool width 8, this host runs 1") instead of failing
+ * an invariant deep inside an executor. Cross-ISA loads keep the v2
+ * behaviour: execution is exact on any ISA, so a mismatch only warns
+ * that the tuned widths were searched elsewhere. A GPU-like/CPU
+ * scheduling mismatch is always an error; pool-width and tile-budget
+ * differences warn unless ArtifactLoadOptions asks for strictness.
+ *
+ * I/O is streamed: saveModelArtifact() serializes one layer record at
+ * a time straight into the file (checksum computed incrementally, the
+ * payload size backpatched), and loadModelArtifact() verifies the
+ * checksum in bounded chunks — neither path materializes a second
+ * whole-model byte buffer next to the model itself.
  */
 #pragma once
 
@@ -34,30 +50,82 @@
 namespace patdnn {
 
 /** Artifact format version written by serializeModel. Version 2 added
- * the tuned-ISA field; version-1 artifacts still load (ISA assumed
- * scalar). */
-constexpr uint32_t kModelArtifactVersion = 2;
+ * the tuned-ISA field; version 3 the device fingerprint and compile
+ * option record. v1/v2 artifacts still load (with a provenance
+ * warning; ISA assumed scalar for v1). */
+constexpr uint32_t kModelArtifactVersion = 3;
 
-/** Serialize a compiled model into the artifact byte format. */
+/** Load-time strictness knobs. */
+struct ArtifactLoadOptions
+{
+    /// Treat a pool-width / tile-budget fingerprint difference as an
+    /// error instead of a warning. (A GPU-like vs CPU scheduling
+    /// mismatch is always an error: the tuned plan is wrong for the
+    /// other scheduling model, not just off-width.)
+    bool require_matching_fingerprint = false;
+};
+
+/** Header provenance surfaced by the loaders (all versions; the v3
+ * fields are defaulted and flagged absent for older artifacts). */
+struct ArtifactInfo
+{
+    uint32_t version = 0;
+    FrameworkKind kind = FrameworkKind::kPatDnn;
+    SimdIsa tuned_isa = SimdIsa::kScalar;
+    bool has_fingerprint = false;  ///< True for v3+ artifacts.
+    int pool_width = 0;            ///< DeviceSpec.threads at compile time.
+    bool gpu_like = false;
+    int64_t tile_budget_kb = 0;
+    bool has_compile_opts = false; ///< True for v3+ artifacts.
+    CompileOptions compile_opts;
+    /// Non-fatal diagnostics emitted during load (also logged at WARN):
+    /// pre-v3 header, cross-ISA tuning, fingerprint differences.
+    std::vector<std::string> warnings;
+};
+
+/** Serialize a compiled model into the artifact byte format
+ * (kModelArtifactVersion). */
 std::vector<uint8_t> serializeModel(const CompiledModel& model);
+
+/** Serialize at an explicit format version in
+ * [1, kModelArtifactVersion]: older layouts for compatibility tests
+ * and for shipping to hosts that predate the v3 header. */
+std::vector<uint8_t> serializeModel(const CompiledModel& model, uint32_t version);
 
 /**
  * Reconstruct a compiled model for `device` from artifact bytes.
- * Validates magic, version, framing and checksum, then every embedded
- * FKW layer's structural invariants; returns null with a message in
- * *error on any mismatch.
+ * Validates magic, version, framing and checksum, the v3 provenance
+ * record against `device`, then every embedded FKW layer's structural
+ * invariants; returns null with a message in *error on any mismatch.
+ * `info`, when non-null, receives the header provenance + any
+ * non-fatal warnings even for successfully loaded artifacts.
  */
+std::shared_ptr<CompiledModel> deserializeModel(const std::vector<uint8_t>& bytes,
+                                                const DeviceSpec& device,
+                                                const ArtifactLoadOptions& opts,
+                                                std::string* error = nullptr,
+                                                ArtifactInfo* info = nullptr);
+
+/** Default-strictness overload (the common call). */
 std::shared_ptr<CompiledModel> deserializeModel(const std::vector<uint8_t>& bytes,
                                                 const DeviceSpec& device,
                                                 std::string* error = nullptr);
 
-/** Serialize + write to `path`; false with *error on I/O failure. */
+/** Stream-serialize + write to `path` (one layer record in memory at a
+ * time); false with *error on I/O failure. */
 bool saveModelArtifact(const CompiledModel& model, const std::string& path,
                        std::string* error = nullptr);
 
-/** Read `path` + deserialize; null with *error on failure. */
+/** Read `path` (chunked, checksum verified incrementally) +
+ * deserialize; null with *error on failure. */
 std::shared_ptr<CompiledModel> loadModelArtifact(const std::string& path,
                                                  const DeviceSpec& device,
                                                  std::string* error = nullptr);
+
+std::shared_ptr<CompiledModel> loadModelArtifact(const std::string& path,
+                                                 const DeviceSpec& device,
+                                                 const ArtifactLoadOptions& opts,
+                                                 std::string* error = nullptr,
+                                                 ArtifactInfo* info = nullptr);
 
 }  // namespace patdnn

@@ -1,0 +1,122 @@
+#include "serve/clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patdnn {
+
+ServeClock::TimePoint
+ServeClock::after(double ms) const
+{
+    if (ms <= 0.0)
+        return now();
+    // Saturate: a huge relative timeout must not overflow past max().
+    Duration d = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, std::milli>(ms));
+    TimePoint t = now();
+    if (d >= TimePoint::max() - t)
+        return TimePoint::max();
+    return t + d;
+}
+
+namespace {
+
+class SystemClock : public ServeClock
+{
+  public:
+    TimePoint now() const override { return std::chrono::steady_clock::now(); }
+
+    void
+    waitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+              TimePoint deadline) override
+    {
+        if (deadline == TimePoint::max())
+            cv.wait(lk);
+        else
+            cv.wait_until(lk, deadline);
+    }
+};
+
+}  // namespace
+
+const std::shared_ptr<ServeClock>&
+systemServeClock()
+{
+    static const std::shared_ptr<ServeClock> clock =
+        std::make_shared<SystemClock>();
+    return clock;
+}
+
+ServeClock::TimePoint
+FakeClock::now() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return now_;
+}
+
+void
+FakeClock::waitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                     TimePoint deadline)
+{
+    // The caller holds lk (its own mutex); the clock mutex nests inside
+    // it here, and advance() never takes them in the opposite order.
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        ++registrations_;
+        sync_cv_.notify_all();
+        if (now_ >= deadline)
+            return;  // Already due by fake time; never block.
+        waiters_.push_back(Waiter{&cv, lk.mutex()});
+    }
+    cv.wait(lk);
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                               [&](const Waiter& w) { return w.cv == &cv; });
+        if (it != waiters_.end())
+            waiters_.erase(it);
+    }
+}
+
+void
+FakeClock::advance(Duration d)
+{
+    std::vector<Waiter> waiters;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        now_ += d;
+        waiters = waiters_;
+    }
+    // Acquire-then-release each waiter's mutex before notifying: a
+    // waiter that has registered but not yet entered cv.wait still
+    // holds its mutex, so this handshake guarantees the notify cannot
+    // be lost between registration and wait. (The clock mutex is NOT
+    // held here, so there is no lock-order inversion with waitUntil.)
+    for (const Waiter& w : waiters) {
+        { std::lock_guard<std::mutex> barrier(*w.mutex); }
+        w.cv->notify_all();
+    }
+}
+
+void
+FakeClock::advanceMs(double ms)
+{
+    advance(std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, std::milli>(ms)));
+}
+
+int64_t
+FakeClock::registrations() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return registrations_;
+}
+
+void
+FakeClock::waitForRegistrations(int64_t n)
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    sync_cv_.wait(lk, [&] { return registrations_ >= n; });
+}
+
+}  // namespace patdnn

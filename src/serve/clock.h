@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Injectable time source for the serving subsystem.
+ *
+ * The server's batching linger window and per-request deadlines are
+ * time-driven behaviours, and time-driven behaviour is untestable
+ * against the wall clock without sleeps. Every time decision in
+ * src/serve/ therefore goes through a ServeClock: production servers
+ * use the process-wide steady-clock implementation, tests inject a
+ * FakeClock whose now() only moves when the test calls advance(), so
+ * "the batch flushes at max_linger exactly" is a deterministic
+ * assertion instead of a race.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace patdnn {
+
+/**
+ * A monotonic time source the server reads and waits against.
+ *
+ * waitUntil() releases `lk` and blocks the caller until `deadline` (as
+ * measured by *this clock*), a notification on `cv`, or a spurious
+ * wake; the caller re-checks its predicate and deadline in a loop, as
+ * with any condition-variable wait.
+ */
+class ServeClock
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+    using Duration = std::chrono::steady_clock::duration;
+
+    virtual ~ServeClock() = default;
+
+    virtual TimePoint now() const = 0;
+
+    virtual void waitUntil(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk,
+                           TimePoint deadline) = 0;
+
+    /** now() + ms, saturating at TimePoint::max(). ms <= 0 returns
+     * now() — an already-due deadline, NOT "no deadline"; callers that
+     * mean "no deadline" should pass TimePoint::max() directly. */
+    TimePoint after(double ms) const;
+};
+
+/** The process-wide steady-clock implementation. */
+const std::shared_ptr<ServeClock>& systemServeClock();
+
+/**
+ * A manually advanced clock for deterministic serving tests.
+ *
+ * now() starts at an arbitrary epoch and only moves on advance(),
+ * which also wakes every thread currently blocked in waitUntil() so
+ * the woken waiter re-evaluates its deadline against the new time.
+ *
+ * Synchronization protocol for tests (no sleeps, no polling):
+ * every waitUntil() entry bumps a registration counter before
+ * blocking, so a test can (1) act, (2) waitForRegistrations(n) to know
+ * the worker it is steering has re-entered its timed wait, and only
+ * then (3) assert on externally visible state.
+ */
+class FakeClock : public ServeClock
+{
+  public:
+    TimePoint now() const override;
+    void waitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                   TimePoint deadline) override;
+
+    /** Move now() forward and wake all current waitUntil() waiters. */
+    void advance(Duration d);
+    void advanceMs(double ms);
+
+    /** Total waitUntil() entries since construction (monotonic). */
+    int64_t registrations() const;
+
+    /** Block (on real time) until registrations() >= n. */
+    void waitForRegistrations(int64_t n);
+
+  private:
+    struct Waiter
+    {
+        std::condition_variable* cv;
+        std::mutex* mutex;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable sync_cv_;  ///< waitForRegistrations wakeups.
+    TimePoint now_ = TimePoint{} + std::chrono::hours(1);
+    std::vector<Waiter> waiters_;
+    int64_t registrations_ = 0;
+};
+
+}  // namespace patdnn

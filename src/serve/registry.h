@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Multi-model serving registry.
+ *
+ * One serving process, several named compiled models: the registry
+ * loads (or adopts) artifacts under caller-chosen names, fronts each
+ * with its own micro-batching InferenceServer, and routes requests by
+ * model name. All models share ONE compute thread pool — the
+ * registry's DeviceSpec materializes its lazy util::ThreadPool once at
+ * construction and every loaded model is compiled/restored against a
+ * copy of that spec, so N models cost one set of compute workers
+ * instead of N (the per-server *serving* workers are cheap: they
+ * block in the queue, the compute pool does the math).
+ *
+ * Eviction shuts the model's server down (outstanding futures resolve
+ * or fail per the server's shutdown contract) and drops the registry's
+ * reference; in-flight submit() calls racing an evict hold their own
+ * shared_ptr, so nothing dangles.
+ */
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/artifact.h"
+#include "serve/server.h"
+
+namespace patdnn {
+
+/** Thrown into the future when a request names no loaded model. */
+class UnknownModelError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Registry-wide knobs. */
+struct RegistryOptions
+{
+    /// Execution device shared by every model in this registry; its
+    /// compute pool is created once and shared. Defaults to a host CPU
+    /// device (DeviceSpec{} width).
+    DeviceSpec device;
+    /// Server options applied to each model's InferenceServer (the
+    /// clock, linger window, batch and queue bounds are per-registry
+    /// policy; per-model overrides go through add()).
+    ServerOptions server;
+};
+
+/**
+ * Named multi-model serving front end.
+ *
+ * Thread-safe: load/add/evict/submit/stats may race freely. The
+ * registry never blocks one model's producers on another model's
+ * queue — per-model servers are resolved under a short lock, then
+ * released before any blocking call.
+ */
+class ModelRegistry
+{
+  public:
+    explicit ModelRegistry(RegistryOptions opts = {});
+    ~ModelRegistry();
+
+    ModelRegistry(const ModelRegistry&) = delete;
+    ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+    /**
+     * Load an artifact from `path` and serve it as `name`. False +
+     * *error when the artifact is rejected (see artifact.h diagnostics)
+     * or the name is already taken.
+     */
+    bool load(const std::string& name, const std::string& path,
+              std::string* error = nullptr);
+
+    /** Serve an already-compiled model as `name`; per-model server
+     * options override the registry defaults. False if taken. */
+    bool add(const std::string& name, std::shared_ptr<const CompiledModel> model,
+             std::string* error = nullptr);
+    bool add(const std::string& name, std::shared_ptr<const CompiledModel> model,
+             const ServerOptions& server_opts, std::string* error = nullptr);
+
+    /** Shut down `name`'s server and drop it. False if absent. */
+    bool evict(const std::string& name);
+
+    /** Loaded model names, sorted. */
+    std::vector<std::string> names() const;
+    size_t size() const;
+
+    /** The shared model under `name`; null if absent. */
+    std::shared_ptr<const CompiledModel> model(const std::string& name) const;
+
+    /**
+     * Route one request to `name`'s server (blocking submit semantics).
+     * An unknown name fails only this request's future with
+     * UnknownModelError.
+     */
+    std::future<Tensor> submit(const std::string& name, Tensor input,
+                               SubmitOptions sopts = {}, RequestId* id = nullptr);
+
+    /** Cancel a queued request on `name`'s server. */
+    bool cancel(const std::string& name, RequestId id);
+
+    /** Stats snapshot for `name` (default-constructed if absent). */
+    ServerStats stats(const std::string& name) const;
+
+    /** Absolute deadline `ms` from now on the registry's clock. */
+    ServeClock::TimePoint deadlineIn(double ms) const;
+
+    /** Block until every model's accepted work is fulfilled or shed. */
+    void drainAll();
+
+    /** Stop intake and join every model's workers. Idempotent. */
+    void shutdownAll();
+
+    /** The shared execution device (and compute pool). */
+    const DeviceSpec& device() const { return opts_.device; }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const CompiledModel> model;
+        std::shared_ptr<InferenceServer> server;
+    };
+
+    std::shared_ptr<InferenceServer> serverFor(const std::string& name) const;
+
+    RegistryOptions opts_;
+    std::shared_ptr<ServeClock> clock_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace patdnn

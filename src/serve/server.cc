@@ -40,12 +40,14 @@ sameSampleShape(const Shape& a, const Shape& b)
 InferenceServer::InferenceServer(std::shared_ptr<const CompiledModel> model,
                                  ServerOptions opts)
     : model_(std::move(model)), opts_(opts),
+      clock_(opts.clock ? opts.clock : systemServeClock()),
       pool_(std::max(1, opts.workers))
 {
     PATDNN_CHECK(model_ != nullptr, "server needs a model");
     opts_.workers = std::max(1, opts_.workers);
     opts_.max_batch = std::max<int64_t>(1, opts_.max_batch);
     opts_.max_queue = std::max<size_t>(1, opts_.max_queue);
+    opts_.max_linger_ms = std::max(0.0, opts_.max_linger_ms);
     if (!opts_.start_paused)
         start();
 }
@@ -72,11 +74,23 @@ InferenceServer::start()
     });
 }
 
-std::future<Tensor>
-InferenceServer::submit(Tensor input)
+RequestId
+InferenceServer::enqueueLocked(Request& req)
 {
+    req.id = next_id_++;
+    ++accepted_;
+    queue_.push_back(std::move(req));
+    return queue_.back().id;
+}
+
+std::future<Tensor>
+InferenceServer::submit(Tensor input, SubmitOptions sopts, RequestId* id)
+{
+    if (id != nullptr)
+        *id = 0;
     Request req;
     req.input = std::move(input);
+    req.deadline = sopts.deadline;
     std::future<Tensor> result = req.promise.get_future();
     if (!validRequestInput(req.input)) {
         req.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
@@ -93,17 +107,28 @@ InferenceServer::submit(Tensor input)
                 std::runtime_error("inference server is shut down")));
             return result;
         }
-        queue_.push_back(std::move(req));
+        RequestId assigned = enqueueLocked(req);
+        if (id != nullptr)
+            *id = assigned;
     }
-    cv_request_.notify_one();
+    // With a linger window the woken worker may be mid-batch and not
+    // take this request; wake everyone so an idle worker can.
+    if (opts_.max_linger_ms > 0.0)
+        cv_request_.notify_all();
+    else
+        cv_request_.notify_one();
     return result;
 }
 
 bool
-InferenceServer::trySubmit(Tensor input, std::future<Tensor>* result)
+InferenceServer::trySubmit(Tensor input, std::future<Tensor>* result,
+                           SubmitOptions sopts, RequestId* id)
 {
+    if (id != nullptr)
+        *id = 0;
     Request req;
     req.input = std::move(input);
+    req.deadline = sopts.deadline;
     if (!validRequestInput(req.input)) {
         std::lock_guard<std::mutex> lk(mutex_);
         ++rejected_;
@@ -117,10 +142,66 @@ InferenceServer::trySubmit(Tensor input, std::future<Tensor>* result)
         }
         if (result != nullptr)
             *result = req.promise.get_future();
-        queue_.push_back(std::move(req));
+        RequestId assigned = enqueueLocked(req);
+        if (id != nullptr)
+            *id = assigned;
     }
-    cv_request_.notify_one();
+    if (opts_.max_linger_ms > 0.0)
+        cv_request_.notify_all();
+    else
+        cv_request_.notify_one();
     return true;
+}
+
+bool
+InferenceServer::cancel(RequestId id)
+{
+    if (id == 0)
+        return false;
+    Request victim;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const Request& r) { return r.id == id; });
+        if (it == queue_.end())
+            return false;  // Unknown, already dispatched, or completed.
+        victim = std::move(*it);
+        queue_.erase(it);
+        ++cancelled_;
+        if (queue_.empty() && in_flight_ == 0)
+            cv_idle_.notify_all();
+    }
+    cv_space_.notify_all();
+    victim.promise.set_exception(std::make_exception_ptr(
+        RequestCancelledError("inference request cancelled before dispatch")));
+    return true;
+}
+
+void
+InferenceServer::expireLocked(Request& req)
+{
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+        "inference request deadline exceeded before dispatch")));
+    ++deadline_exceeded_;
+}
+
+size_t
+InferenceServer::shedExpiredLocked()
+{
+    if (queue_.empty())
+        return 0;
+    ServeClock::TimePoint now = clock_->now();
+    size_t shed = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline != ServeClock::TimePoint::max() && now >= it->deadline) {
+            expireLocked(*it);
+            it = queue_.erase(it);
+            ++shed;
+        } else {
+            ++it;
+        }
+    }
+    return shed;
 }
 
 std::vector<InferenceServer::Request>
@@ -128,25 +209,71 @@ InferenceServer::popBatch()
 {
     std::vector<Request> batch;
     std::unique_lock<std::mutex> lk(mutex_);
-    cv_request_.wait(lk, [&] { return !queue_.empty() || stopping_; });
-    if (queue_.empty())
-        return batch;  // Stopping and fully drained.
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
-    int64_t rows = batch.front().input.shape().dim(0);
-    // By value: push_back below reallocates batch's storage.
-    const Shape sample = batch.front().input.shape();
-    while (!queue_.empty() && rows < opts_.max_batch) {
-        const Shape& next = queue_.front().input.shape();
-        if (!sameSampleShape(next, sample) ||
-            rows + next.dim(0) > opts_.max_batch)
-            break;
-        rows += next.dim(0);
+    while (batch.empty()) {
+        cv_request_.wait(lk, [&] { return !queue_.empty() || stopping_; });
+        if (queue_.empty())
+            break;  // Stopping and fully drained.
+        // Shed expired work before dispatch: no model time for answers
+        // nobody is waiting for.
+        if (shedExpiredLocked() > 0) {
+            cv_space_.notify_all();
+            if (queue_.empty()) {
+                if (in_flight_ == 0)
+                    cv_idle_.notify_all();
+                continue;
+            }
+        }
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        ++in_flight_;  // Counted immediately so drain() sees lingering work.
+        int64_t rows = batch.front().input.shape().dim(0);
+        // By value: push_back below reallocates batch's storage.
+        const Shape sample = batch.front().input.shape();
+        const bool linger = opts_.max_linger_ms > 0.0;
+        ServeClock::TimePoint flush_at =
+            linger ? clock_->after(opts_.max_linger_ms)
+                   : ServeClock::TimePoint::min();
+        for (;;) {
+            while (!queue_.empty() && rows < opts_.max_batch) {
+                Request& next = queue_.front();
+                if (next.deadline != ServeClock::TimePoint::max() &&
+                    clock_->now() >= next.deadline) {
+                    expireLocked(next);
+                    queue_.pop_front();
+                    continue;
+                }
+                if (!sameSampleShape(next.input.shape(), sample) ||
+                    rows + next.input.shape().dim(0) > opts_.max_batch)
+                    break;
+                rows += next.input.shape().dim(0);
+                batch.push_back(std::move(next));
+                queue_.pop_front();
+                ++in_flight_;
+            }
+            cv_space_.notify_all();
+            // A full batch always preempts the linger window; zero
+            // linger dispatches whatever was queued.
+            if (rows >= opts_.max_batch || !linger || stopping_)
+                break;
+            if (clock_->now() >= flush_at)
+                break;
+            clock_->waitUntil(cv_request_, lk, flush_at);
+        }
+        // Batch members whose deadline passed during the linger are
+        // shed too: the queue is swept at pop, the batch here.
+        for (auto it = batch.begin(); it != batch.end();) {
+            if (it->deadline != ServeClock::TimePoint::max() &&
+                clock_->now() >= it->deadline) {
+                expireLocked(*it);
+                it = batch.erase(it);
+                --in_flight_;
+            } else {
+                ++it;
+            }
+        }
+        if (batch.empty() && queue_.empty() && in_flight_ == 0)
+            cv_idle_.notify_all();
     }
-    in_flight_ += static_cast<int>(batch.size());
-    cv_space_.notify_all();
     return batch;
 }
 
@@ -254,8 +381,11 @@ InferenceServer::stats() const
     ServerStats s;
     {
         std::lock_guard<std::mutex> lk(mutex_);
+        s.accepted = accepted_;
         s.completed = completed_;
         s.rejected = rejected_;
+        s.deadline_exceeded = deadline_exceeded_;
+        s.cancelled = cancelled_;
         s.batches = batches_;
         s.queue_depth = queue_.size();
         s.avg_batch = batches_ > 0

@@ -8,6 +8,26 @@
  * inputs along N, run their private InferenceSession over the shared
  * artifact, and fulfill per-request futures. Per-model serving stats
  * (p50/p99 latency, throughput, queue depth) come from util/stats.h.
+ *
+ * Three behaviours make the server production-shaped rather than a
+ * queue demo:
+ *
+ *  - Deadlines: a request may carry an absolute deadline (SubmitOptions,
+ *    measured against the server's ServeClock). Expired requests are
+ *    shed from the queue before dispatch — their futures fail with
+ *    DeadlineExceededError and they count in stats().deadline_exceeded,
+ *    separately from rejections — so a backlogged server spends no
+ *    model time on answers nobody is waiting for.
+ *  - Cancellation: submit hands back a RequestId; cancel() removes a
+ *    still-queued request (future fails with RequestCancelledError).
+ *  - Linger batching: with max_linger_ms > 0 a worker that popped a
+ *    partial batch waits up to the linger window for more compatible
+ *    requests instead of dispatching immediately, so a *sparse* request
+ *    stream still coalesces. A full batch (max_batch samples) always
+ *    preempts the linger; max_linger_ms == 0 dispatches whatever is
+ *    queued (the pre-linger behaviour). All waits go through the
+ *    injected ServeClock, so linger timing is testable with a
+ *    FakeClock and no sleeps.
  */
 #pragma once
 
@@ -17,14 +37,31 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "serve/clock.h"
 #include "serve/session.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace patdnn {
+
+/** Thrown into a request's future when its deadline passes before
+ * dispatch. Tracked separately from failures in ServerStats. */
+class DeadlineExceededError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown into a request's future when cancel() removes it. */
+class RequestCancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Serving knobs. */
 struct ServerOptions
@@ -32,26 +69,47 @@ struct ServerOptions
     int workers = 2;        ///< Serving threads (each owns one session).
     int64_t max_batch = 8;  ///< Micro-batch cap in samples along N.
     size_t max_queue = 64;  ///< Bounded pending-request queue depth.
+    /// Batching linger window in ms: a worker holding a partial batch
+    /// waits up to this long for more compatible requests. 0 = dispatch
+    /// what is already queued (no timed waits at all).
+    double max_linger_ms = 0.0;
     /// Construct paused; call start() to begin serving. Lets callers
     /// (and the queue-bound tests) stage a burst before any worker runs.
     bool start_paused = false;
+    /// Time source for deadlines and the linger window; null = the
+    /// process steady clock. Tests inject a FakeClock here.
+    std::shared_ptr<ServeClock> clock;
+};
+
+/** Identifies an accepted request for cancel(); 0 = invalid/none. */
+using RequestId = uint64_t;
+
+/** Per-request submission options. */
+struct SubmitOptions
+{
+    /// Absolute deadline on the server's clock; max() = no deadline.
+    /// Use InferenceServer::deadlineIn() for relative timeouts.
+    ServeClock::TimePoint deadline = ServeClock::TimePoint::max();
 };
 
 /** Snapshot of a server's serving statistics. */
 struct ServerStats
 {
-    int64_t completed = 0;       ///< Requests fulfilled.
-    int64_t rejected = 0;        ///< trySubmit calls refused (queue full).
-    int64_t batches = 0;         ///< Model invocations.
-    size_t queue_depth = 0;      ///< Requests currently waiting.
+    int64_t accepted = 0;          ///< Requests admitted to the queue.
+    int64_t completed = 0;         ///< Requests fulfilled.
+    int64_t rejected = 0;          ///< trySubmit calls refused (queue full).
+    int64_t deadline_exceeded = 0; ///< Shed before dispatch (deadline passed).
+    int64_t cancelled = 0;         ///< Removed from the queue by cancel().
+    int64_t batches = 0;           ///< Model invocations.
+    size_t queue_depth = 0;        ///< Requests currently waiting.
     /// Latency percentiles are computed over a sliding window of the
     /// most recent requests (InferenceServer::kLatencyWindow), so a
     /// long-running server's stats stay bounded and current.
-    double p50_ms = 0.0;         ///< Median submit-to-completion latency.
-    double p99_ms = 0.0;         ///< Tail submit-to-completion latency.
+    double p50_ms = 0.0;           ///< Median submit-to-completion latency.
+    double p99_ms = 0.0;           ///< Tail submit-to-completion latency.
     double mean_ms = 0.0;
-    double throughput_rps = 0.0; ///< Completed requests / serving wall-clock.
-    double avg_batch = 0.0;      ///< Mean samples per model invocation.
+    double throughput_rps = 0.0;   ///< Completed requests / serving wall-clock.
+    double avg_batch = 0.0;        ///< Mean samples per model invocation.
 };
 
 /**
@@ -74,20 +132,37 @@ class InferenceServer
     /**
      * Enqueue one NCHW input (its dim-0 may already hold several
      * samples); blocks while the queue is full. The future resolves to
-     * the model output rows for exactly this input. A malformed input
+     * the model output rows for exactly this input, or fails with
+     * DeadlineExceededError / RequestCancelledError. A malformed input
      * (no leading batch dim / zero samples) fails only this request's
-     * future with std::invalid_argument.
+     * future with std::invalid_argument. `id`, when non-null, receives
+     * the accepted request's id (0 if the request was not enqueued).
      */
-    std::future<Tensor> submit(Tensor input);
+    std::future<Tensor> submit(Tensor input, SubmitOptions sopts = {},
+                               RequestId* id = nullptr);
 
     /** Non-blocking submit; false (and ++rejected) when the input is
      * malformed, the queue is full, or intake has stopped. */
-    bool trySubmit(Tensor input, std::future<Tensor>* result);
+    bool trySubmit(Tensor input, std::future<Tensor>* result,
+                   SubmitOptions sopts = {}, RequestId* id = nullptr);
+
+    /**
+     * Remove a still-queued request: its future fails with
+     * RequestCancelledError and stats().cancelled increments. False if
+     * the id is unknown, already dispatched, or already completed.
+     */
+    bool cancel(RequestId id);
+
+    /** Absolute deadline `ms` from now on this server's clock. */
+    ServeClock::TimePoint deadlineIn(double ms) const { return clock_->after(ms); }
+
+    /** This server's time source (shared with its tests). */
+    const std::shared_ptr<ServeClock>& clock() const { return clock_; }
 
     /** Begin serving (no-op unless constructed with start_paused). */
     void start();
 
-    /** Block until every accepted request has been fulfilled. */
+    /** Block until every accepted request has been fulfilled or shed. */
     void drain();
 
     /** Stop intake, drain, and join the serving workers. Idempotent. */
@@ -107,20 +182,35 @@ class InferenceServer
         Tensor input;
         std::promise<Tensor> promise;
         Timer queued;  ///< Started at submit; read at completion.
+        ServeClock::TimePoint deadline = ServeClock::TimePoint::max();
+        RequestId id = 0;
     };
 
     void workerLoop();
-    /** Pop a shape-compatible micro-batch; empty when stopping. */
+    /** Pop a shape-compatible micro-batch, lingering per opts_; empty
+     * only when stopping and fully drained. */
     std::vector<Request> popBatch();
+    /** Shed queued requests whose deadline has passed: fail their
+     * futures with DeadlineExceededError and count them (mutex_ held;
+     * set_exception only stores state, no user code runs under the
+     * lock). Returns how many were shed. */
+    size_t shedExpiredLocked();
+    /** Fail one request as deadline-exceeded (mutex_ held). */
+    void expireLocked(Request& req);
+    /** Assign an id and queue the request (mutex_ held); returns the
+     * assigned id. */
+    RequestId enqueueLocked(Request& req);
 
     std::shared_ptr<const CompiledModel> model_;
     ServerOptions opts_;
+    std::shared_ptr<ServeClock> clock_;
 
     mutable std::mutex mutex_;
     std::condition_variable cv_request_;  ///< Workers: queue non-empty/stop.
     std::condition_variable cv_space_;    ///< Producers: queue has room.
     std::condition_variable cv_idle_;     ///< drain(): all work finished.
     std::deque<Request> queue_;
+    RequestId next_id_ = 1;
     int in_flight_ = 0;      ///< Requests popped but not yet fulfilled.
     bool started_ = false;
     bool stopping_ = false;  ///< Intake closed; workers exit when drained.
@@ -128,8 +218,11 @@ class InferenceServer
     // Serving statistics (guarded by mutex_).
     std::vector<double> latencies_ms_;  ///< Ring of <= kLatencyWindow samples.
     size_t latency_cursor_ = 0;         ///< Overwrite position once full.
+    int64_t accepted_ = 0;
     int64_t completed_ = 0;
     int64_t rejected_ = 0;
+    int64_t deadline_exceeded_ = 0;
+    int64_t cancelled_ = 0;
     int64_t batches_ = 0;
     int64_t batched_samples_ = 0;
     Timer serving_clock_;    ///< Reset at start().

@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,12 @@ inline void
 putI64(std::vector<uint8_t>& out, int64_t v)
 {
     putU64(out, static_cast<uint64_t>(v));
+}
+
+inline void
+putF64(std::vector<uint8_t>& out, double v)
+{
+    putU64(out, std::bit_cast<uint64_t>(v));
 }
 
 /** Bounds-checked little-endian reader over [data, data + size). */
@@ -89,6 +96,12 @@ struct Reader
     i64()
     {
         return static_cast<int64_t>(u64());
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
     }
 };
 

@@ -1,7 +1,10 @@
-/** @file Serving subsystem tests: artifacts, sessions, async server. */
+/** @file Serving subsystem tests: artifacts, sessions, async server,
+ * deadlines/cancellation, fake-clock linger batching, and the
+ * multi-model registry. */
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -67,7 +70,7 @@ tempArtifactPath(const char* tag)
 TEST(Artifact, RoundTripBitIdenticalOutputs)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     Tensor in = makeInput(9);
     Tensor expect = compiled.run(in);
@@ -89,7 +92,7 @@ TEST(Artifact, RoundTripBitIdenticalOutputs)
 TEST(Artifact, RoundTripAllFrameworkKinds)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     Tensor in = makeInput(10);
     for (auto kind : {FrameworkKind::kTfliteLike, FrameworkKind::kTvmLike,
                       FrameworkKind::kMnnLike, FrameworkKind::kPatDnnDense,
@@ -107,7 +110,7 @@ TEST(Artifact, RoundTripAllFrameworkKinds)
 TEST(Artifact, SaveLoadFileRoundTrip)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::string path = tempArtifactPath("roundtrip");
     std::string error;
@@ -124,7 +127,7 @@ TEST(Artifact, PatternArtifactSmallerThanDense)
     // FKW replaces the dense weight view in the artifact, so a pruned
     // model must serialize smaller than its dense compilation.
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel sparse(m, FrameworkKind::kPatDnn, dev);
     CompiledModel dense(m, FrameworkKind::kPatDnnDense, dev);
     EXPECT_LT(serializeModel(sparse).size(), serializeModel(dense).size());
@@ -133,7 +136,7 @@ TEST(Artifact, PatternArtifactSmallerThanDense)
 TEST(Artifact, RejectsCorruptedAndTruncatedBytes)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::vector<uint8_t> bytes = serializeModel(compiled);
 
@@ -172,7 +175,7 @@ TEST(Artifact, RejectsCorruptedAndTruncatedBytes)
 TEST(Session, SharedModelConcurrentSessionsMatchSerial)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnn, dev);
 
@@ -226,7 +229,7 @@ TEST(Session, SingleElementOutputReusesWorkspaceSafely)
     m.addLayer(std::move(fc));
     m.randomizeWeights(5);
 
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, dev);
     InferenceSession session(model);
@@ -242,7 +245,7 @@ TEST(Session, SingleElementOutputReusesWorkspaceSafely)
 TEST(Session, TracksStats)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, dev);
     InferenceSession session(model);
@@ -256,7 +259,7 @@ TEST(Session, TracksStats)
 TEST(Server, DrainsBurstWithCorrectResultsAndStats)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnn, dev);
 
@@ -301,7 +304,7 @@ TEST(Server, DrainsBurstWithCorrectResultsAndStats)
 TEST(Server, MicroBatchesMultiSampleRequests)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, dev);
 
@@ -332,7 +335,7 @@ TEST(Server, MicroBatchesMultiSampleRequests)
 TEST(Server, BoundedQueueRejectsWhenFull)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, dev);
 
@@ -363,7 +366,7 @@ TEST(Server, BoundedQueueRejectsWhenFull)
 TEST(Server, MalformedInputFailsOnlyThatRequest)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, dev);
     InferenceServer server(model);
@@ -384,7 +387,7 @@ TEST(Server, MalformedInputFailsOnlyThatRequest)
 TEST(Server, SubmitAfterShutdownFails)
 {
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     auto model = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, dev);
     InferenceServer server(model);
@@ -398,7 +401,7 @@ TEST(Server, LoadedArtifactServesBurst)
 {
     // The full deployment path: compile -> save -> load -> serve.
     Model m = tinyModel();
-    DeviceSpec dev = makeCpuDevice(2);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::string path = tempArtifactPath("serve_e2e");
     std::string error;
@@ -420,6 +423,434 @@ TEST(Server, LoadedArtifactServesBurst)
     server->drain();
     EXPECT_EQ(server->stats().completed, 32);
     EXPECT_GT(server->stats().p99_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines & cancellation
+// ---------------------------------------------------------------------------
+
+TEST(Server, ExpiredDeadlineIsShedBeforeDispatch)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    auto clock = std::make_shared<FakeClock>();
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.start_paused = true;  // Stage both requests before serving.
+    opts.clock = clock;
+    InferenceServer server(model, opts);
+
+    SubmitOptions expired;
+    expired.deadline = clock->now();  // Already due when a worker looks.
+    std::future<Tensor> dead = server.submit(makeInput(1), expired);
+    std::future<Tensor> alive = server.submit(makeInput(2));
+    server.start();
+
+    EXPECT_THROW(dead.get(), DeadlineExceededError);
+    EXPECT_EQ(alive.get().shape(), Shape({1, 10}));
+    server.drain();
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.accepted, 2);
+    EXPECT_EQ(stats.completed, 1);
+    EXPECT_EQ(stats.deadline_exceeded, 1);
+    EXPECT_EQ(stats.cancelled, 0);
+    server.shutdown();
+}
+
+TEST(Server, CancelRemovesOnlyQueuedRequests)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.start_paused = true;
+    InferenceServer server(model, opts);
+
+    RequestId id = 0;
+    std::future<Tensor> f = server.submit(makeInput(1), {}, &id);
+    ASSERT_NE(id, 0u);
+    EXPECT_TRUE(server.cancel(id));
+    EXPECT_FALSE(server.cancel(id));   // Already removed.
+    EXPECT_FALSE(server.cancel(999));  // Never issued.
+    EXPECT_THROW(f.get(), RequestCancelledError);
+
+    server.start();
+    RequestId id2 = 0;
+    std::future<Tensor> g = server.submit(makeInput(2), {}, &id2);
+    EXPECT_EQ(g.get().shape(), Shape({1, 10}));
+    server.drain();
+    EXPECT_FALSE(server.cancel(id2));  // Completed: too late to cancel.
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cancelled, 1);
+    EXPECT_EQ(stats.completed, 1);
+    EXPECT_EQ(stats.accepted, 2);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Linger batching under a fake clock (deterministic, no sleeps)
+// ---------------------------------------------------------------------------
+
+TEST(Server, LingerFlushesAtExactlyMaxLinger)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    auto clock = std::make_shared<FakeClock>();
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_batch = 4;
+    opts.max_linger_ms = 10.0;
+    opts.clock = clock;
+    InferenceServer server(model, opts);
+
+    std::future<Tensor> f = server.submit(makeInput(1));
+    // The worker popped the request and armed the linger wait.
+    clock->waitForRegistrations(1);
+    int64_t r = clock->registrations();
+    clock->advanceMs(9.0);  // One ms short of the window...
+    clock->waitForRegistrations(r + 1);  // ...worker re-evaluated, re-armed.
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+    EXPECT_EQ(server.stats().batches, 0);
+
+    clock->advanceMs(1.0);  // Exactly max_linger: the batch must flush.
+    EXPECT_EQ(f.get().shape(), Shape({1, 10}));
+    server.drain();
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.batches, 1);
+    EXPECT_DOUBLE_EQ(stats.avg_batch, 1.0);
+    server.shutdown();
+}
+
+TEST(Server, FullBatchPreemptsLingerAndBurstFormsFullBatches)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    auto clock = std::make_shared<FakeClock>();
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_batch = 4;
+    opts.max_linger_ms = 1000.0;  // Would stall forever if linger decided.
+    opts.start_paused = true;
+    opts.clock = clock;
+    InferenceServer server(model, opts);
+
+    // A burst of 2 x max_batch requests staged before serving starts.
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(server.submit(makeInput(static_cast<uint64_t>(i))));
+    server.start();
+    for (auto& f : futures)
+        EXPECT_EQ(f.get().shape(), Shape({1, 10}));
+    server.drain();
+
+    // Full batches dispatched without a single timed wait: max_batch
+    // preempts the linger window.
+    EXPECT_EQ(clock->registrations(), 0);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 8);
+    EXPECT_EQ(stats.batches, 2);  // >= 2 full batches from the burst.
+    EXPECT_DOUBLE_EQ(stats.avg_batch, 4.0);
+    server.shutdown();
+}
+
+TEST(Server, SparseStreamLingersToSingletonBatches)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    auto clock = std::make_shared<FakeClock>();
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_batch = 4;
+    opts.max_linger_ms = 10.0;
+    opts.clock = clock;
+    InferenceServer server(model, opts);
+
+    // One request per 2 x linger window: every batch must flush at the
+    // window with exactly one sample (sparse streams still make
+    // progress; they just never find a batchmate).
+    constexpr int kRequests = 4;
+    for (int i = 0; i < kRequests; ++i) {
+        int64_t r = clock->registrations();
+        std::future<Tensor> f =
+            server.submit(makeInput(static_cast<uint64_t>(100 + i)));
+        clock->waitForRegistrations(r + 1);
+        clock->advanceMs(20.0);  // 2 x max_linger between arrivals.
+        EXPECT_EQ(f.get().shape(), Shape({1, 10}));
+    }
+    server.drain();
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_EQ(stats.batches, kRequests);  // Batch size 1 throughout.
+    EXPECT_DOUBLE_EQ(stats.avg_batch, 1.0);
+    server.shutdown();
+}
+
+TEST(Server, ZeroLingerReproducesImmediateDispatch)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    auto clock = std::make_shared<FakeClock>();
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_batch = 4;
+    opts.max_linger_ms = 0.0;  // Legacy behaviour: serve what is queued.
+    opts.clock = clock;
+    InferenceServer server(model, opts);
+
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(server.submit(makeInput(static_cast<uint64_t>(i))).get().shape(),
+                  Shape({1, 10}));
+    server.drain();
+    // The fake clock never advanced and the server never armed a timed
+    // wait: zero linger cannot stall a request stream.
+    EXPECT_EQ(clock->registrations(), 0);
+    EXPECT_EQ(server.stats().completed, 5);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Artifact provenance (header v3) + streamed-load negative paths
+// ---------------------------------------------------------------------------
+
+TEST(Artifact, V1V2HeadersLoadWithProvenanceWarning)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    Tensor in = makeInput(21);
+    Tensor expect = compiled.run(in);
+
+    for (uint32_t version : {1u, 2u}) {
+        std::vector<uint8_t> bytes = serializeModel(compiled, version);
+        std::string error;
+        ArtifactInfo info;
+        auto loaded =
+            deserializeModel(bytes, dev, ArtifactLoadOptions{}, &error, &info);
+        ASSERT_NE(loaded, nullptr) << "v" << version << ": " << error;
+        EXPECT_EQ(info.version, version);
+        EXPECT_FALSE(info.has_fingerprint);
+        EXPECT_FALSE(info.has_compile_opts);
+        // The specific pre-v3 diagnostic, not a crash.
+        bool warned = false;
+        for (const std::string& w : info.warnings)
+            warned = warned || w.find("pre-v3 header (version " +
+                                      std::to_string(version) + ")") !=
+                                   std::string::npos;
+        EXPECT_TRUE(warned) << "v" << version;
+        EXPECT_EQ(Tensor::maxAbsDiff(loaded->run(in), expect), 0.0);
+    }
+    // v1 predates the ISA record entirely.
+    std::string error;
+    ArtifactInfo info;
+    auto v1 = deserializeModel(serializeModel(compiled, 1), dev,
+                               ArtifactLoadOptions{}, &error, &info);
+    ASSERT_NE(v1, nullptr) << error;
+    EXPECT_EQ(v1->tunedIsa(), SimdIsa::kScalar);
+}
+
+TEST(Artifact, RecordsCompileOptionsAndFingerprint)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompileOptions copts;
+    copts.pattern_count = 6;
+    copts.connectivity_rate = 4.25;
+    copts.seed = 77;
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev, copts);
+
+    std::string error;
+    ArtifactInfo info;
+    auto loaded = deserializeModel(serializeModel(compiled), dev,
+                                   ArtifactLoadOptions{}, &error, &info);
+    ASSERT_NE(loaded, nullptr) << error;
+    EXPECT_EQ(info.version, kModelArtifactVersion);
+    ASSERT_TRUE(info.has_fingerprint);
+    EXPECT_EQ(info.pool_width, dev.threads);
+    EXPECT_FALSE(info.gpu_like);
+    EXPECT_EQ(info.tile_budget_kb, dev.tile_budget_kb);
+    ASSERT_TRUE(info.has_compile_opts);
+    EXPECT_EQ(info.compile_opts.pattern_count, 6);
+    EXPECT_DOUBLE_EQ(info.compile_opts.connectivity_rate, 4.25);
+    EXPECT_EQ(info.compile_opts.seed, 77u);
+    EXPECT_EQ(loaded->compileOptions().pattern_count, 6);
+    EXPECT_TRUE(info.warnings.empty()) << info.warnings.front();
+}
+
+TEST(Artifact, DeviceFingerprintMismatchDiagnostics)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    std::vector<uint8_t> bytes = serializeModel(compiled);
+    std::string error;
+
+    // Scheduling-model mismatch is always an error: the tuned plan does
+    // not transfer between CPU and GPU-like block scheduling.
+    DeviceSpec gpuish = makeFixedWidthCpuDevice(2);
+    gpuish.gpu_like = true;
+    EXPECT_EQ(deserializeModel(bytes, gpuish, &error), nullptr);
+    EXPECT_NE(error.find("device fingerprint mismatch"), std::string::npos)
+        << error;
+
+    // Pool-width mismatch: diagnostic warning by default...
+    DeviceSpec wide = makeFixedWidthCpuDevice(dev.threads + 2);
+    ArtifactInfo info;
+    auto loaded =
+        deserializeModel(bytes, wide, ArtifactLoadOptions{}, &error, &info);
+    ASSERT_NE(loaded, nullptr) << error;
+    bool warned = false;
+    for (const std::string& w : info.warnings)
+        warned = warned ||
+                 w.find("compiled for pool width " +
+                        std::to_string(dev.threads)) != std::string::npos;
+    EXPECT_TRUE(warned);
+
+    // ...and a string-matched rejection under strict loading.
+    ArtifactLoadOptions strict;
+    strict.require_matching_fingerprint = true;
+    EXPECT_EQ(deserializeModel(bytes, wide, strict, &error, nullptr), nullptr);
+    EXPECT_NE(error.find("matching fingerprint required"), std::string::npos)
+        << error;
+}
+
+TEST(Artifact, TruncatedStreamAndFlippedChecksumOnDisk)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    std::string path = tempArtifactPath("negative");
+    std::string error;
+    ASSERT_TRUE(saveModelArtifact(compiled, path, &error)) << error;
+
+    // Pull the on-disk bytes so corrupted variants can be written back.
+    std::vector<uint8_t> bytes;
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        bytes.resize(static_cast<size_t>(std::ftell(f)));
+        std::fseek(f, 0, SEEK_SET);
+        ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+        std::fclose(f);
+    }
+    auto write_variant = [&](const std::vector<uint8_t>& v) {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(v.data(), 1, v.size(), f), v.size());
+        std::fclose(f);
+    };
+
+    // The streamed loader round-trips the pristine file.
+    ASSERT_NE(loadModelArtifact(path, dev, &error), nullptr) << error;
+
+    // Truncated stream at several depths: specific diagnostic, no crash.
+    for (size_t keep : {size_t(3), size_t(20), bytes.size() / 2, bytes.size() - 1}) {
+        write_variant({bytes.begin(), bytes.begin() + static_cast<long>(keep)});
+        EXPECT_EQ(loadModelArtifact(path, dev, &error), nullptr) << keep;
+        EXPECT_NE(error.find("truncated stream"), std::string::npos)
+            << keep << ": " << error;
+    }
+
+    // One flipped checksum byte (and one flipped payload byte) fail the
+    // incremental checksum with the same diagnostic.
+    for (size_t at : {bytes.size() - 1, bytes.size() / 2}) {
+        std::vector<uint8_t> bad = bytes;
+        bad[at] ^= 0x01;
+        write_variant(bad);
+        EXPECT_EQ(loadModelArtifact(path, dev, &error), nullptr) << at;
+        EXPECT_NE(error.find("checksum mismatch"), std::string::npos)
+            << at << ": " << error;
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-model registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, RoutesByNameSharesPoolAndEvicts)
+{
+    Model m = tinyModel();
+    RegistryOptions ropts;
+    ropts.device = makeFixedWidthCpuDevice(2);
+    ropts.server.workers = 1;
+    ModelRegistry reg(ropts);
+
+    auto sparse = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnn, reg.device());
+    auto dense = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, reg.device());
+    std::string error;
+    ASSERT_TRUE(reg.add("sparse", sparse, &error)) << error;
+    ASSERT_TRUE(reg.add("dense", dense, &error)) << error;
+    EXPECT_FALSE(reg.add("dense", sparse, &error));  // Name taken.
+    EXPECT_NE(error.find("already loaded"), std::string::npos);
+    EXPECT_EQ(reg.names(), (std::vector<std::string>{"dense", "sparse"}));
+
+    // Every model in the registry executes on ONE shared compute pool.
+    EXPECT_EQ(&reg.model("sparse")->device().pool(), &reg.device().pool());
+    EXPECT_EQ(&reg.model("dense")->device().pool(), &reg.device().pool());
+
+    Tensor in = makeInput(55);
+    InferenceSession ref_sparse(sparse), ref_dense(dense);
+    EXPECT_EQ(Tensor::maxAbsDiff(reg.submit("sparse", in).get(),
+                                 ref_sparse.run(in)),
+              0.0);
+    EXPECT_EQ(Tensor::maxAbsDiff(reg.submit("dense", in).get(),
+                                 ref_dense.run(in)),
+              0.0);
+    EXPECT_THROW(reg.submit("missing", in).get(), UnknownModelError);
+    reg.drainAll();
+    EXPECT_EQ(reg.stats("sparse").completed, 1);
+    EXPECT_EQ(reg.stats("dense").completed, 1);
+
+    EXPECT_TRUE(reg.evict("sparse"));
+    EXPECT_FALSE(reg.evict("sparse"));
+    EXPECT_THROW(reg.submit("sparse", in).get(), UnknownModelError);
+    EXPECT_EQ(reg.size(), 1u);
+    reg.shutdownAll();
+}
+
+TEST(Registry, LoadsArtifactsFromDisk)
+{
+    Model m = tinyModel();
+    RegistryOptions ropts;
+    ropts.device = makeFixedWidthCpuDevice(2);
+    ModelRegistry reg(ropts);
+
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, reg.device());
+    std::string path = tempArtifactPath("registry");
+    std::string error;
+    ASSERT_TRUE(saveModel(compiled, path, &error)) << error;
+    ASSERT_TRUE(reg.load("vgg", path, &error)) << error;
+    std::remove(path.c_str());
+
+    Tensor in = makeInput(77);
+    EXPECT_EQ(Tensor::maxAbsDiff(reg.submit("vgg", in).get(), compiled.run(in)),
+              0.0);
+    EXPECT_FALSE(reg.load("other", path, &error));  // File already gone.
+    EXPECT_NE(error.find("cannot load 'other'"), std::string::npos);
+    reg.shutdownAll();
 }
 
 }  // namespace
