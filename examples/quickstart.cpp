@@ -34,11 +34,20 @@ main()
                     set.patterns[static_cast<size_t>(i)].str().c_str());
 
     // Stage 2 (compiler side): joint projection, FKR, FKW packing,
-    // LR construction and GA auto-tuning for this device.
+    // LR construction and GA auto-tuning for this device. The Compiler
+    // facade returns Result<T>: a malformed descriptor or pattern set
+    // comes back as a typed kInvalidArgument instead of an abort.
     DeviceSpec device = makeCpuDevice(8);
-    CompiledLayer layer =
-        compileLayer(desc, weight, set, /*connectivity_rate=*/3.6, device,
-                     /*auto_tune=*/true);
+    CompileOptions copts;
+    copts.connectivity_rate = 3.6;
+    Compiler compiler(device, copts);
+    Result<CompiledLayer> compiled =
+        compiler.compileLayer(desc, weight, set, /*auto_tune=*/true);
+    if (!compiled.ok()) {
+        std::printf("compile failed: %s\n", compiled.status().toString().c_str());
+        return 1;
+    }
+    CompiledLayer& layer = compiled.value();
     std::printf("layerwise representation (LR):\n%s\n", layer.lr.str().c_str());
     std::printf("FKW storage: %lld non-empty kernels, %.1f KB weights, %.1f KB "
                 "index structures\n",

@@ -23,35 +23,47 @@ using namespace patdnn;
 int
 main()
 {
-    // Compile once (training + execution-code-generation products all
-    // land in the CompiledModel), as a model-build farm would.
+    // Compile once via the Compiler pipeline facade (training +
+    // execution-code-generation products all land in the
+    // CompiledModel), as a model-build farm would.
     Model model = buildVGG16(Dataset::kCifar10);
     DeviceSpec device = makeCpuDevice(8);
     std::printf("compiling %s for %s (pattern engine)...\n",
                 model.name().c_str(), device.name.c_str());
-    CompiledModel compiled(model, FrameworkKind::kPatDnn, device);
+    Compiler compiler(device);
+    Result<std::shared_ptr<CompiledModel>> built = compiler.compile(model);
+    if (!built.ok()) {
+        std::printf("compile failed: %s\n", built.status().toString().c_str());
+        return 1;
+    }
+    std::shared_ptr<CompiledModel> compiled = std::move(built).value();
     std::printf("conv weights: %lld non-zero of %lld dense (%.1fx compression)\n",
-                static_cast<long long>(compiled.convNonZeros()),
-                static_cast<long long>(compiled.convDense()),
-                static_cast<double>(compiled.convDense()) /
-                    static_cast<double>(compiled.convNonZeros()));
+                static_cast<long long>(compiled->convNonZeros()),
+                static_cast<long long>(compiled->convDense()),
+                static_cast<double>(compiled->convDense()) /
+                    static_cast<double>(compiled->convNonZeros()));
 
     // Freeze to a distributable artifact and inspect its provenance on
     // the way back in (checksum + FKW invariants re-validated; the v3
-    // header carries the compile options + device fingerprint).
+    // header carries the compile options + device fingerprint). Every
+    // failure is a typed Status: code() says what class of problem,
+    // detail() the exact artifact failure mode, message() the prose.
     const std::string path = "vgg16_cifar10.pdnn";
-    std::string error;
-    if (!saveModel(compiled, path, &error)) {
-        std::printf("save failed: %s\n", error.c_str());
+    Status saved = saveModel(*compiled, path);
+    if (!saved.ok()) {
+        std::printf("save failed: %s\n", saved.toString().c_str());
         return 1;
     }
     ArtifactInfo info;
-    std::shared_ptr<CompiledModel> loaded =
-        loadModel(path, device, ArtifactLoadOptions{}, &error, &info);
-    if (!loaded) {
-        std::printf("load failed: %s\n", error.c_str());
+    Result<std::shared_ptr<CompiledModel>> reloaded =
+        loadModel(path, device, ArtifactLoadOptions{}, &info);
+    if (!reloaded.ok()) {
+        std::printf("load failed [%s]: %s\n",
+                    errorCodeName(reloaded.status().code()),
+                    reloaded.status().message().c_str());
         return 1;
     }
+    std::shared_ptr<CompiledModel> loaded = std::move(reloaded).value();
     std::printf("artifact %s round-tripped: v%u, tuned on %s, pool width %d, "
                 "%d patterns, connectivity %.1f\n",
                 path.c_str(), info.version, isaName(info.tuned_isa),
@@ -67,10 +79,20 @@ main()
     ropts.server.max_batch = 8;
     ropts.server.max_linger_ms = 2.0;  // Coalesce the sparse tail.
     auto registry = serveRegistry(ropts);
-    registry->add("vgg16-pattern", loaded);
-    registry->add("vgg16-dense", std::make_shared<const CompiledModel>(
-                                     model, FrameworkKind::kPatDnnDense,
-                                     registry->device()));
+    Compiler registry_compiler(registry->device());
+    Result<std::shared_ptr<CompiledModel>> dense =
+        registry_compiler.compile(model, FrameworkKind::kPatDnnDense);
+    if (!dense.ok()) {
+        std::printf("compile failed: %s\n", dense.status().toString().c_str());
+        return 1;
+    }
+    Status added = registry->add("vgg16-pattern", loaded);
+    if (added.ok())
+        added = registry->add("vgg16-dense", dense.value());
+    if (!added.ok()) {
+        std::printf("registry add failed: %s\n", added.toString().c_str());
+        return 1;
+    }
 
     // A burst of async requests against both models; every request
     // carries a deadline so a backlogged server sheds instead of
@@ -93,7 +115,11 @@ main()
         try {
             f.get();
             ++completed;
-        } catch (const DeadlineExceededError&) {
+        } catch (const ServeError& e) {
+            // One exception type for every serving failure; dispatch
+            // on the code instead of the type.
+            if (e.code() != ErrorCode::kDeadlineExceeded)
+                throw;
             ++shed;
         }
     }

@@ -40,9 +40,9 @@ main()
         std::printf("(%d, %d, %d) ", g.begin, g.end, g.length);
 
     FkwLayer fkw = buildFkw(weight, set, asg, fkr);
-    std::string err;
-    if (!validateFkw(fkw, &err)) {
-        std::printf("\nFKW validation failed: %s\n", err.c_str());
+    Status valid = validateFkw(fkw);
+    if (!valid.ok()) {
+        std::printf("\nFKW validation failed: %s\n", valid.toString().c_str());
         return 1;
     }
     auto print_arr = [](const char* name, const std::vector<int32_t>& v) {

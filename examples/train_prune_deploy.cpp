@@ -28,12 +28,23 @@ main()
     TrainResult base = trainNet(net, data, tc);
     std::printf("      dense test accuracy: %.1f%%\n", 100 * base.test_accuracy);
 
+    // One Compiler drives the rest of the pipeline: stage 1 compress,
+    // then stage 2 per-layer compiles, all with typed Result errors.
+    DeviceSpec device = makeCpuDevice(8);
+    Compiler compiler(device);  // 8 patterns / 3.6x are the defaults.
+
     std::printf("[2/3] ADMM pattern + connectivity pruning (8 patterns, 3.6x)...\n");
     AdmmConfig admm;
     admm.admm_iterations = 2;
     admm.epochs_per_iteration = 2;
     admm.retrain_epochs = 4;
-    CompressResult comp = compress(net, data, 8, 3.6, admm);
+    Result<CompressResult> compressed = compiler.compress(net, data, admm);
+    if (!compressed.ok()) {
+        std::printf("compress failed: %s\n",
+                    compressed.status().toString().c_str());
+        return 1;
+    }
+    CompressResult& comp = compressed.value();
     std::printf("      pruned accuracy: %.1f%% (dense %.1f%%), CONV compression "
                 "%.1fx\n",
                 100 * comp.admm.test_accuracy, 100 * comp.admm.dense_accuracy,
@@ -45,14 +56,19 @@ main()
                     comp.admm.trace.connectivity_residual[i]);
 
     std::printf("[3/3] compiling conv layers for the mobile-CPU device...\n");
-    DeviceSpec device = makeCpuDevice(8);
     auto convs = net.convLayers();
     double dense_ms = 0.0, pattern_ms = 0.0;
     Rng rng(5);
     for (auto* conv : convs) {
         const ConvDesc& d = conv->desc();
         Tensor weight = conv->weight();  // Already constraint-satisfying.
-        CompiledLayer layer = compileLayer(d, weight, comp.pattern_set, 3.6, device);
+        Result<CompiledLayer> result =
+            compiler.compileLayer(d, std::move(weight), comp.pattern_set);
+        if (!result.ok()) {
+            std::printf("compile failed: %s\n", result.status().toString().c_str());
+            return 1;
+        }
+        CompiledLayer layer = std::move(result).value();
         Tensor in(Shape{1, d.cin, d.h, d.w});
         in.fillUniform(rng, 0.0f, 1.0f);
         Tensor out = makeConvOutput(d, 1);

@@ -1,9 +1,6 @@
 #include "core/patdnn.h"
 
-#include <cmath>
-
 #include "util/logging.h"
-#include "util/stats.h"
 
 namespace patdnn {
 
@@ -11,80 +8,39 @@ CompressResult
 compress(Net& net, const SyntheticShapes& data, int pattern_count,
          double connectivity_rate, const AdmmConfig& cfg)
 {
-    CompressResult result;
-    std::vector<const Tensor*> weights;
-    for (Tensor* w : net.convWeights())
-        weights.push_back(w);
-    result.pattern_set = designPatternSet(weights, pattern_count);
-    AdmmConfig run_cfg = cfg;
-    run_cfg.connectivity_rate = connectivity_rate;
-    result.admm = admmPrune(net, data, result.pattern_set, run_cfg);
-    return result;
+    CompileOptions opts;
+    opts.pattern_count = pattern_count;
+    opts.connectivity_rate = connectivity_rate;
+    Result<CompressResult> result =
+        Compiler(DeviceSpec{}, opts).compress(net, data, cfg);
+    PATDNN_CHECK(result.ok(), result.status().toString());
+    return std::move(result).value();
 }
 
 CompiledLayer
 compileLayer(const ConvDesc& desc, Tensor weight, const PatternSet& set,
              double connectivity_rate, const DeviceSpec& device, bool auto_tune)
 {
-    CompiledLayer out;
-    int64_t kernels = weight.shape().dim(0) * weight.shape().dim(1);
-    int64_t alpha = std::max<int64_t>(
-        1, static_cast<int64_t>(
-               std::ceil(static_cast<double>(kernels) / connectivity_rate)));
-    PatternAssignment asg = projectJoint(weight, set, alpha);
-    FkrResult fkr = filterKernelReorder(asg);
-    out.fkw = std::make_unique<FkwLayer>(buildFkw(weight, set, asg, fkr));
-
-    out.lr.device = device.gpu_like ? "GPU" : "CPU";
-    out.lr.conv = desc;
-    for (int p = 0; p < set.size(); ++p)
-        out.lr.pattern_types.push_back(p);
-
-    if (auto_tune) {
-        Tensor in(Shape{1, desc.cin, desc.h, desc.w});
-        Rng rng(17);
-        in.fillUniform(rng, -1.0f, 1.0f);
-        Tensor result_buf = makeConvOutput(desc, 1);
-        std::function<double(const TuneParams&)> measure =
-            [&](const TuneParams& params) -> double {
-            LayerwiseRep lr = out.lr;
-            lr.tuning = params;
-            PatternConv engine(desc, out.fkw.get(), lr, device);
-            Timer t;
-            engine.run(in, result_buf);
-            return t.elapsedMs();
-        };
-        TunerConfig tuner_cfg;
-        tuner_cfg.population = 8;
-        tuner_cfg.generations = 2;
-        tuner_cfg.measure_reps = 1;
-        // Search the ISA-specialized space: unroll/tile choices are in
-        // units of the device's kernel vector width.
-        TuneResult tuned =
-            tuneLayer(measure, tuneSpaceFor(device.simd_isa), tuner_cfg);
-        out.lr.tuning = tuned.best;
-    }
-    out.engine = std::make_unique<PatternConv>(desc, out.fkw.get(), out.lr, device);
-    return out;
+    CompileOptions opts;
+    opts.connectivity_rate = connectivity_rate;
+    Result<CompiledLayer> result =
+        Compiler(device, opts).compileLayer(desc, std::move(weight), set,
+                                            auto_tune);
+    PATDNN_CHECK(result.ok(), result.status().toString());
+    return std::move(result).value();
 }
 
-bool
-saveModel(const CompiledModel& model, const std::string& path, std::string* error)
+Status
+saveModel(const CompiledModel& model, const std::string& path)
 {
-    return saveModelArtifact(model, path, error);
+    return saveModelArtifact(model, path);
 }
 
-std::shared_ptr<CompiledModel>
-loadModel(const std::string& path, const DeviceSpec& device, std::string* error)
-{
-    return loadModelArtifact(path, device, error);
-}
-
-std::shared_ptr<CompiledModel>
+Result<std::shared_ptr<CompiledModel>>
 loadModel(const std::string& path, const DeviceSpec& device,
-          const ArtifactLoadOptions& opts, std::string* error, ArtifactInfo* info)
+          const ArtifactLoadOptions& opts, ArtifactInfo* info)
 {
-    return loadModelArtifact(path, device, opts, error, info);
+    return loadModelArtifact(path, device, opts, info);
 }
 
 std::unique_ptr<InferenceServer>

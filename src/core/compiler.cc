@@ -1,0 +1,177 @@
+#include "core/compiler.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace patdnn {
+
+namespace {
+
+/** GA budget of the facade auto-tune path (small: the cache makes the
+ * search a one-time cost per (shape, ISA)). */
+TunerConfig
+facadeTunerConfig()
+{
+    TunerConfig cfg;
+    cfg.population = 8;
+    cfg.generations = 2;
+    cfg.measure_reps = 1;
+    return cfg;
+}
+
+}  // namespace
+
+Compiler::Compiler(DeviceSpec device, CompileOptions opts)
+    : device_(std::move(device)), opts_(std::move(opts))
+{
+}
+
+Status
+Compiler::validateOptions() const
+{
+    if (opts_.pattern_count < 1)
+        return Status(ErrorCode::kInvalidArgument,
+                      "compile options: pattern_count must be >= 1 (got " +
+                          std::to_string(opts_.pattern_count) + ")");
+    if (!(opts_.connectivity_rate > 0.0))
+        return Status(ErrorCode::kInvalidArgument,
+                      "compile options: connectivity_rate must be positive");
+    if (!(opts_.first_layer_rate > 0.0))
+        return Status(ErrorCode::kInvalidArgument,
+                      "compile options: first_layer_rate must be positive");
+    return Status::OK();
+}
+
+Result<CompressResult>
+Compiler::compress(Net& net, const SyntheticShapes& data,
+                   const AdmmConfig& cfg) const
+{
+    PATDNN_RETURN_IF_ERROR(validateOptions());
+    std::vector<const Tensor*> weights;
+    for (Tensor* w : net.convWeights())
+        weights.push_back(w);
+    if (weights.empty())
+        return Status(ErrorCode::kInvalidArgument,
+                      "compress: net has no conv layers to prune");
+
+    CompressResult result;
+    result.pattern_set = designPatternSet(weights, opts_.pattern_count);
+    AdmmConfig run_cfg = cfg;
+    run_cfg.connectivity_rate = opts_.connectivity_rate;
+    result.admm = admmPrune(net, data, result.pattern_set, run_cfg);
+    return result;
+}
+
+Result<CompiledLayer>
+Compiler::compileLayer(const ConvDesc& desc, Tensor weight,
+                       const PatternSet& set, bool auto_tune) const
+{
+    PATDNN_RETURN_IF_ERROR(validateOptions());
+    PATDNN_RETURN_IF_ERROR(desc.validate());
+    if (desc.groups != 1)
+        return Status(ErrorCode::kInvalidArgument,
+                      "compileLayer: the pattern engine compiles groups == 1 "
+                      "convolutions ('" + desc.name + "' has groups = " +
+                          std::to_string(desc.groups) + ")");
+    Shape expect{desc.cout, desc.cin, desc.kh, desc.kw};
+    if (weight.shape() != expect)
+        return Status(ErrorCode::kInvalidArgument,
+                      "compileLayer: weight shape " + weight.shape().str() +
+                          " does not match descriptor '" + desc.name +
+                          "' (expected " + expect.str() + ")");
+    if (set.size() == 0)
+        return Status(ErrorCode::kInvalidArgument,
+                      "compileLayer: empty pattern set");
+    for (const Pattern& p : set.patterns)
+        if (p.kh() != desc.kh || p.kw() != desc.kw)
+            return Status(ErrorCode::kInvalidArgument,
+                          "compileLayer: pattern geometry " +
+                              std::to_string(p.kh()) + "x" +
+                              std::to_string(p.kw()) +
+                              " does not match the " +
+                              std::to_string(desc.kh) + "x" +
+                              std::to_string(desc.kw) + " kernels of '" +
+                              desc.name + "'");
+
+    CompiledLayer out;
+    int64_t kernels = weight.shape().dim(0) * weight.shape().dim(1);
+    int64_t alpha = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(static_cast<double>(kernels) /
+                                          opts_.connectivity_rate)));
+    PatternAssignment asg = projectJoint(weight, set, alpha);
+    FkrResult fkr = filterKernelReorder(asg);
+    out.fkw = std::make_unique<FkwLayer>(buildFkw(weight, set, asg, fkr));
+
+    out.lr.device = device_.gpu_like ? "GPU" : "CPU";
+    out.lr.conv = desc;
+    for (int p = 0; p < set.size(); ++p)
+        out.lr.pattern_types.push_back(p);
+
+    if (auto_tune) {
+        // One GA run per (layer geometry, device, connectivity, ISA)
+        // process-wide: repeat compiles of the same configuration skip
+        // the search.
+        TuneParams cached;
+        if (TuneCache::instance().lookup(desc, device_,
+                                         opts_.connectivity_rate, &cached)) {
+            out.lr.tuning = cached;
+        } else {
+            Tensor in(Shape{1, desc.cin, desc.h, desc.w});
+            Rng rng(17);
+            in.fillUniform(rng, -1.0f, 1.0f);
+            Tensor result_buf = makeConvOutput(desc, 1);
+            std::function<double(const TuneParams&)> measure =
+                [&](const TuneParams& params) -> double {
+                LayerwiseRep lr = out.lr;
+                lr.tuning = params;
+                PatternConv engine(desc, out.fkw.get(), lr, device_);
+                Timer t;
+                engine.run(in, result_buf);
+                return t.elapsedMs();
+            };
+            // Search the ISA-specialized space: unroll/tile choices are
+            // in units of the device's kernel vector width.
+            TuneResult tuned = tuneLayer(measure, tuneSpaceFor(device_.simd_isa),
+                                         facadeTunerConfig());
+            out.lr.tuning = tuned.best;
+            TuneCache::instance().insert(desc, device_, opts_.connectivity_rate,
+                                         tuned.best);
+        }
+    }
+    out.engine =
+        std::make_unique<PatternConv>(desc, out.fkw.get(), out.lr, device_);
+    return out;
+}
+
+Result<std::shared_ptr<CompiledModel>>
+Compiler::compile(const Model& model, FrameworkKind kind) const
+{
+    PATDNN_RETURN_IF_ERROR(validateOptions());
+    if (model.layers().empty())
+        return Status(ErrorCode::kInvalidArgument,
+                      "compile: model '" + model.name() + "' has no layers");
+    for (const Layer& layer : model.layers()) {
+        if (layer.kind != OpKind::kConv)
+            continue;
+        Status st = layer.conv.validate();
+        if (!st.ok())
+            return Status(ErrorCode::kInvalidArgument,
+                          "compile: model '" + model.name() + "': " +
+                              st.message());
+    }
+
+    // Whole-model compiles reuse per-layer tunings the GA already paid
+    // for (compileLayer populates the cache; misses keep the options'
+    // default tuning).
+    CompileOptions opts = opts_;
+    opts.tune_lookup = [device = device_, rate = opts_.connectivity_rate](
+                           const ConvDesc& desc, TuneParams* params) {
+        return TuneCache::instance().lookup(desc, device, rate, params);
+    };
+    return std::make_shared<CompiledModel>(model, kind, device_, opts);
+}
+
+}  // namespace patdnn

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Compiler pipeline facade: the Fig. 5 pipeline as one object with
+ * typed errors.
+ *
+ * Construct a Compiler once with the target DeviceSpec and the
+ * CompileOptions (pattern count, connectivity rates, optimization
+ * switches), then drive the stages:
+ *
+ *   Compiler compiler(makeSnapdragon855());
+ *   auto compressed = compiler.compress(net, data);       // stage 1
+ *   auto layer = compiler.compileLayer(desc, w, set);     // stage 2
+ *   auto model = compiler.compile(trained_model);         // stages 2-3
+ *
+ * Every entry point returns Status / Result<T>: a malformed conv
+ * descriptor, an empty or geometry-mismatched pattern set, or nonsense
+ * options come back as kInvalidArgument instead of the CHECK-aborts
+ * the stage-local entry points raise — so serving-adjacent callers
+ * (model-build services, tools) can reject bad requests without dying.
+ *
+ * Auto-tuned compiles consult the process-wide TuneCache (rt/tuner.h),
+ * keyed by (layer geometry, kernel ISA, device fingerprint,
+ * connectivity rate): the first compileLayer over a configuration pays
+ * for the GA, every later compileLayer or whole-model compile() over
+ * the same configuration reuses the tuned parameters for free.
+ */
+#pragma once
+
+#include <memory>
+
+#include "prune/admm.h"
+#include "rt/framework.h"
+#include "rt/tuner.h"
+#include "util/status.h"
+
+namespace patdnn {
+
+/** Result of the pattern-based training stage on a trainable net. */
+struct CompressResult
+{
+    PatternSet pattern_set;
+    AdmmResult admm;
+};
+
+/**
+ * Stage 2 output for a single layer: pruned weights packed to FKW, the
+ * LR, and the ready-to-run PatternConv engine.
+ */
+struct CompiledLayer
+{
+    std::unique_ptr<FkwLayer> fkw;
+    LayerwiseRep lr;
+    std::unique_ptr<PatternConv> engine;
+};
+
+/**
+ * The canonical way to drive the PatDNN pipeline for one device. All
+ * methods are thread-safe (the Compiler holds no per-call mutable
+ * state; the shared TuneCache locks internally).
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(DeviceSpec device, CompileOptions opts = {});
+
+    /**
+     * Stage 1 on a trainable net: mine the pattern set from the
+     * trained weights (options().pattern_count candidates), then run
+     * joint kernel-pattern + connectivity ADMM pruning with masked
+     * retraining. kInvalidArgument when the options are nonsense or
+     * the net has no conv layers to prune.
+     */
+    Result<CompressResult> compress(Net& net, const SyntheticShapes& data,
+                                    const AdmmConfig& cfg = {}) const;
+
+    /**
+     * Stage 2 for a single layer: prune a weight copy at
+     * options().connectivity_rate, reorder, pack to FKW, build the LR
+     * and (optionally) auto-tune on the device. kInvalidArgument on a
+     * malformed descriptor, a weight tensor that does not match it, or
+     * a pattern set that is empty / of the wrong kernel geometry.
+     */
+    Result<CompiledLayer> compileLayer(const ConvDesc& desc, Tensor weight,
+                                       const PatternSet& set,
+                                       bool auto_tune = false) const;
+
+    /**
+     * Stages 2-3 for a whole model: validate every layer descriptor,
+     * then compile `model` for `kind` on this Compiler's device with
+     * its options (pruning + FKW packing for sparse kinds). Per-layer
+     * tuned parameters come from the TuneCache when a matching (shape,
+     * ISA) entry exists. The result is immutable and ready for
+     * saveModel / InferenceSession / ModelRegistry.
+     */
+    Result<std::shared_ptr<CompiledModel>> compile(
+        const Model& model, FrameworkKind kind = FrameworkKind::kPatDnn) const;
+
+    const DeviceSpec& device() const { return device_; }
+    const CompileOptions& options() const { return opts_; }
+
+  private:
+    /** Option sanity shared by the stages. */
+    Status validateOptions() const;
+
+    DeviceSpec device_;
+    CompileOptions opts_;
+};
+
+}  // namespace patdnn

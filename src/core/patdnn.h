@@ -19,11 +19,20 @@
  * streams — and ModelRegistry serves several named artifacts from one
  * process over one shared compute pool (src/serve/).
  *
+ * The v1 error contract (src/util/status.h): every facade call that
+ * can fail for a caller-visible reason returns Status or Result<T>
+ * with a typed ErrorCode; serve-side futures fail with ServeError
+ * carrying the same codes. The Compiler class (core/compiler.h) is the
+ * pipeline-shaped entry point with typed errors on malformed inputs;
+ * the free functions below are the historical thin wrappers and keep
+ * CHECK-abort semantics for invariant violations.
+ *
  * Everything here is a thin, documented facade over the subsystem
  * libraries; include this single header to use the framework.
  */
 #pragma once
 
+#include "core/compiler.h"
 #include "graph/builder.h"
 #include "graph/passes.h"
 #include "nn/zoo.h"
@@ -38,20 +47,15 @@
 #include "serve/session.h"
 #include "sparse/csr.h"
 #include "sparse/fkw.h"
+#include "util/status.h"
 
 namespace patdnn {
-
-/** Result of the pattern-based training stage on a trainable net. */
-struct CompressResult
-{
-    PatternSet pattern_set;
-    AdmmResult admm;
-};
 
 /**
  * Stage 1 on a trainable net: mine the pattern set from the trained
  * weights, then run joint kernel-pattern + connectivity ADMM pruning
- * with masked retraining.
+ * with masked retraining. Thin wrapper over Compiler::compress()
+ * (which adds typed validation).
  */
 CompressResult compress(Net& net, const SyntheticShapes& data, int pattern_count = 8,
                         double connectivity_rate = 3.6, const AdmmConfig& cfg = {});
@@ -59,42 +63,34 @@ CompressResult compress(Net& net, const SyntheticShapes& data, int pattern_count
 /**
  * Stage 2 for a single layer: prune a weight copy, reorder, pack to
  * FKW, build the LR and (optionally) auto-tune on the device. Returns
- * the ready-to-run executor plus its storage.
+ * the ready-to-run executor plus its storage. Thin wrapper over
+ * Compiler::compileLayer() — malformed inputs abort here where the
+ * Compiler returns kInvalidArgument; auto-tuned shapes share the same
+ * process TuneCache.
  */
-struct CompiledLayer
-{
-    std::unique_ptr<FkwLayer> fkw;
-    LayerwiseRep lr;
-    std::unique_ptr<PatternConv> engine;
-};
-
 CompiledLayer compileLayer(const ConvDesc& desc, Tensor weight,
                            const PatternSet& set, double connectivity_rate,
                            const DeviceSpec& device, bool auto_tune = false);
 
 /**
  * Freeze a compiled model into a versioned binary artifact at `path`
- * (compile once, distribute everywhere). False + *error on failure.
+ * (compile once, distribute everywhere). kUnavailable on I/O failure.
  */
-bool saveModel(const CompiledModel& model, const std::string& path,
-               std::string* error = nullptr);
+Status saveModel(const CompiledModel& model, const std::string& path);
 
 /**
  * Load an artifact for `device`. The result is immutable and intended
  * to be shared: hand it to any number of InferenceSession /
- * InferenceServer instances. Null + *error on a missing, truncated or
- * corrupted file, or a device-fingerprint mismatch (see artifact.h).
+ * InferenceServer instances. Failure codes: kNotFound (missing file),
+ * kDataLoss (truncated or corrupted bytes — Status::detail() carries
+ * the artifact_detail slug), kInvalidArgument (unsupported format
+ * version), kDeviceMismatch (fingerprint this host cannot satisfy;
+ * see artifact.h). `info`, when non-null, receives header provenance
+ * and non-fatal warnings even on success.
  */
-std::shared_ptr<CompiledModel> loadModel(const std::string& path,
-                                         const DeviceSpec& device,
-                                         std::string* error = nullptr);
-
-/** Strict/diagnostic overload: load options + header provenance. */
-std::shared_ptr<CompiledModel> loadModel(const std::string& path,
-                                         const DeviceSpec& device,
-                                         const ArtifactLoadOptions& opts,
-                                         std::string* error = nullptr,
-                                         ArtifactInfo* info = nullptr);
+Result<std::shared_ptr<CompiledModel>> loadModel(
+    const std::string& path, const DeviceSpec& device,
+    const ArtifactLoadOptions& opts = {}, ArtifactInfo* info = nullptr);
 
 /** Stand up an async batched inference server over a shared model. */
 std::unique_ptr<InferenceServer> serve(std::shared_ptr<const CompiledModel> model,

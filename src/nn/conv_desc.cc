@@ -34,23 +34,43 @@ ConvDesc::filterShapeStr() const
     return out.str();
 }
 
+Status
+ConvDesc::validate() const
+{
+    auto fail = [&](const std::string& what) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "conv descriptor '" + name + "': " + what);
+    };
+    if (cin < 1)
+        return fail("cin must be positive");
+    if (cout < 1)
+        return fail("cout must be positive");
+    if (kh < 1 || kw < 1)
+        return fail("kernel dims must be positive");
+    if (h < 1 || w < 1)
+        return fail("input feature-map dims must be positive");
+    if (stride < 1)
+        return fail("stride must be positive");
+    if (pad < 0)
+        return fail("pad must be non-negative");
+    if (dilation < 1)
+        return fail("dilation must be positive");
+    if (groups < 1)
+        return fail("groups must be positive");
+    if (cin % groups != 0 || cout % groups != 0)
+        return fail("cin and cout must be divisible by groups");
+    if (outH() < 1)
+        return fail("output height collapses to zero for this geometry");
+    if (outW() < 1)
+        return fail("output width collapses to zero for this geometry");
+    return Status::OK();
+}
+
 void
 ConvDesc::check() const
 {
-    PATDNN_CHECK_GT(cin, 0, "cin");
-    PATDNN_CHECK_GT(cout, 0, "cout");
-    PATDNN_CHECK_GT(kh, 0, "kh");
-    PATDNN_CHECK_GT(kw, 0, "kw");
-    PATDNN_CHECK_GT(h, 0, "h");
-    PATDNN_CHECK_GT(w, 0, "w");
-    PATDNN_CHECK_GT(stride, 0, "stride");
-    PATDNN_CHECK_GE(pad, 0, "pad");
-    PATDNN_CHECK_GT(dilation, 0, "dilation");
-    PATDNN_CHECK_GT(groups, 0, "groups");
-    PATDNN_CHECK_EQ(cin % groups, 0, "cin divisible by groups");
-    PATDNN_CHECK_EQ(cout % groups, 0, "cout divisible by groups");
-    PATDNN_CHECK_GT(outH(), 0, "output height for " << name);
-    PATDNN_CHECK_GT(outW(), 0, "output width for " << name);
+    Status status = validate();
+    PATDNN_CHECK(status.ok(), status.message());
 }
 
 }  // namespace patdnn

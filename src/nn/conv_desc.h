@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.h"
+
 namespace patdnn {
 
 /**
@@ -54,7 +56,13 @@ struct ConvDesc
     /** Filter shape in the paper's Table-6 notation. */
     std::string filterShapeStr() const;
 
-    /** Validate invariants; aborts on nonsense geometry. */
+    /** Validate invariants without aborting: kInvalidArgument naming
+     * the offending field on nonsense geometry. The Compiler facade
+     * uses this to turn malformed descriptors into typed errors. */
+    Status validate() const;
+
+    /** Validate invariants; aborts on nonsense geometry (internal
+     * paths where a bad descriptor means a library bug). */
     void check() const;
 };
 

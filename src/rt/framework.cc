@@ -312,6 +312,11 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
         if (n.kind == OpKind::kConv) {
             ex->weight = n.weight;
             ex->tuning = opts.default_tuning;
+            if (opts.tune_lookup) {
+                TuneParams cached;
+                if (opts.tune_lookup(n.conv, &cached))
+                    ex->tuning = cached;
+            }
             ex->opts = opts.opts;
             bool can_sparse = isSparseKind(kind_) && n.conv.groups == 1;
             if (can_sparse) {

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +61,15 @@ struct CompileOptions
     TuneParams default_tuning;
     bool run_graph_passes = true;
     uint64_t seed = 5;
+    /**
+     * Optional per-layer tuned-parameter source consulted for each
+     * conv layer at compile time (the Compiler facade wires the
+     * process TuneCache here, so whole-model compiles pick up layer
+     * tunings the GA already paid for). Returns true and fills *params
+     * on a hit; a miss falls back to default_tuning. Not recorded in
+     * artifacts.
+     */
+    std::function<bool(const ConvDesc&, TuneParams*)> tune_lookup;
 };
 
 /**

@@ -256,4 +256,79 @@ PerfEstimator::argminOver(const TuneSpace& space) const
     return best;
 }
 
+TuneCache&
+TuneCache::instance()
+{
+    static TuneCache cache;
+    return cache;
+}
+
+std::string
+TuneCache::key(const ConvDesc& desc, const DeviceSpec& device,
+               double connectivity_rate)
+{
+    std::string k;
+    for (int64_t v : {desc.cin, desc.cout, desc.kh, desc.kw, desc.h, desc.w,
+                      desc.stride, desc.pad, desc.dilation, desc.groups,
+                      // Device fingerprint: the measured runtime depends
+                      // on the pool width, scheduling model and tile
+                      // budget, so tunings never cross devices.
+                      static_cast<int64_t>(device.threads),
+                      static_cast<int64_t>(device.gpu_like ? 1 : 0),
+                      device.tile_budget_kb}) {
+        k += std::to_string(v);
+        k += ':';
+    }
+    k += isaName(resolveSimdOps(device.simd_isa).isa);
+    k += ':';
+    // The GA measures a concrete FKW density; a different pruning rate
+    // is a different workload.
+    k += std::to_string(connectivity_rate);
+    return k;
+}
+
+bool
+TuneCache::lookup(const ConvDesc& desc, const DeviceSpec& device,
+                  double connectivity_rate, TuneParams* params) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = entries_.find(key(desc, device, connectivity_rate));
+    if (it == entries_.end())
+        return false;
+    ++hits_;
+    if (params != nullptr)
+        *params = it->second;
+    return true;
+}
+
+void
+TuneCache::insert(const ConvDesc& desc, const DeviceSpec& device,
+                  double connectivity_rate, const TuneParams& params)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    entries_[key(desc, device, connectivity_rate)] = params;
+}
+
+size_t
+TuneCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return entries_.size();
+}
+
+int64_t
+TuneCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return hits_;
+}
+
+void
+TuneCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    entries_.clear();
+    hits_ = 0;
+}
+
 }  // namespace patdnn

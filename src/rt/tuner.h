@@ -11,8 +11,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "rt/device.h"
 #include "rt/lr.h"
 #include "rt/simd/dispatch.h"
 #include "util/rng.h"
@@ -76,6 +80,55 @@ struct TuneResult
  */
 TuneResult tuneLayer(const std::function<double(const TuneParams&)>& measure,
                      const TuneSpace& space = {}, const TunerConfig& cfg = {});
+
+/**
+ * Process-wide cache of tuned parameters keyed by (layer geometry,
+ * resolved kernel ISA, device fingerprint, connectivity rate). Tuned
+ * widths do not depend on the weight *values*, but they do depend on
+ * everything that shapes the measured runtime: the layer geometry, the
+ * kernel vector width, the device's pool width / scheduling model /
+ * tile budget, and the sparsity the GA measured (connectivity rate
+ * fixes the FKW density). All of that is in the key, so once the GA
+ * has tuned one configuration, every later compileLayer /
+ * Compiler::compile over the same configuration reuses the result and
+ * skips the search — and a different device or pruning rate never
+ * silently inherits a foreign tuning. Thread-safe; the hit counter
+ * backs tests and cache-efficacy logging.
+ */
+class TuneCache
+{
+  public:
+    /** The process cache (the auto-tune paths all share one). */
+    static TuneCache& instance();
+
+    /** True + *params filled on a hit for (desc geometry, device,
+     * connectivity). The device's ISA is resolved to what would
+     * actually execute. */
+    bool lookup(const ConvDesc& desc, const DeviceSpec& device,
+                double connectivity_rate, TuneParams* params) const;
+
+    /** Record the GA's best; later inserts for the same key overwrite
+     * (newest tuning wins). */
+    void insert(const ConvDesc& desc, const DeviceSpec& device,
+                double connectivity_rate, const TuneParams& params);
+
+    size_t size() const;
+    int64_t hits() const;
+
+    /** Drop every entry and reset the hit counter (tests). */
+    void clear();
+
+  private:
+    /** Geometry + device + sparsity key; the layer name is
+     * deliberately excluded so identically-shaped layers share one
+     * tuning. */
+    static std::string key(const ConvDesc& desc, const DeviceSpec& device,
+                           double connectivity_rate);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, TuneParams> entries_;
+    mutable int64_t hits_ = 0;
+};
 
 /**
  * Performance estimator trained on tuning history: ridge-regularized

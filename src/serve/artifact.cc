@@ -124,7 +124,7 @@ putConvDesc(std::vector<uint8_t>& out, const ConvDesc& d)
  * Plausibility of a deserialized layer's scalar fields. ConvDesc::check()
  * aborts on bad geometry, and the executors divide by groups/stride, so
  * a crafted-but-well-framed artifact must be refused here to keep the
- * "null + *error" load contract.
+ * typed-Status load contract.
  */
 bool
 plausibleLayer(const CompiledLayerState& st)
@@ -259,17 +259,18 @@ warn(ArtifactInfo* info, const std::string& msg)
 /**
  * Parse + validate a payload (any supported version) and rebuild the
  * model for `device`. Shared by the in-memory and file loaders, which
- * have already verified framing and checksum.
+ * have already verified framing and checksum — so parse failures here
+ * mean a corrupted-but-well-framed payload (kDataLoss) or a provenance
+ * record the host cannot satisfy (kDeviceMismatch).
  */
-std::shared_ptr<CompiledModel>
+Result<std::shared_ptr<CompiledModel>>
 deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version,
                    const DeviceSpec& device, const ArtifactLoadOptions& opts,
-                   std::string* error, ArtifactInfo* info)
+                   ArtifactInfo* info)
 {
-    auto fail = [&](const std::string& msg) {
-        if (error != nullptr)
-            *error = msg;
-        return nullptr;
+    auto fail = [](std::string msg) {
+        return Status(ErrorCode::kDataLoss, std::move(msg),
+                      artifact_detail::kMalformedPayload);
     };
     if (info != nullptr)
         info->version = version;
@@ -326,14 +327,16 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
             info->compile_opts = compile_opts;
         }
         if (gpu_like != device.gpu_like)
-            return fail(std::string("artifact: device fingerprint mismatch: "
-                                    "compiled for a ") +
-                        (gpu_like ? "GPU-like (block-scheduled)" : "CPU") +
-                        " device but this host device is " +
-                        (device.gpu_like ? "GPU-like (block-scheduled)"
-                                         : "a CPU") +
-                        "; the tuned execution plan does not transfer across "
-                        "scheduling models");
+            return Status(ErrorCode::kDeviceMismatch,
+                          std::string("artifact: device fingerprint mismatch: "
+                                      "compiled for a ") +
+                              (gpu_like ? "GPU-like (block-scheduled)" : "CPU") +
+                              " device but this host device is " +
+                              (device.gpu_like ? "GPU-like (block-scheduled)"
+                                               : "a CPU") +
+                              "; the tuned execution plan does not transfer "
+                              "across scheduling models",
+                          artifact_detail::kFingerprintMismatch);
         if (pool_width != device.threads || tile_budget_kb != device.tile_budget_kb) {
             std::string msg =
                 "artifact: device fingerprint mismatch: compiled for pool "
@@ -345,7 +348,9 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
                 std::to_string(device.tile_budget_kb) +
                 " KB; execution is exact, tuned parameters may be off-width";
             if (opts.require_matching_fingerprint)
-                return fail(msg + " (rejected: matching fingerprint required)");
+                return Status(ErrorCode::kDeviceMismatch,
+                              msg + " (rejected: matching fingerprint required)",
+                              artifact_detail::kFingerprintMismatch);
             warn(info, msg);
         }
     }
@@ -400,16 +405,17 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         if (has_fkw) {
             auto fkw = std::make_unique<FkwLayer>();
             size_t consumed = 0;
-            std::string fkw_error;
-            if (!deserializeFkw(r.data + r.pos, r.size - r.pos, &consumed,
-                                fkw.get(), &fkw_error))
-                return fail("artifact: " + fkw_error);
+            Status fkw_status = deserializeFkw(r.data + r.pos, r.size - r.pos,
+                                               &consumed, fkw.get());
+            if (!fkw_status.ok())
+                return fail("artifact: " + fkw_status.message());
             r.pos += consumed;
             // Re-check the structural invariants so a corrupted-but-
             // well-framed record cannot reach an executor.
-            std::string invariant_error;
-            if (!validateFkw(*fkw, &invariant_error))
-                return fail("artifact: invalid FKW layer: " + invariant_error);
+            Status invariants = validateFkw(*fkw);
+            if (!invariants.ok())
+                return fail("artifact: invalid FKW layer: " +
+                            invariants.message());
             st.fkw = std::move(fkw);
         }
         if (!r.ok)
@@ -425,6 +431,35 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
     return std::make_shared<CompiledModel>(kind, device, std::move(layers),
                                            output_node, tuned_isa,
                                            std::move(compile_opts));
+}
+
+Status
+unsupportedVersion(uint32_t version)
+{
+    return Status(ErrorCode::kInvalidArgument,
+                  "artifact: unsupported version " + std::to_string(version),
+                  artifact_detail::kUnsupportedVersion);
+}
+
+Status
+truncatedStream(const std::string& what)
+{
+    return Status(ErrorCode::kDataLoss, "artifact: truncated stream (" + what + ")",
+                  artifact_detail::kTruncatedStream);
+}
+
+Status
+checksumMismatch()
+{
+    return Status(ErrorCode::kDataLoss, "artifact: checksum mismatch",
+                  artifact_detail::kChecksumMismatch);
+}
+
+Status
+badMagic()
+{
+    return Status(ErrorCode::kDataLoss, "artifact: bad magic",
+                  artifact_detail::kBadMagic);
 }
 
 void
@@ -465,51 +500,40 @@ serializeModel(const CompiledModel& model)
     return serializeModel(model, kModelArtifactVersion);
 }
 
-std::shared_ptr<CompiledModel>
+Result<std::shared_ptr<CompiledModel>>
 deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
-                 const ArtifactLoadOptions& opts, std::string* error,
-                 ArtifactInfo* info)
+                 const ArtifactLoadOptions& opts, ArtifactInfo* info)
 {
-    auto fail = [&](const std::string& msg) {
-        if (error != nullptr)
-            *error = msg;
-        return nullptr;
-    };
-    if (bytes.size() < kHeaderSize + 8 || std::memcmp(bytes.data(), kMagic, 4) != 0)
-        return fail("artifact: bad magic");
+    // Size before magic: a truncated-but-valid prefix must diagnose as
+    // truncation, matching the streamed file loader's slug.
+    if (bytes.size() < kHeaderSize + 8)
+        return truncatedStream(std::to_string(bytes.size()) +
+                               " bytes is smaller than the fixed header");
+    if (std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return badMagic();
     Reader hdr{{bytes.data() + 4, bytes.size() - 4}};
     uint32_t version = hdr.u32();
     if (version < 1 || version > kModelArtifactVersion)
-        return fail("artifact: unsupported version " + std::to_string(version));
+        return unsupportedVersion(version);
     uint64_t payload_size = hdr.u64();
     if (!hdr.ok || payload_size != bytes.size() - kHeaderSize - 8)
-        return fail("artifact: truncated (payload size mismatch)");
+        return truncatedStream("payload size mismatch");
     const uint8_t* payload = bytes.data() + kHeaderSize;
     Reader tail{{payload + payload_size, 8}};
     if (fnv1aUpdate(kFnvOffset, payload, static_cast<size_t>(payload_size)) !=
         tail.u64())
-        return fail("artifact: checksum mismatch");
+        return checksumMismatch();
     return deserializePayload(payload, static_cast<size_t>(payload_size), version,
-                              device, opts, error, info);
+                              device, opts, info);
 }
 
-std::shared_ptr<CompiledModel>
-deserializeModel(const std::vector<uint8_t>& bytes, const DeviceSpec& device,
-                 std::string* error)
-{
-    return deserializeModel(bytes, device, ArtifactLoadOptions{}, error, nullptr);
-}
-
-bool
-saveModelArtifact(const CompiledModel& model, const std::string& path,
-                  std::string* error)
+Status
+saveModelArtifact(const CompiledModel& model, const std::string& path)
 {
     std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) {
-        if (error != nullptr)
-            *error = "cannot open " + path + " for writing";
-        return false;
-    }
+    if (f == nullptr)
+        return Status(ErrorCode::kUnavailable,
+                      "cannot open " + path + " for writing");
     std::vector<uint8_t> header;
     putHeaderPrefix(header, kModelArtifactVersion);
     bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
@@ -535,54 +559,48 @@ saveModelArtifact(const CompiledModel& model, const std::string& path,
     ok = ok &&
          std::fwrite(size_bytes.data(), 1, size_bytes.size(), f) == size_bytes.size();
     ok = std::fclose(f) == 0 && ok;
-    if (!ok && error != nullptr)
-        *error = "short write to " + path;
-    return ok;
+    if (!ok)
+        return Status(ErrorCode::kUnavailable, "short write to " + path);
+    return Status::OK();
 }
 
-std::shared_ptr<CompiledModel>
+Result<std::shared_ptr<CompiledModel>>
 loadModelArtifact(const std::string& path, const DeviceSpec& device,
-                  const ArtifactLoadOptions& opts, std::string* error,
-                  ArtifactInfo* info)
+                  const ArtifactLoadOptions& opts, ArtifactInfo* info)
 {
-    auto fail = [&](const std::string& msg) {
-        if (error != nullptr)
-            *error = msg;
-        return nullptr;
-    };
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
-        return fail("cannot open " + path);
+        return Status(ErrorCode::kNotFound, "cannot open " + path);
     std::fseek(f, 0, SEEK_END);
     long len = std::ftell(f);
     std::fseek(f, 0, SEEK_SET);
     if (len < static_cast<long>(kHeaderSize + 8)) {
         std::fclose(f);
-        return fail("artifact: truncated stream (" + std::to_string(len < 0 ? 0 : len) +
-                    " bytes is smaller than the fixed header)");
+        return truncatedStream(std::to_string(len < 0 ? 0 : len) +
+                               " bytes is smaller than the fixed header");
     }
     uint8_t header[kHeaderSize];
     if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize) {
         std::fclose(f);
-        return fail("artifact: truncated stream (short header read)");
+        return truncatedStream("short header read");
     }
     if (std::memcmp(header, kMagic, 4) != 0) {
         std::fclose(f);
-        return fail("artifact: bad magic");
+        return badMagic();
     }
     Reader hdr{{header + 4, kHeaderSize - 4}};
     uint32_t version = hdr.u32();
     if (version < 1 || version > kModelArtifactVersion) {
         std::fclose(f);
-        return fail("artifact: unsupported version " + std::to_string(version));
+        return unsupportedVersion(version);
     }
     uint64_t payload_size = hdr.u64();
     if (payload_size != static_cast<uint64_t>(len) - kHeaderSize - 8) {
         std::fclose(f);
-        return fail("artifact: truncated stream (header claims " +
-                    std::to_string(payload_size) + " payload bytes, file holds " +
-                    std::to_string(static_cast<uint64_t>(len) - kHeaderSize - 8) +
-                    ")");
+        return truncatedStream(
+            "header claims " + std::to_string(payload_size) +
+            " payload bytes, file holds " +
+            std::to_string(static_cast<uint64_t>(len) - kHeaderSize - 8));
     }
     // Chunked read with incremental checksum: bounded I/O granularity,
     // one payload allocation (which the model needs anyway).
@@ -594,7 +612,7 @@ loadModelArtifact(const std::string& path, const DeviceSpec& device,
         size_t n = std::fread(payload.data() + got, 1, want, f);
         if (n == 0) {
             std::fclose(f);
-            return fail("artifact: truncated stream (short payload read)");
+            return truncatedStream("short payload read");
         }
         h = fnv1aUpdate(h, payload.data() + got, n);
         got += n;
@@ -602,21 +620,14 @@ loadModelArtifact(const std::string& path, const DeviceSpec& device,
     uint8_t trailer[8];
     if (std::fread(trailer, 1, 8, f) != 8) {
         std::fclose(f);
-        return fail("artifact: truncated stream (missing checksum)");
+        return truncatedStream("missing checksum");
     }
     std::fclose(f);
     Reader tail{{trailer, 8}};
     if (h != tail.u64())
-        return fail("artifact: checksum mismatch");
+        return checksumMismatch();
     return deserializePayload(payload.data(), payload.size(), version, device,
-                              opts, error, info);
-}
-
-std::shared_ptr<CompiledModel>
-loadModelArtifact(const std::string& path, const DeviceSpec& device,
-                  std::string* error)
-{
-    return loadModelArtifact(path, device, ArtifactLoadOptions{}, error, nullptr);
+                              opts, info);
 }
 
 }  // namespace patdnn

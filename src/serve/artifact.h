@@ -46,8 +46,25 @@
 #include <vector>
 
 #include "rt/framework.h"
+#include "util/status.h"
 
 namespace patdnn {
+
+/**
+ * Stable machine-readable failure slugs the artifact loaders attach
+ * via Status::detail(), so failure modes that share an ErrorCode are
+ * distinguishable without matching message text: a truncated stream
+ * and a flipped checksum are both kDataLoss, but carry different
+ * slugs. These strings are part of the API contract.
+ */
+namespace artifact_detail {
+inline constexpr char kBadMagic[] = "artifact/bad-magic";
+inline constexpr char kUnsupportedVersion[] = "artifact/unsupported-version";
+inline constexpr char kTruncatedStream[] = "artifact/truncated-stream";
+inline constexpr char kChecksumMismatch[] = "artifact/checksum-mismatch";
+inline constexpr char kMalformedPayload[] = "artifact/malformed-payload";
+inline constexpr char kFingerprintMismatch[] = "artifact/fingerprint-mismatch";
+}  // namespace artifact_detail
 
 /** Artifact format version written by serializeModel. Version 2 added
  * the tuned-ISA field; version 3 the device fingerprint and compile
@@ -96,36 +113,26 @@ std::vector<uint8_t> serializeModel(const CompiledModel& model, uint32_t version
  * Reconstruct a compiled model for `device` from artifact bytes.
  * Validates magic, version, framing and checksum, the v3 provenance
  * record against `device`, then every embedded FKW layer's structural
- * invariants; returns null with a message in *error on any mismatch.
- * `info`, when non-null, receives the header provenance + any
- * non-fatal warnings even for successfully loaded artifacts.
+ * invariants. Failure codes: kDataLoss for corrupted / truncated bytes
+ * (detail() carries the artifact_detail slug), kInvalidArgument for an
+ * unsupported format version, kDeviceMismatch for a fingerprint the
+ * host cannot satisfy. `info`, when non-null, receives the header
+ * provenance + any non-fatal warnings even for successfully loaded
+ * artifacts.
  */
-std::shared_ptr<CompiledModel> deserializeModel(const std::vector<uint8_t>& bytes,
-                                                const DeviceSpec& device,
-                                                const ArtifactLoadOptions& opts,
-                                                std::string* error = nullptr,
-                                                ArtifactInfo* info = nullptr);
-
-/** Default-strictness overload (the common call). */
-std::shared_ptr<CompiledModel> deserializeModel(const std::vector<uint8_t>& bytes,
-                                                const DeviceSpec& device,
-                                                std::string* error = nullptr);
+Result<std::shared_ptr<CompiledModel>> deserializeModel(
+    const std::vector<uint8_t>& bytes, const DeviceSpec& device,
+    const ArtifactLoadOptions& opts = {}, ArtifactInfo* info = nullptr);
 
 /** Stream-serialize + write to `path` (one layer record in memory at a
- * time); false with *error on I/O failure. */
-bool saveModelArtifact(const CompiledModel& model, const std::string& path,
-                       std::string* error = nullptr);
+ * time); kUnavailable on I/O failure. */
+Status saveModelArtifact(const CompiledModel& model, const std::string& path);
 
 /** Read `path` (chunked, checksum verified incrementally) +
- * deserialize; null with *error on failure. */
-std::shared_ptr<CompiledModel> loadModelArtifact(const std::string& path,
-                                                 const DeviceSpec& device,
-                                                 std::string* error = nullptr);
-
-std::shared_ptr<CompiledModel> loadModelArtifact(const std::string& path,
-                                                 const DeviceSpec& device,
-                                                 const ArtifactLoadOptions& opts,
-                                                 std::string* error = nullptr,
-                                                 ArtifactInfo* info = nullptr);
+ * deserialize. kNotFound when the file cannot be opened; otherwise the
+ * deserializeModel() codes. */
+Result<std::shared_ptr<CompiledModel>> loadModelArtifact(
+    const std::string& path, const DeviceSpec& device,
+    const ArtifactLoadOptions& opts = {}, ArtifactInfo* info = nullptr);
 
 }  // namespace patdnn

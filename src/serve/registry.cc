@@ -22,42 +22,39 @@ ModelRegistry::~ModelRegistry()
     shutdownAll();
 }
 
-bool
-ModelRegistry::load(const std::string& name, const std::string& path,
-                    std::string* error)
+Status
+ModelRegistry::load(const std::string& name, const std::string& path)
 {
-    std::string load_error;
-    std::shared_ptr<CompiledModel> model =
-        loadModelArtifact(path, opts_.device, &load_error);
-    if (!model) {
-        if (error != nullptr)
-            *error = "registry: cannot load '" + name + "': " + load_error;
-        return false;
-    }
-    return add(name, std::move(model), error);
+    Result<std::shared_ptr<CompiledModel>> model =
+        loadModelArtifact(path, opts_.device);
+    if (!model.ok())
+        // Keep the loader's code + detail slug; prefix the message so
+        // the caller sees which name failed to come up.
+        return Status(model.code(),
+                      "registry: cannot load '" + name + "': " +
+                          model.status().message(),
+                      model.status().detail());
+    return add(name, std::move(model).value());
 }
 
-bool
+Status
 ModelRegistry::add(const std::string& name,
-                   std::shared_ptr<const CompiledModel> model, std::string* error)
+                   std::shared_ptr<const CompiledModel> model)
 {
-    return add(name, std::move(model), opts_.server, error);
+    return add(name, std::move(model), opts_.server);
 }
 
-bool
+Status
 ModelRegistry::add(const std::string& name,
                    std::shared_ptr<const CompiledModel> model,
-                   const ServerOptions& server_opts, std::string* error)
+                   const ServerOptions& server_opts)
 {
-    if (!model) {
-        if (error != nullptr)
-            *error = "registry: null model for '" + name + "'";
-        return false;
-    }
+    if (!model)
+        return Status(ErrorCode::kInvalidArgument,
+                      "registry: null model for '" + name + "'");
     auto taken = [&] {
-        if (error != nullptr)
-            *error = "registry: model name '" + name + "' already loaded";
-        return false;
+        return Status(ErrorCode::kInvalidArgument,
+                      "registry: model name '" + name + "' already loaded");
     };
     {
         // Cheap pre-check: don't spin up a whole server (workers,
@@ -82,7 +79,7 @@ ModelRegistry::add(const std::string& name,
             return taken();
         }
     }
-    return true;
+    return Status::OK();
 }
 
 bool
@@ -148,8 +145,8 @@ ModelRegistry::submit(const std::string& name, Tensor input, SubmitOptions sopts
     std::shared_ptr<InferenceServer> server = serverFor(name);
     if (!server) {
         std::promise<Tensor> p;
-        p.set_exception(std::make_exception_ptr(
-            UnknownModelError("registry: no model named '" + name + "'")));
+        p.set_exception(std::make_exception_ptr(ServeError(
+            ErrorCode::kNotFound, "registry: no model named '" + name + "'")));
         return p.get_future();
     }
     return server->submit(std::move(input), sopts, id);

@@ -32,13 +32,6 @@
 
 namespace patdnn {
 
-/** Thrown into the future when a request names no loaded model. */
-class UnknownModelError : public std::runtime_error
-{
-  public:
-    using std::runtime_error::runtime_error;
-};
-
 /** Registry-wide knobs. */
 struct RegistryOptions
 {
@@ -70,19 +63,21 @@ class ModelRegistry
     ModelRegistry& operator=(const ModelRegistry&) = delete;
 
     /**
-     * Load an artifact from `path` and serve it as `name`. False +
-     * *error when the artifact is rejected (see artifact.h diagnostics)
-     * or the name is already taken.
+     * Load an artifact from `path` and serve it as `name`. Propagates
+     * the artifact loader's Status (code + detail slug, see artifact.h)
+     * when the artifact is rejected; kInvalidArgument when the name is
+     * already taken.
      */
-    bool load(const std::string& name, const std::string& path,
-              std::string* error = nullptr);
+    Status load(const std::string& name, const std::string& path);
 
     /** Serve an already-compiled model as `name`; per-model server
-     * options override the registry defaults. False if taken. */
-    bool add(const std::string& name, std::shared_ptr<const CompiledModel> model,
-             std::string* error = nullptr);
-    bool add(const std::string& name, std::shared_ptr<const CompiledModel> model,
-             const ServerOptions& server_opts, std::string* error = nullptr);
+     * options override the registry defaults. kInvalidArgument when
+     * the model is null or the name is taken. */
+    Status add(const std::string& name,
+               std::shared_ptr<const CompiledModel> model);
+    Status add(const std::string& name,
+               std::shared_ptr<const CompiledModel> model,
+               const ServerOptions& server_opts);
 
     /** Shut down `name`'s server and drop it. False if absent. */
     bool evict(const std::string& name);
@@ -97,7 +92,7 @@ class ModelRegistry
     /**
      * Route one request to `name`'s server (blocking submit semantics).
      * An unknown name fails only this request's future with
-     * UnknownModelError.
+     * ServeError(kNotFound).
      */
     std::future<Tensor> submit(const std::string& name, Tensor input,
                                SubmitOptions sopts = {}, RequestId* id = nullptr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "util/logging.h"
 
@@ -93,8 +94,10 @@ InferenceServer::submit(Tensor input, SubmitOptions sopts, RequestId* id)
     req.deadline = sopts.deadline;
     std::future<Tensor> result = req.promise.get_future();
     if (!validRequestInput(req.input)) {
-        req.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
-            "inference request needs a non-empty leading batch dimension")));
+        req.promise.set_exception(std::make_exception_ptr(
+            ServeError(ErrorCode::kInvalidArgument,
+                       "inference request needs a non-empty leading batch "
+                       "dimension")));
         return result;
     }
     {
@@ -103,8 +106,8 @@ InferenceServer::submit(Tensor input, SubmitOptions sopts, RequestId* id)
             return queue_.size() < opts_.max_queue || stopping_;
         });
         if (stopping_) {
-            req.promise.set_exception(std::make_exception_ptr(
-                std::runtime_error("inference server is shut down")));
+            req.promise.set_exception(std::make_exception_ptr(ServeError(
+                ErrorCode::kUnavailable, "inference server is shut down")));
             return result;
         }
         RequestId assigned = enqueueLocked(req);
@@ -120,37 +123,43 @@ InferenceServer::submit(Tensor input, SubmitOptions sopts, RequestId* id)
     return result;
 }
 
-bool
+Result<RequestId>
 InferenceServer::trySubmit(Tensor input, std::future<Tensor>* result,
-                           SubmitOptions sopts, RequestId* id)
+                           SubmitOptions sopts)
 {
-    if (id != nullptr)
-        *id = 0;
     Request req;
     req.input = std::move(input);
     req.deadline = sopts.deadline;
     if (!validRequestInput(req.input)) {
         std::lock_guard<std::mutex> lk(mutex_);
         ++rejected_;
-        return false;
+        return Status(ErrorCode::kInvalidArgument,
+                      "inference request needs a non-empty leading batch "
+                      "dimension");
     }
+    RequestId assigned = 0;
     {
         std::lock_guard<std::mutex> lk(mutex_);
-        if (stopping_ || queue_.size() >= opts_.max_queue) {
+        if (stopping_) {
             ++rejected_;
-            return false;
+            return Status(ErrorCode::kUnavailable,
+                          "inference server is shut down");
+        }
+        if (queue_.size() >= opts_.max_queue) {
+            ++rejected_;
+            return Status(ErrorCode::kResourceExhausted,
+                          "inference queue is full (" +
+                              std::to_string(opts_.max_queue) + " pending)");
         }
         if (result != nullptr)
             *result = req.promise.get_future();
-        RequestId assigned = enqueueLocked(req);
-        if (id != nullptr)
-            *id = assigned;
+        assigned = enqueueLocked(req);
     }
     if (opts_.max_linger_ms > 0.0)
         cv_request_.notify_all();
     else
         cv_request_.notify_one();
-    return true;
+    return assigned;
 }
 
 bool
@@ -173,15 +182,17 @@ InferenceServer::cancel(RequestId id)
     }
     cv_space_.notify_all();
     victim.promise.set_exception(std::make_exception_ptr(
-        RequestCancelledError("inference request cancelled before dispatch")));
+        ServeError(ErrorCode::kCancelled,
+                   "inference request cancelled before dispatch")));
     return true;
 }
 
 void
 InferenceServer::expireLocked(Request& req)
 {
-    req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
-        "inference request deadline exceeded before dispatch")));
+    req.promise.set_exception(std::make_exception_ptr(
+        ServeError(ErrorCode::kDeadlineExceeded,
+                   "inference request deadline exceeded before dispatch")));
     ++deadline_exceeded_;
 }
 

@@ -15,11 +15,12 @@
  *  - Deadlines: a request may carry an absolute deadline (SubmitOptions,
  *    measured against the server's ServeClock). Expired requests are
  *    shed from the queue before dispatch — their futures fail with
- *    DeadlineExceededError and they count in stats().deadline_exceeded,
- *    separately from rejections — so a backlogged server spends no
- *    model time on answers nobody is waiting for.
+ *    ServeError(kDeadlineExceeded) and they count in
+ *    stats().deadline_exceeded, separately from rejections — so a
+ *    backlogged server spends no model time on answers nobody is
+ *    waiting for.
  *  - Cancellation: submit hands back a RequestId; cancel() removes a
- *    still-queued request (future fails with RequestCancelledError).
+ *    still-queued request (future fails with ServeError(kCancelled)).
  *  - Linger batching: with max_linger_ms > 0 a worker that popped a
  *    partial batch waits up to the linger window for more compatible
  *    requests instead of dispatching immediately, so a *sparse* request
@@ -44,23 +45,32 @@
 #include "serve/clock.h"
 #include "serve/session.h"
 #include "util/stats.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace patdnn {
 
-/** Thrown into a request's future when its deadline passes before
- * dispatch. Tracked separately from failures in ServerStats. */
-class DeadlineExceededError : public std::runtime_error
+/**
+ * The one exception type a serving future can fail with: carries the
+ * same ErrorCode vocabulary as Status, so async (future) and sync
+ * (Status/Result) failures dispatch on one enum. Codes thrown by the
+ * serving layer: kDeadlineExceeded (shed before dispatch), kCancelled
+ * (removed by cancel()), kNotFound (registry routing to an unknown
+ * model name), kInvalidArgument (malformed request input) and
+ * kUnavailable (submit raced a shutdown).
+ */
+class ServeError : public std::runtime_error
 {
   public:
-    using std::runtime_error::runtime_error;
-};
+    ServeError(ErrorCode code, const std::string& what)
+        : std::runtime_error(what), code_(code)
+    {
+    }
 
-/** Thrown into a request's future when cancel() removes it. */
-class RequestCancelledError : public std::runtime_error
-{
-  public:
-    using std::runtime_error::runtime_error;
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
 };
 
 /** Serving knobs. */
@@ -132,24 +142,30 @@ class InferenceServer
     /**
      * Enqueue one NCHW input (its dim-0 may already hold several
      * samples); blocks while the queue is full. The future resolves to
-     * the model output rows for exactly this input, or fails with
-     * DeadlineExceededError / RequestCancelledError. A malformed input
-     * (no leading batch dim / zero samples) fails only this request's
-     * future with std::invalid_argument. `id`, when non-null, receives
-     * the accepted request's id (0 if the request was not enqueued).
+     * the model output rows for exactly this input, or fails with a
+     * ServeError exposing its code: kDeadlineExceeded / kCancelled for
+     * shed work, kInvalidArgument for a malformed input (no leading
+     * batch dim / zero samples — fails only this request's future),
+     * kUnavailable when intake already stopped. `id`, when non-null,
+     * receives the accepted request's id (0 if not enqueued).
      */
     std::future<Tensor> submit(Tensor input, SubmitOptions sopts = {},
                                RequestId* id = nullptr);
 
-    /** Non-blocking submit; false (and ++rejected) when the input is
-     * malformed, the queue is full, or intake has stopped. */
-    bool trySubmit(Tensor input, std::future<Tensor>* result,
-                   SubmitOptions sopts = {}, RequestId* id = nullptr);
+    /**
+     * Non-throwing, non-blocking admission path: the RequestId on
+     * acceptance (with *result holding the future), or a typed refusal
+     * (and ++rejected) — kInvalidArgument for a malformed input,
+     * kResourceExhausted when the queue is full, kUnavailable when
+     * intake has stopped.
+     */
+    Result<RequestId> trySubmit(Tensor input, std::future<Tensor>* result,
+                                SubmitOptions sopts = {});
 
     /**
      * Remove a still-queued request: its future fails with
-     * RequestCancelledError and stats().cancelled increments. False if
-     * the id is unknown, already dispatched, or already completed.
+     * ServeError(kCancelled) and stats().cancelled increments. False
+     * if the id is unknown, already dispatched, or already completed.
      */
     bool cancel(RequestId id);
 
@@ -191,7 +207,7 @@ class InferenceServer
      * only when stopping and fully drained. */
     std::vector<Request> popBatch();
     /** Shed queued requests whose deadline has passed: fail their
-     * futures with DeadlineExceededError and count them (mutex_ held;
+     * futures with ServeError(kDeadlineExceeded) and count them (mutex_ held;
      * set_exception only stores state, no user code runs under the
      * lock). Returns how many were shed. */
     size_t shedExpiredLocked();

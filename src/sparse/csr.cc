@@ -57,13 +57,11 @@ csrToDense(const CsrWeights& csr, const Shape& oihw_shape)
     return dense;
 }
 
-bool
-validateCsr(const CsrWeights& csr, std::string* error)
+Status
+validateCsr(const CsrWeights& csr)
 {
-    auto fail = [&](const std::string& msg) {
-        if (error != nullptr)
-            *error = msg;
-        return false;
+    auto fail = [](std::string msg) {
+        return Status(ErrorCode::kDataLoss, std::move(msg));
     };
     if (static_cast<int64_t>(csr.row_ptr.size()) != csr.rows + 1)
         return fail("row_ptr size != rows + 1");
@@ -79,7 +77,7 @@ validateCsr(const CsrWeights& csr, std::string* error)
     for (int32_t c : csr.col_idx)
         if (c < 0 || c >= csr.cols)
             return fail("col index out of range");
-    return true;
+    return Status::OK();
 }
 
 }  // namespace patdnn

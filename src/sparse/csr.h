@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace patdnn {
 
@@ -40,7 +41,7 @@ CsrWeights buildCsr(const Tensor& weight);
 /** Reconstruct the dense OIHW tensor (for round-trip tests). */
 Tensor csrToDense(const CsrWeights& csr, const Shape& oihw_shape);
 
-/** Validate structural invariants; returns false + message on corruption. */
-bool validateCsr(const CsrWeights& csr, std::string* error = nullptr);
+/** Validate structural invariants; kDataLoss on corruption. */
+Status validateCsr(const CsrWeights& csr);
 
 }  // namespace patdnn

@@ -240,13 +240,11 @@ fkwToDense(const FkwLayer& fkw)
     return dense;
 }
 
-bool
-validateFkw(const FkwLayer& fkw, std::string* error)
+Status
+validateFkw(const FkwLayer& fkw)
 {
-    auto fail = [&](const std::string& msg) {
-        if (error != nullptr)
-            *error = msg;
-        return false;
+    auto fail = [](std::string msg) {
+        return Status(ErrorCode::kDataLoss, std::move(msg));
     };
     int npat = static_cast<int>(fkw.patterns.size());
     if (npat == 0)
@@ -302,7 +300,7 @@ validateFkw(const FkwLayer& fkw, std::string* error)
         }
         if (expect_weights != static_cast<int64_t>(fkw.weights.size()))
             return fail("weight array size mismatch (loose)");
-        return true;
+        return Status::OK();
     }
     int64_t expect_weights = 0;
     for (int64_t f = 0; f < fkw.filters; ++f)
@@ -312,7 +310,7 @@ validateFkw(const FkwLayer& fkw, std::string* error)
                               fkw.patterns[static_cast<size_t>(p)].popcount();
     if (expect_weights != static_cast<int64_t>(fkw.weights.size()))
         return fail("weight array size mismatch");
-    return true;
+    return Status::OK();
 }
 
 void
@@ -350,14 +348,11 @@ serializeFkw(const FkwLayer& fkw, std::vector<uint8_t>& out)
                     fkw.weights.size() * sizeof(float));
 }
 
-bool
-deserializeFkw(const uint8_t* data, size_t size, size_t* consumed, FkwLayer* fkw,
-               std::string* error)
+Status
+deserializeFkw(const uint8_t* data, size_t size, size_t* consumed, FkwLayer* fkw)
 {
-    auto fail = [&](const char* msg) {
-        if (error != nullptr)
-            *error = msg;
-        return false;
+    auto fail = [](const char* msg) {
+        return Status(ErrorCode::kDataLoss, msg);
     };
     ByteReader r{{data, size}};
     FkwLayer out;
@@ -412,7 +407,7 @@ deserializeFkw(const uint8_t* data, size_t size, size_t* consumed, FkwLayer* fkw
     if (consumed != nullptr)
         *consumed = r.pos;
     *fkw = std::move(out);
-    return true;
+    return Status::OK();
 }
 
 }  // namespace patdnn

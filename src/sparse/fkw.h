@@ -24,6 +24,7 @@
 #include "prune/pattern_set.h"
 #include "sparse/fkr.h"
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace patdnn {
 
@@ -94,8 +95,8 @@ FkwLayer pruneAndPack(Tensor& weight, const PatternSet& set, int64_t alpha,
 /** Reconstruct the dense OIHW weight (round-trip testing). */
 Tensor fkwToDense(const FkwLayer& fkw);
 
-/** Validate all structural invariants; false + message on corruption. */
-bool validateFkw(const FkwLayer& fkw, std::string* error = nullptr);
+/** Validate all structural invariants; kDataLoss on corruption. */
+Status validateFkw(const FkwLayer& fkw);
 
 /**
  * Append the layer's byte-level serialized form to `out`: the five FKW
@@ -108,12 +109,12 @@ void serializeFkw(const FkwLayer& fkw, std::vector<uint8_t>& out);
 
 /**
  * Parse one serialized layer from [data, data + size). On success
- * advances *consumed past the record and returns true; on a truncated
- * or malformed record returns false with a message in *error. The
- * caller should still run validateFkw() on the result (this routine
- * only checks framing, not the structural invariants).
+ * advances *consumed past the record; a truncated or malformed record
+ * returns kDataLoss. The caller should still run validateFkw() on the
+ * result (this routine only checks framing, not the structural
+ * invariants).
  */
-bool deserializeFkw(const uint8_t* data, size_t size, size_t* consumed,
-                    FkwLayer* fkw, std::string* error = nullptr);
+Status deserializeFkw(const uint8_t* data, size_t size, size_t* consumed,
+                      FkwLayer* fkw);
 
 }  // namespace patdnn

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The library-wide typed error model: `Status` for operations that
+ * either succeed or fail, `Result<T>` for operations that produce a
+ * value or fail — the v1 public-API error contract.
+ *
+ * Every public entry point that can fail for a reason the caller must
+ * handle (artifact I/O, serializer validation, serving admission, the
+ * Compiler pipeline) returns one of these instead of the pre-v1 mix of
+ * bool-plus-string-out-param, nullptr-plus-string-out-param and
+ * ad-hoc exception types. PATDNN_CHECK stays what it always was: an
+ * abort on violated *internal* invariants (library bugs), never on
+ * inputs a caller could plausibly get wrong.
+ *
+ * A Status carries three fields:
+ *   - code():    the ErrorCode category, the primary dispatch key;
+ *   - message(): a human-readable diagnostic (never for matching);
+ *   - detail():  an optional *stable machine-readable slug* ("" when
+ *     unset) distinguishing failure modes that share a category — e.g.
+ *     artifact loading reports kDataLoss for both a truncated stream
+ *     and a checksum mismatch, with detail() telling them apart (see
+ *     serve/artifact.h for the published slugs). Slugs are part of the
+ *     API contract; messages are not.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+/** Failure categories of the public API. */
+enum class ErrorCode
+{
+    kOk = 0,            ///< Not an error; Status::ok() is true.
+    kInvalidArgument,   ///< Malformed descriptor, option or input.
+    kNotFound,          ///< Missing file, unknown model name or id.
+    kDataLoss,          ///< Truncated / corrupted serialized bytes.
+    kDeviceMismatch,    ///< Artifact fingerprint incompatible with host.
+    kDeadlineExceeded,  ///< Request shed: deadline passed before dispatch.
+    kCancelled,         ///< Request removed by an explicit cancel().
+    kResourceExhausted, ///< Bounded queue / budget refused admission.
+    kUnavailable,       ///< Target shut down or I/O target unreachable.
+    kInternal,          ///< Library bug surfaced as an error.
+};
+
+/** Number of ErrorCode values (kOk included); the exhaustiveness tests
+ * iterate [0, kErrorCodeCount). */
+inline constexpr int kErrorCodeCount = 10;
+
+/** Stable snake_case name of a code ("data_loss", ...). Part of the
+ * API contract: log scrapers and tests may match on these. Unknown
+ * values (casts from bad ints) map to "unknown". */
+inline const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk:
+        return "ok";
+      case ErrorCode::kInvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::kNotFound:
+        return "not_found";
+      case ErrorCode::kDataLoss:
+        return "data_loss";
+      case ErrorCode::kDeviceMismatch:
+        return "device_mismatch";
+      case ErrorCode::kDeadlineExceeded:
+        return "deadline_exceeded";
+      case ErrorCode::kCancelled:
+        return "cancelled";
+      case ErrorCode::kResourceExhausted:
+        return "resource_exhausted";
+      case ErrorCode::kUnavailable:
+        return "unavailable";
+      case ErrorCode::kInternal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+/** Success-or-typed-failure of one operation. Default-constructed =
+ * OK. Cheap to move; the message is empty on the OK path. */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+
+    /** An error status. `code` must not be kOk (use OK()); `detail`,
+     * when given, must point at storage with static lifetime (string
+     * literals / the published slug constants). */
+    Status(ErrorCode code, std::string message, const char* detail = "")
+        : code_(code), message_(std::move(message)), detail_(detail)
+    {
+        PATDNN_CHECK(code != ErrorCode::kOk,
+                     "error Status constructed with kOk: " << message_);
+    }
+
+    static Status OK() { return Status(); }
+
+    bool ok() const { return code_ == ErrorCode::kOk; }
+    ErrorCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** Stable machine-readable slug ("" when none was attached). */
+    const char* detail() const { return detail_; }
+
+    /** "ok" or "<code name>: <message>" for logs and test output. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(errorCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::kOk;
+    std::string message_;
+    const char* detail_ = "";
+};
+
+/**
+ * Value-or-Status of one operation (expected-style). Implicitly
+ * constructible from a T (success) or a non-OK Status (failure), so
+ * `return someStatus;` and `return someValue;` both work in a
+ * Result-returning function. Accessing value() on an error aborts —
+ * callers check ok() (or use valueOr) first.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status))
+    {
+        PATDNN_CHECK(!status_.ok(), "Result constructed from an OK Status "
+                                    "without a value");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** OK() when a value is present. */
+    const Status& status() const { return status_; }
+    ErrorCode code() const { return status_.code(); }
+
+    T&
+    value() &
+    {
+        PATDNN_CHECK(ok(), "Result::value() on error: " << status_.toString());
+        return *value_;
+    }
+    const T&
+    value() const&
+    {
+        PATDNN_CHECK(ok(), "Result::value() on error: " << status_.toString());
+        return *value_;
+    }
+    T&&
+    value() &&
+    {
+        PATDNN_CHECK(ok(), "Result::value() on error: " << status_.toString());
+        return *std::move(value_);
+    }
+
+    T& operator*() & { return value(); }
+    const T& operator*() const& { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+    /** The value, or `fallback` on error (copying T). */
+    T
+    valueOr(T fallback) const&
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    Status status_;  ///< OK() iff value_ holds the value.
+    std::optional<T> value_;
+};
+
+}  // namespace patdnn
+
+/** Propagate a non-OK Status out of a Status/Result-returning function. */
+#define PATDNN_RETURN_IF_ERROR(expr)                                           \
+    do {                                                                       \
+        ::patdnn::Status status_tmp_ = (expr);                                 \
+        if (!status_tmp_.ok())                                                 \
+            return status_tmp_;                                                \
+    } while (0)

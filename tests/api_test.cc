@@ -33,8 +33,8 @@ TEST(Api, CompressThenCompileThenExecute)
     DeviceSpec dev = makeCpuDevice(4);
     CompiledLayer layer = compileLayer(d, weight, comp.pattern_set, 3.6, dev);
     ASSERT_NE(layer.engine, nullptr);
-    std::string err;
-    EXPECT_TRUE(validateFkw(*layer.fkw, &err)) << err;
+    Status valid = validateFkw(*layer.fkw);
+    EXPECT_TRUE(valid.ok()) << valid.toString();
 
     // Stage 3: execute and compare against the reference conv on the
     // same (pruned) weights.
@@ -62,6 +62,168 @@ TEST(Api, CompileLayerWithAutoTune)
     // The tuned LR must carry a legal configuration.
     EXPECT_GT(layer.lr.tuning.tile_oh, 0);
     EXPECT_GT(layer.lr.tuning.unroll_w, 0);
+}
+
+TEST(Compiler, CompileLayerMatchesFreeFunction)
+{
+    Rng rng(21);
+    ConvDesc d{"c", 8, 16, 3, 3, 12, 12, 1, 1, 1, 1};
+    Tensor weight(Shape{d.cout, d.cin, 3, 3});
+    weight.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(8);
+    DeviceSpec dev = makeCpuDevice(2);
+
+    Compiler compiler(dev);
+    Result<CompiledLayer> result = compiler.compileLayer(d, weight, set);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    CompiledLayer& layer = result.value();
+    ASSERT_NE(layer.engine, nullptr);
+    Status valid = validateFkw(*layer.fkw);
+    EXPECT_TRUE(valid.ok()) << valid.toString();
+
+    // Same deterministic pipeline as the free function.
+    CompiledLayer free_layer = compileLayer(d, weight, set, 3.6, dev);
+    EXPECT_EQ(layer.fkw->weights, free_layer.fkw->weights);
+    EXPECT_EQ(layer.fkw->index, free_layer.fkw->index);
+}
+
+TEST(Compiler, TypedErrorsInsteadOfAborts)
+{
+    DeviceSpec dev = makeCpuDevice(2);
+    Compiler compiler(dev);
+    PatternSet set = canonicalPatternSet(6);
+    Rng rng(5);
+
+    // Malformed descriptor: zero input channels.
+    ConvDesc bad_desc{"bad", 0, 8, 3, 3, 10, 10, 1, 1, 1, 1};
+    Tensor w(Shape{8, 1, 3, 3});
+    auto r1 = compiler.compileLayer(bad_desc, w, set);
+    ASSERT_FALSE(r1.ok());
+    EXPECT_EQ(r1.status().code(), ErrorCode::kInvalidArgument);
+
+    // Weight tensor that does not match the descriptor.
+    ConvDesc d{"ok", 6, 8, 3, 3, 10, 10, 1, 1, 1, 1};
+    Tensor wrong(Shape{8, 6, 5, 5});
+    auto r2 = compiler.compileLayer(d, wrong, set);
+    ASSERT_FALSE(r2.ok());
+    EXPECT_EQ(r2.status().code(), ErrorCode::kInvalidArgument);
+
+    // Empty pattern set.
+    Tensor good(Shape{d.cout, d.cin, 3, 3});
+    good.fillNormal(rng);
+    auto r3 = compiler.compileLayer(d, good, PatternSet{});
+    ASSERT_FALSE(r3.ok());
+    EXPECT_EQ(r3.status().code(), ErrorCode::kInvalidArgument);
+
+    // Pattern geometry mismatched against a 5x5 layer.
+    ConvDesc five{"five", 6, 8, 5, 5, 12, 12, 1, 2, 1, 1};
+    Tensor w5(Shape{8, 6, 5, 5});
+    w5.fillNormal(rng);
+    auto r4 = compiler.compileLayer(five, w5, set);
+    ASSERT_FALSE(r4.ok());
+    EXPECT_EQ(r4.status().code(), ErrorCode::kInvalidArgument);
+
+    // Nonsense options.
+    CompileOptions bad_opts;
+    bad_opts.connectivity_rate = -1.0;
+    auto r5 = Compiler(dev, bad_opts).compileLayer(d, good, set);
+    ASSERT_FALSE(r5.ok());
+    EXPECT_EQ(r5.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Compiler, CompileWholeModelRunsAndValidates)
+{
+    Model m("compiler-e2e", "test");
+    Layer conv;
+    conv.kind = OpKind::kConv;
+    conv.name = "c1";
+    conv.conv = ConvDesc{"c1", 3, 8, 3, 3, 8, 8, 1, 1, 1, 1};
+    m.addLayer(std::move(conv));
+    Layer fl;
+    fl.kind = OpKind::kFlatten;
+    fl.name = "flatten";
+    m.addLayer(std::move(fl));
+    Layer fc;
+    fc.kind = OpKind::kFullyConnected;
+    fc.name = "fc";
+    fc.in_features = 8 * 8 * 8;
+    fc.out_features = 4;
+    m.addLayer(std::move(fc));
+    m.randomizeWeights(7);
+
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    Compiler compiler(dev);
+    auto compiled = compiler.compile(m);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().toString();
+    Tensor in(Shape{1, 3, 8, 8});
+    Rng rng(3);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    EXPECT_EQ(compiled.value()->run(in).shape(), Shape({1, 4}));
+
+    // A malformed conv layer comes back typed instead of aborting.
+    Model bad = m;
+    bad.layers()[0].conv.groups = 5;  // 3 % 5 != 0.
+    auto rejected = compiler.compile(bad);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Compiler, TuneCacheSkipsRepeatGaRuns)
+{
+    TuneCache::instance().clear();
+    Rng rng(17);
+    ConvDesc d{"cached", 8, 16, 3, 3, 12, 12, 1, 1, 1, 1};
+    Tensor w(Shape{d.cout, d.cin, 3, 3});
+    w.fillNormal(rng);
+    PatternSet set = canonicalPatternSet(8);
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    Compiler compiler(dev);
+
+    // First auto-tuned compile pays for the GA and populates the cache.
+    auto first = compiler.compileLayer(d, w, set, /*auto_tune=*/true);
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    EXPECT_EQ(TuneCache::instance().size(), 1u);
+    int64_t hits_before = TuneCache::instance().hits();
+
+    // Repeat compile of the same shape: a cache hit, the GA skipped,
+    // and the same tuned parameters applied.
+    auto second = compiler.compileLayer(d, w, set, /*auto_tune=*/true);
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    EXPECT_EQ(TuneCache::instance().hits(), hits_before + 1);
+    EXPECT_EQ(TuneCache::instance().size(), 1u);
+    EXPECT_EQ(second.value().lr.tuning.tile_oh, first.value().lr.tuning.tile_oh);
+    EXPECT_EQ(second.value().lr.tuning.unroll_w, first.value().lr.tuning.unroll_w);
+
+    // A different shape misses (no false sharing between geometries).
+    ConvDesc other{"other", 8, 16, 3, 3, 16, 16, 1, 1, 1, 1};
+    Tensor w2(Shape{other.cout, other.cin, 3, 3});
+    w2.fillNormal(rng);
+    auto third = compiler.compileLayer(other, w2, set, /*auto_tune=*/true);
+    ASSERT_TRUE(third.ok()) << third.status().toString();
+    EXPECT_EQ(TuneCache::instance().size(), 2u);
+
+    // A different device fingerprint misses too: a tuning measured on
+    // a 2-wide pool is never silently applied to a 4-wide one.
+    Compiler wide(makeFixedWidthCpuDevice(4));
+    auto fourth = wide.compileLayer(d, w, set, /*auto_tune=*/true);
+    ASSERT_TRUE(fourth.ok()) << fourth.status().toString();
+    EXPECT_EQ(TuneCache::instance().size(), 3u);
+
+    // Whole-model compiles consult the cache through the tune_lookup
+    // plumbing: a model containing the cached shape picks up its tuned
+    // parameters without re-running the GA.
+    Model m("cache-consumer", "test");
+    Layer conv;
+    conv.kind = OpKind::kConv;
+    conv.name = "cached";
+    conv.conv = d;
+    m.addLayer(std::move(conv));
+    m.randomizeWeights(9);
+    int64_t hits_before_model = TuneCache::instance().hits();
+    auto model = compiler.compile(m);
+    ASSERT_TRUE(model.ok()) << model.status().toString();
+    EXPECT_GT(TuneCache::instance().hits(), hits_before_model);
+    TuneCache::instance().clear();
 }
 
 TEST(Api, LrReportsDeviceKind)

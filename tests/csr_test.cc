@@ -24,8 +24,8 @@ TEST(Csr, EmptyMatrix)
     Tensor w(Shape{3, 2, 3, 3});  // All zeros.
     CsrWeights csr = buildCsr(w);
     EXPECT_EQ(csr.nnz(), 0);
-    std::string err;
-    EXPECT_TRUE(validateCsr(csr, &err)) << err;
+    Status valid = validateCsr(csr);
+    EXPECT_TRUE(valid.ok()) << valid.toString();
 }
 
 TEST(Csr, IndexBytesAccounting)
@@ -45,8 +45,8 @@ TEST(Csr, ValidatorAcceptsWellFormed)
     Tensor w(Shape{5, 3, 3, 3});
     w.fillNormal(rng);
     CsrWeights csr = buildCsr(w);
-    std::string err;
-    EXPECT_TRUE(validateCsr(csr, &err)) << err;
+    Status valid = validateCsr(csr);
+    EXPECT_TRUE(valid.ok()) << valid.toString();
 }
 
 TEST(CsrFailureInjection, DetectsNonMonotonicRowPtr)
@@ -56,9 +56,10 @@ TEST(CsrFailureInjection, DetectsNonMonotonicRowPtr)
     w.fillNormal(rng);
     CsrWeights csr = buildCsr(w);
     std::swap(csr.row_ptr[1], csr.row_ptr[3]);
-    std::string err;
-    EXPECT_FALSE(validateCsr(csr, &err));
-    EXPECT_NE(err.find("monotonic"), std::string::npos);
+    Status bad = validateCsr(csr);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(bad.message().find("monotonic"), std::string::npos);
 }
 
 TEST(CsrFailureInjection, DetectsOutOfRangeColumn)
@@ -68,9 +69,10 @@ TEST(CsrFailureInjection, DetectsOutOfRangeColumn)
     w.fillNormal(rng);
     CsrWeights csr = buildCsr(w);
     csr.col_idx[0] = static_cast<int32_t>(csr.cols + 7);
-    std::string err;
-    EXPECT_FALSE(validateCsr(csr, &err));
-    EXPECT_NE(err.find("out of range"), std::string::npos);
+    Status bad = validateCsr(csr);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(bad.message().find("out of range"), std::string::npos);
 }
 
 TEST(CsrFailureInjection, DetectsTruncatedValues)
@@ -80,8 +82,9 @@ TEST(CsrFailureInjection, DetectsTruncatedValues)
     w.fillNormal(rng);
     CsrWeights csr = buildCsr(w);
     csr.values.pop_back();
-    std::string err;
-    EXPECT_FALSE(validateCsr(csr, &err));
+    Status bad = validateCsr(csr);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
 }
 
 TEST(CsrFailureInjection, DetectsBadLeadingOffset)
@@ -91,8 +94,9 @@ TEST(CsrFailureInjection, DetectsBadLeadingOffset)
     w.fillNormal(rng);
     CsrWeights csr = buildCsr(w);
     csr.row_ptr[0] = 1;
-    std::string err;
-    EXPECT_FALSE(validateCsr(csr, &err));
+    Status bad = validateCsr(csr);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
 }
 
 }  // namespace

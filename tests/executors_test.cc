@@ -120,8 +120,8 @@ TEST_P(PatternEngineSweep, MatchesReferenceOnPrunedWeights)
     fkr_opts.reorder_kernels = pc.reorder;
     FkrResult fkr = filterKernelReorder(asg, fkr_opts);
     FkwLayer fkw = buildFkw(w, set, asg, fkr);
-    std::string err;
-    ASSERT_TRUE(validateFkw(fkw, &err)) << err;
+    Status valid = validateFkw(fkw);
+    ASSERT_TRUE(valid.ok()) << valid.toString();
 
     LayerwiseRep lr;
     lr.conv = d;

@@ -31,8 +31,8 @@ makePacked(int64_t filters, int64_t channels, int64_t alpha, int npat, uint64_t 
 TEST(Fkw, TightFormatRoundTrip)
 {
     Packed p = makePacked(12, 10, 45, 8, 1);
-    std::string err;
-    ASSERT_TRUE(validateFkw(p.fkw, &err)) << err;
+    Status valid = validateFkw(p.fkw);
+    ASSERT_TRUE(valid.ok()) << valid.toString();
     EXPECT_TRUE(p.fkw.kernel_pattern.empty());  // Tight format.
     Tensor back = fkwToDense(p.fkw);
     EXPECT_EQ(Tensor::maxAbsDiff(p.weights, back), 0.0);
@@ -45,8 +45,8 @@ TEST(Fkw, LooseFormatRoundTrip)
     no_reorder.similarity_within_group = false;
     no_reorder.reorder_kernels = false;
     Packed p = makePacked(12, 10, 45, 8, 2, no_reorder);
-    std::string err;
-    ASSERT_TRUE(validateFkw(p.fkw, &err)) << err;
+    Status valid = validateFkw(p.fkw);
+    ASSERT_TRUE(valid.ok()) << valid.toString();
     EXPECT_FALSE(p.fkw.kernel_pattern.empty());  // Loose format.
     Tensor back = fkwToDense(p.fkw);
     EXPECT_EQ(Tensor::maxAbsDiff(p.weights, back), 0.0);
@@ -88,34 +88,38 @@ TEST(FkwFailureInjection, DetectsBrokenOffset)
 {
     Packed p = makePacked(8, 8, 30, 6, 6);
     p.fkw.offset[2] = p.fkw.offset[5];
-    std::string err;
-    EXPECT_FALSE(validateFkw(p.fkw, &err));
+    Status bad = validateFkw(p.fkw);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
 }
 
 TEST(FkwFailureInjection, DetectsBadReorderPermutation)
 {
     Packed p = makePacked(8, 8, 30, 6, 7);
     p.fkw.reorder[0] = p.fkw.reorder[1];
-    std::string err;
-    EXPECT_FALSE(validateFkw(p.fkw, &err));
-    EXPECT_NE(err.find("permutation"), std::string::npos);
+    Status bad = validateFkw(p.fkw);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(bad.message().find("permutation"), std::string::npos);
 }
 
 TEST(FkwFailureInjection, DetectsIndexOutOfRange)
 {
     Packed p = makePacked(8, 8, 30, 6, 8);
     p.fkw.index[0] = static_cast<int32_t>(p.fkw.in_channels + 1);
-    std::string err;
-    EXPECT_FALSE(validateFkw(p.fkw, &err));
+    Status bad = validateFkw(p.fkw);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
 }
 
 TEST(FkwFailureInjection, DetectsWeightTruncation)
 {
     Packed p = makePacked(8, 8, 30, 6, 9);
     p.fkw.weights.pop_back();
-    std::string err;
-    EXPECT_FALSE(validateFkw(p.fkw, &err));
-    EXPECT_NE(err.find("weight array"), std::string::npos);
+    Status bad = validateFkw(p.fkw);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(bad.message().find("weight array"), std::string::npos);
 }
 
 TEST(FkwFailureInjection, DetectsNonMonotonicStride)
@@ -123,8 +127,9 @@ TEST(FkwFailureInjection, DetectsNonMonotonicStride)
     Packed p = makePacked(8, 8, 30, 6, 10);
     // Corrupt a middle boundary of filter 0 upward past the next one.
     p.fkw.stride[2] = p.fkw.stride[6] + 5;
-    std::string err;
-    EXPECT_FALSE(validateFkw(p.fkw, &err));
+    Status bad = validateFkw(p.fkw);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
 }
 
 TEST(FkwSerialization, ByteRoundTripTightAndLoose)
@@ -139,12 +144,12 @@ TEST(FkwSerialization, ByteRoundTripTightAndLoose)
         serializeFkw(p.fkw, bytes);
         FkwLayer back;
         size_t consumed = 0;
-        std::string err;
-        ASSERT_TRUE(deserializeFkw(bytes.data(), bytes.size(), &consumed, &back,
-                                   &err))
-            << err;
+        Status parsed = deserializeFkw(bytes.data(), bytes.size(), &consumed,
+                                       &back);
+        ASSERT_TRUE(parsed.ok()) << parsed.toString();
         EXPECT_EQ(consumed, bytes.size());
-        ASSERT_TRUE(validateFkw(back, &err)) << err;
+        Status valid = validateFkw(back);
+        ASSERT_TRUE(valid.ok()) << valid.toString();
         EXPECT_EQ(back.offset, p.fkw.offset);
         EXPECT_EQ(back.reorder, p.fkw.reorder);
         EXPECT_EQ(back.index, p.fkw.index);
@@ -179,10 +184,9 @@ TEST(FkwSerialization, RejectsTruncatedBytes)
     for (size_t keep : {size_t(0), size_t(7), size_t(40), bytes.size() - 1}) {
         FkwLayer back;
         size_t consumed = 0;
-        std::string err;
-        EXPECT_FALSE(deserializeFkw(bytes.data(), keep, &consumed, &back, &err))
-            << keep;
-        EXPECT_FALSE(err.empty());
+        Status truncated = deserializeFkw(bytes.data(), keep, &consumed, &back);
+        ASSERT_FALSE(truncated.ok()) << keep;
+        EXPECT_EQ(truncated.code(), ErrorCode::kDataLoss) << keep;
     }
 }
 
@@ -194,9 +198,10 @@ TEST(FkwSerialization, RejectsImplausibleGeometry)
     bytes[16] = 0xFF;  // kh low byte -> absurd kernel height.
     FkwLayer back;
     size_t consumed = 0;
-    std::string err;
-    EXPECT_FALSE(deserializeFkw(bytes.data(), bytes.size(), &consumed, &back, &err));
-    EXPECT_NE(err.find("geometry"), std::string::npos);
+    Status bad = deserializeFkw(bytes.data(), bytes.size(), &consumed, &back);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(bad.message().find("geometry"), std::string::npos);
 }
 
 TEST(Fkw, PruneAndPackConvenience)
@@ -206,8 +211,8 @@ TEST(Fkw, PruneAndPackConvenience)
     w.fillNormal(rng);
     PatternSet set = canonicalPatternSet(8);
     FkwLayer fkw = pruneAndPack(w, set, 28);
-    std::string err;
-    EXPECT_TRUE(validateFkw(fkw, &err)) << err;
+    Status valid = validateFkw(fkw);
+    EXPECT_TRUE(valid.ok()) << valid.toString();
     EXPECT_EQ(fkw.kernelCount(), 28);
     // The in-place pruned dense tensor matches the unpacked FKW.
     EXPECT_EQ(Tensor::maxAbsDiff(w, fkwToDense(fkw)), 0.0);

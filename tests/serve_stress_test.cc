@@ -91,8 +91,8 @@ TEST(ServeStress, MultiModelProducersWithDeadlinesAndCancellations)
         models.push_back(std::make_shared<const CompiledModel>(
             stressModel(widths[i], 1000 + static_cast<uint64_t>(i)),
             FrameworkKind::kPatDnn, reg.device()));
-        std::string error;
-        ASSERT_TRUE(reg.add(names[i], models.back(), &error)) << error;
+        Status added = reg.add(names[i], models.back());
+        ASSERT_TRUE(added.ok()) << added.toString();
     }
 
     // Single-threaded references for every (model, input) pair the
@@ -193,14 +193,18 @@ TEST(ServeStress, MultiModelProducersWithDeadlinesAndCancellations)
                 EXPECT_FALSE(p.cancel_won)
                     << "cancel() won but the request completed";
                 ++completed[p.model];
-            } catch (const DeadlineExceededError&) {
-                EXPECT_FALSE(p.cancel_won)
-                    << "cancel() won but the request expired";
-                ++deadline[p.model];
-            } catch (const RequestCancelledError&) {
-                EXPECT_TRUE(p.cancel_won)
-                    << "request cancelled without a winning cancel()";
-                ++cancelled[p.model];
+            } catch (const ServeError& e) {
+                if (e.code() == ErrorCode::kDeadlineExceeded) {
+                    EXPECT_FALSE(p.cancel_won)
+                        << "cancel() won but the request expired";
+                    ++deadline[p.model];
+                } else if (e.code() == ErrorCode::kCancelled) {
+                    EXPECT_TRUE(p.cancel_won)
+                        << "request cancelled without a winning cancel()";
+                    ++cancelled[p.model];
+                } else {
+                    throw;  // Unexpected code: fail the test.
+                }
             }
             // Any other exception type escapes and fails the test.
         }
@@ -233,14 +237,14 @@ TEST(ServeStress, EvictionRacesSubmissions)
     ModelRegistry reg(ropts);
     auto model = std::make_shared<const CompiledModel>(
         stressModel(12, 5), FrameworkKind::kPatDnnDense, reg.device());
-    std::string error;
-    ASSERT_TRUE(reg.add("hot", model, &error)) << error;
+    Status added = reg.add("hot", model);
+    ASSERT_TRUE(added.ok()) << added.toString();
 
     std::atomic<bool> stop{false};
     std::thread flipper([&] {
         for (int i = 0; i < 6; ++i) {
             reg.evict("hot");
-            reg.add("hot", model, nullptr);
+            (void)reg.add("hot", model);
         }
         stop.store(true, std::memory_order_relaxed);
     });
@@ -255,10 +259,12 @@ TEST(ServeStress, EvictionRacesSubmissions)
         std::future<Tensor> f = reg.submit("hot", in);
         try {
             EXPECT_EQ(Tensor::maxAbsDiff(f.get(), expect), 0.0);
-        } catch (const UnknownModelError&) {
-            // Raced the evict window.
-        } catch (const std::runtime_error&) {
-            // Submitted to a server already shutting down.
+        } catch (const ServeError& e) {
+            // kNotFound: raced the evict window. kUnavailable:
+            // submitted to a server already shutting down.
+            EXPECT_TRUE(e.code() == ErrorCode::kNotFound ||
+                        e.code() == ErrorCode::kUnavailable)
+                << errorCodeName(e.code());
         }
         ++resolved;
     } while (!stop.load(std::memory_order_relaxed));

@@ -67,6 +67,18 @@ tempArtifactPath(const char* tag)
     return std::string(::testing::TempDir()) + "patdnn_" + tag + ".pdnn";
 }
 
+/** The ErrorCode a serving future failed with (kOk if it resolved). */
+ErrorCode
+futureErrorCode(std::future<Tensor>& f)
+{
+    try {
+        f.get();
+    } catch (const ServeError& e) {
+        return e.code();
+    }
+    return ErrorCode::kOk;
+}
+
 TEST(Artifact, RoundTripBitIdenticalOutputs)
 {
     Model m = tinyModel();
@@ -76,15 +88,14 @@ TEST(Artifact, RoundTripBitIdenticalOutputs)
     Tensor expect = compiled.run(in);
 
     std::vector<uint8_t> bytes = serializeModel(compiled);
-    std::string error;
-    std::shared_ptr<CompiledModel> loaded = deserializeModel(bytes, dev, &error);
-    ASSERT_NE(loaded, nullptr) << error;
-    EXPECT_EQ(loaded->kind(), FrameworkKind::kPatDnn);
-    EXPECT_EQ(loaded->nodeCount(), compiled.nodeCount());
-    EXPECT_EQ(loaded->convNonZeros(), compiled.convNonZeros());
+    Result<std::shared_ptr<CompiledModel>> loaded = deserializeModel(bytes, dev);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value()->kind(), FrameworkKind::kPatDnn);
+    EXPECT_EQ(loaded.value()->nodeCount(), compiled.nodeCount());
+    EXPECT_EQ(loaded.value()->convNonZeros(), compiled.convNonZeros());
 
     // Same FKW arrays + same engine configuration => bit-identical.
-    Tensor got = loaded->run(in);
+    Tensor got = loaded.value()->run(in);
     EXPECT_EQ(got.shape(), expect.shape());
     EXPECT_EQ(Tensor::maxAbsDiff(got, expect), 0.0);
 }
@@ -99,10 +110,10 @@ TEST(Artifact, RoundTripAllFrameworkKinds)
                       FrameworkKind::kCsrSparse, FrameworkKind::kPatDnn}) {
         CompiledModel compiled(m, kind, dev);
         Tensor expect = compiled.run(in);
-        std::string error;
-        auto loaded = deserializeModel(serializeModel(compiled), dev, &error);
-        ASSERT_NE(loaded, nullptr) << frameworkName(kind) << ": " << error;
-        EXPECT_EQ(Tensor::maxAbsDiff(loaded->run(in), expect), 0.0)
+        auto loaded = deserializeModel(serializeModel(compiled), dev);
+        ASSERT_TRUE(loaded.ok())
+            << frameworkName(kind) << ": " << loaded.status().toString();
+        EXPECT_EQ(Tensor::maxAbsDiff(loaded.value()->run(in), expect), 0.0)
             << frameworkName(kind);
     }
 }
@@ -113,12 +124,12 @@ TEST(Artifact, SaveLoadFileRoundTrip)
     DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::string path = tempArtifactPath("roundtrip");
-    std::string error;
-    ASSERT_TRUE(saveModel(compiled, path, &error)) << error;
-    std::shared_ptr<CompiledModel> loaded = loadModel(path, dev, &error);
-    ASSERT_NE(loaded, nullptr) << error;
+    Status saved = saveModel(compiled, path);
+    ASSERT_TRUE(saved.ok()) << saved.toString();
+    Result<std::shared_ptr<CompiledModel>> loaded = loadModel(path, dev);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
     Tensor in = makeInput(11);
-    EXPECT_EQ(Tensor::maxAbsDiff(loaded->run(in), compiled.run(in)), 0.0);
+    EXPECT_EQ(Tensor::maxAbsDiff(loaded.value()->run(in), compiled.run(in)), 0.0);
     std::remove(path.c_str());
 }
 
@@ -140,36 +151,48 @@ TEST(Artifact, RejectsCorruptedAndTruncatedBytes)
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::vector<uint8_t> bytes = serializeModel(compiled);
 
-    std::string error;
+    // Every rejection carries a typed code + stable detail slug — the
+    // assertions here never match message prose.
     // Bad magic.
     {
         std::vector<uint8_t> bad = bytes;
         bad[0] ^= 0xFF;
-        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr);
-        EXPECT_NE(error.find("magic"), std::string::npos) << error;
+        auto r = deserializeModel(bad, dev);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss);
+        EXPECT_STREQ(r.status().detail(), artifact_detail::kBadMagic);
     }
     // Unsupported version.
     {
         std::vector<uint8_t> bad = bytes;
         bad[4] = 0xEE;
-        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr);
-        EXPECT_NE(error.find("version"), std::string::npos) << error;
+        auto r = deserializeModel(bad, dev);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+        EXPECT_STREQ(r.status().detail(), artifact_detail::kUnsupportedVersion);
     }
     // Truncation at several depths.
     for (size_t keep : {size_t(3), size_t(15), bytes.size() / 2, bytes.size() - 1}) {
         std::vector<uint8_t> bad(bytes.begin(),
                                  bytes.begin() + static_cast<long>(keep));
-        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr) << keep;
+        auto r = deserializeModel(bad, dev);
+        ASSERT_FALSE(r.ok()) << keep;
+        EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss) << keep;
     }
     // Payload bit flips must fail the checksum.
     for (size_t at : {size_t(20), bytes.size() / 2, bytes.size() - 9}) {
         std::vector<uint8_t> bad = bytes;
         bad[at] ^= 0x01;
-        EXPECT_EQ(deserializeModel(bad, dev, &error), nullptr) << at;
-        EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+        auto r = deserializeModel(bad, dev);
+        ASSERT_FALSE(r.ok()) << at;
+        EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss) << at;
+        EXPECT_STREQ(r.status().detail(), artifact_detail::kChecksumMismatch)
+            << at;
     }
     // Missing file.
-    EXPECT_EQ(loadModel(tempArtifactPath("does_not_exist"), dev, &error), nullptr);
+    auto missing = loadModel(tempArtifactPath("does_not_exist"), dev);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), ErrorCode::kNotFound);
 }
 
 TEST(Session, SharedModelConcurrentSessionsMatchSerial)
@@ -347,11 +370,15 @@ TEST(Server, BoundedQueueRejectsWhenFull)
     std::vector<std::future<Tensor>> accepted;
     for (size_t i = 0; i < opts.max_queue; ++i) {
         std::future<Tensor> f;
-        ASSERT_TRUE(server.trySubmit(makeInput(i), &f)) << i;
+        Result<RequestId> admitted = server.trySubmit(makeInput(i), &f);
+        ASSERT_TRUE(admitted.ok()) << i << ": " << admitted.status().toString();
+        EXPECT_NE(admitted.value(), 0u);
         accepted.push_back(std::move(f));
     }
     std::future<Tensor> overflow;
-    EXPECT_FALSE(server.trySubmit(makeInput(99), &overflow));
+    Result<RequestId> refused = server.trySubmit(makeInput(99), &overflow);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), ErrorCode::kResourceExhausted);
     EXPECT_EQ(server.stats().rejected, 1);
     EXPECT_EQ(server.stats().queue_depth, opts.max_queue);
 
@@ -371,12 +398,16 @@ TEST(Server, MalformedInputFailsOnlyThatRequest)
         m, FrameworkKind::kPatDnnDense, dev);
     InferenceServer server(model);
 
-    // Rank-0 and zero-sample tensors are rejected per-request.
-    EXPECT_THROW(server.submit(Tensor()).get(), std::invalid_argument);
-    EXPECT_THROW(server.submit(Tensor(Shape{0, 3, 16, 16})).get(),
-                 std::invalid_argument);
+    // Rank-0 and zero-sample tensors are rejected per-request with a
+    // typed kInvalidArgument.
+    std::future<Tensor> bad1 = server.submit(Tensor());
+    EXPECT_EQ(futureErrorCode(bad1), ErrorCode::kInvalidArgument);
+    std::future<Tensor> bad2 = server.submit(Tensor(Shape{0, 3, 16, 16}));
+    EXPECT_EQ(futureErrorCode(bad2), ErrorCode::kInvalidArgument);
     std::future<Tensor> f;
-    EXPECT_FALSE(server.trySubmit(Tensor(), &f));
+    Result<RequestId> refused = server.trySubmit(Tensor(), &f);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), ErrorCode::kInvalidArgument);
     EXPECT_EQ(server.stats().rejected, 1);
 
     // The server keeps serving well-formed requests afterwards.
@@ -393,21 +424,27 @@ TEST(Server, SubmitAfterShutdownFails)
     InferenceServer server(model);
     server.shutdown();
     std::future<Tensor> f;
-    EXPECT_FALSE(server.trySubmit(makeInput(1), &f));
-    EXPECT_THROW(server.submit(makeInput(2)).get(), std::runtime_error);
+    Result<RequestId> refused = server.trySubmit(makeInput(1), &f);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), ErrorCode::kUnavailable);
+    std::future<Tensor> late = server.submit(makeInput(2));
+    EXPECT_EQ(futureErrorCode(late), ErrorCode::kUnavailable);
 }
 
 TEST(Server, LoadedArtifactServesBurst)
 {
-    // The full deployment path: compile -> save -> load -> serve.
+    // The full deployment path: compile -> save -> load -> serve,
+    // driven end-to-end through the Compiler + Result facade.
     Model m = tinyModel();
     DeviceSpec dev = makeFixedWidthCpuDevice(2);
-    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
+    Result<std::shared_ptr<CompiledModel>> built = Compiler(dev).compile(m);
+    ASSERT_TRUE(built.ok()) << built.status().toString();
     std::string path = tempArtifactPath("serve_e2e");
-    std::string error;
-    ASSERT_TRUE(saveModel(compiled, path, &error)) << error;
-    std::shared_ptr<CompiledModel> loaded = loadModel(path, dev, &error);
-    ASSERT_NE(loaded, nullptr) << error;
+    Status saved = saveModel(*built.value(), path);
+    ASSERT_TRUE(saved.ok()) << saved.toString();
+    Result<std::shared_ptr<CompiledModel>> load_result = loadModel(path, dev);
+    ASSERT_TRUE(load_result.ok()) << load_result.status().toString();
+    std::shared_ptr<CompiledModel> loaded = std::move(load_result).value();
     std::remove(path.c_str());
 
     auto server = serve(loaded);
@@ -449,7 +486,7 @@ TEST(Server, ExpiredDeadlineIsShedBeforeDispatch)
     std::future<Tensor> alive = server.submit(makeInput(2));
     server.start();
 
-    EXPECT_THROW(dead.get(), DeadlineExceededError);
+    EXPECT_EQ(futureErrorCode(dead), ErrorCode::kDeadlineExceeded);
     EXPECT_EQ(alive.get().shape(), Shape({1, 10}));
     server.drain();
 
@@ -479,7 +516,7 @@ TEST(Server, CancelRemovesOnlyQueuedRequests)
     EXPECT_TRUE(server.cancel(id));
     EXPECT_FALSE(server.cancel(id));   // Already removed.
     EXPECT_FALSE(server.cancel(999));  // Never issued.
-    EXPECT_THROW(f.get(), RequestCancelledError);
+    EXPECT_EQ(futureErrorCode(f), ErrorCode::kCancelled);
 
     server.start();
     RequestId id2 = 0;
@@ -642,11 +679,10 @@ TEST(Artifact, V1V2HeadersLoadWithProvenanceWarning)
 
     for (uint32_t version : {1u, 2u}) {
         std::vector<uint8_t> bytes = serializeModel(compiled, version);
-        std::string error;
         ArtifactInfo info;
-        auto loaded =
-            deserializeModel(bytes, dev, ArtifactLoadOptions{}, &error, &info);
-        ASSERT_NE(loaded, nullptr) << "v" << version << ": " << error;
+        auto loaded = deserializeModel(bytes, dev, ArtifactLoadOptions{}, &info);
+        ASSERT_TRUE(loaded.ok())
+            << "v" << version << ": " << loaded.status().toString();
         EXPECT_EQ(info.version, version);
         EXPECT_FALSE(info.has_fingerprint);
         EXPECT_FALSE(info.has_compile_opts);
@@ -657,15 +693,14 @@ TEST(Artifact, V1V2HeadersLoadWithProvenanceWarning)
                                       std::to_string(version) + ")") !=
                                    std::string::npos;
         EXPECT_TRUE(warned) << "v" << version;
-        EXPECT_EQ(Tensor::maxAbsDiff(loaded->run(in), expect), 0.0);
+        EXPECT_EQ(Tensor::maxAbsDiff(loaded.value()->run(in), expect), 0.0);
     }
     // v1 predates the ISA record entirely.
-    std::string error;
     ArtifactInfo info;
     auto v1 = deserializeModel(serializeModel(compiled, 1), dev,
-                               ArtifactLoadOptions{}, &error, &info);
-    ASSERT_NE(v1, nullptr) << error;
-    EXPECT_EQ(v1->tunedIsa(), SimdIsa::kScalar);
+                               ArtifactLoadOptions{}, &info);
+    ASSERT_TRUE(v1.ok()) << v1.status().toString();
+    EXPECT_EQ(v1.value()->tunedIsa(), SimdIsa::kScalar);
 }
 
 TEST(Artifact, RecordsCompileOptionsAndFingerprint)
@@ -678,11 +713,10 @@ TEST(Artifact, RecordsCompileOptionsAndFingerprint)
     copts.seed = 77;
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev, copts);
 
-    std::string error;
     ArtifactInfo info;
     auto loaded = deserializeModel(serializeModel(compiled), dev,
-                                   ArtifactLoadOptions{}, &error, &info);
-    ASSERT_NE(loaded, nullptr) << error;
+                                   ArtifactLoadOptions{}, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
     EXPECT_EQ(info.version, kModelArtifactVersion);
     ASSERT_TRUE(info.has_fingerprint);
     EXPECT_EQ(info.pool_width, dev.threads);
@@ -692,7 +726,7 @@ TEST(Artifact, RecordsCompileOptionsAndFingerprint)
     EXPECT_EQ(info.compile_opts.pattern_count, 6);
     EXPECT_DOUBLE_EQ(info.compile_opts.connectivity_rate, 4.25);
     EXPECT_EQ(info.compile_opts.seed, 77u);
-    EXPECT_EQ(loaded->compileOptions().pattern_count, 6);
+    EXPECT_EQ(loaded.value()->compileOptions().pattern_count, 6);
     EXPECT_TRUE(info.warnings.empty()) << info.warnings.front();
 }
 
@@ -702,22 +736,23 @@ TEST(Artifact, DeviceFingerprintMismatchDiagnostics)
     DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::vector<uint8_t> bytes = serializeModel(compiled);
-    std::string error;
 
     // Scheduling-model mismatch is always an error: the tuned plan does
-    // not transfer between CPU and GPU-like block scheduling.
+    // not transfer between CPU and GPU-like block scheduling. The
+    // rejection carries a typed code + slug, no message matching.
     DeviceSpec gpuish = makeFixedWidthCpuDevice(2);
     gpuish.gpu_like = true;
-    EXPECT_EQ(deserializeModel(bytes, gpuish, &error), nullptr);
-    EXPECT_NE(error.find("device fingerprint mismatch"), std::string::npos)
-        << error;
+    auto rejected = deserializeModel(bytes, gpuish);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), ErrorCode::kDeviceMismatch);
+    EXPECT_STREQ(rejected.status().detail(),
+                 artifact_detail::kFingerprintMismatch);
 
     // Pool-width mismatch: diagnostic warning by default...
     DeviceSpec wide = makeFixedWidthCpuDevice(dev.threads + 2);
     ArtifactInfo info;
-    auto loaded =
-        deserializeModel(bytes, wide, ArtifactLoadOptions{}, &error, &info);
-    ASSERT_NE(loaded, nullptr) << error;
+    auto loaded = deserializeModel(bytes, wide, ArtifactLoadOptions{}, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
     bool warned = false;
     for (const std::string& w : info.warnings)
         warned = warned ||
@@ -725,12 +760,14 @@ TEST(Artifact, DeviceFingerprintMismatchDiagnostics)
                         std::to_string(dev.threads)) != std::string::npos;
     EXPECT_TRUE(warned);
 
-    // ...and a string-matched rejection under strict loading.
+    // ...and a typed kDeviceMismatch rejection under strict loading.
     ArtifactLoadOptions strict;
     strict.require_matching_fingerprint = true;
-    EXPECT_EQ(deserializeModel(bytes, wide, strict, &error, nullptr), nullptr);
-    EXPECT_NE(error.find("matching fingerprint required"), std::string::npos)
-        << error;
+    auto strict_rejected = deserializeModel(bytes, wide, strict);
+    ASSERT_FALSE(strict_rejected.ok());
+    EXPECT_EQ(strict_rejected.status().code(), ErrorCode::kDeviceMismatch);
+    EXPECT_STREQ(strict_rejected.status().detail(),
+                 artifact_detail::kFingerprintMismatch);
 }
 
 TEST(Artifact, TruncatedStreamAndFlippedChecksumOnDisk)
@@ -739,8 +776,8 @@ TEST(Artifact, TruncatedStreamAndFlippedChecksumOnDisk)
     DeviceSpec dev = makeFixedWidthCpuDevice(2);
     CompiledModel compiled(m, FrameworkKind::kPatDnn, dev);
     std::string path = tempArtifactPath("negative");
-    std::string error;
-    ASSERT_TRUE(saveModelArtifact(compiled, path, &error)) << error;
+    Status saved = saveModelArtifact(compiled, path);
+    ASSERT_TRUE(saved.ok()) << saved.toString();
 
     // Pull the on-disk bytes so corrupted variants can be written back.
     std::vector<uint8_t> bytes;
@@ -761,25 +798,34 @@ TEST(Artifact, TruncatedStreamAndFlippedChecksumOnDisk)
     };
 
     // The streamed loader round-trips the pristine file.
-    ASSERT_NE(loadModelArtifact(path, dev, &error), nullptr) << error;
+    {
+        auto pristine = loadModelArtifact(path, dev);
+        ASSERT_TRUE(pristine.ok()) << pristine.status().toString();
+    }
 
-    // Truncated stream at several depths: specific diagnostic, no crash.
+    // Truncated stream at several depths: the typed truncation slug on
+    // a kDataLoss status — distinguishable from a checksum failure
+    // without reading the message.
     for (size_t keep : {size_t(3), size_t(20), bytes.size() / 2, bytes.size() - 1}) {
         write_variant({bytes.begin(), bytes.begin() + static_cast<long>(keep)});
-        EXPECT_EQ(loadModelArtifact(path, dev, &error), nullptr) << keep;
-        EXPECT_NE(error.find("truncated stream"), std::string::npos)
-            << keep << ": " << error;
+        auto r = loadModelArtifact(path, dev);
+        ASSERT_FALSE(r.ok()) << keep;
+        EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss) << keep;
+        EXPECT_STREQ(r.status().detail(), artifact_detail::kTruncatedStream)
+            << keep;
     }
 
     // One flipped checksum byte (and one flipped payload byte) fail the
-    // incremental checksum with the same diagnostic.
+    // incremental checksum with the checksum slug.
     for (size_t at : {bytes.size() - 1, bytes.size() / 2}) {
         std::vector<uint8_t> bad = bytes;
         bad[at] ^= 0x01;
         write_variant(bad);
-        EXPECT_EQ(loadModelArtifact(path, dev, &error), nullptr) << at;
-        EXPECT_NE(error.find("checksum mismatch"), std::string::npos)
-            << at << ": " << error;
+        auto r = loadModelArtifact(path, dev);
+        ASSERT_FALSE(r.ok()) << at;
+        EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss) << at;
+        EXPECT_STREQ(r.status().detail(), artifact_detail::kChecksumMismatch)
+            << at;
     }
     std::remove(path.c_str());
 }
@@ -800,11 +846,13 @@ TEST(Registry, RoutesByNameSharesPoolAndEvicts)
         m, FrameworkKind::kPatDnn, reg.device());
     auto dense = std::make_shared<const CompiledModel>(
         m, FrameworkKind::kPatDnnDense, reg.device());
-    std::string error;
-    ASSERT_TRUE(reg.add("sparse", sparse, &error)) << error;
-    ASSERT_TRUE(reg.add("dense", dense, &error)) << error;
-    EXPECT_FALSE(reg.add("dense", sparse, &error));  // Name taken.
-    EXPECT_NE(error.find("already loaded"), std::string::npos);
+    Status added = reg.add("sparse", sparse);
+    ASSERT_TRUE(added.ok()) << added.toString();
+    added = reg.add("dense", dense);
+    ASSERT_TRUE(added.ok()) << added.toString();
+    Status taken = reg.add("dense", sparse);  // Name taken.
+    ASSERT_FALSE(taken.ok());
+    EXPECT_EQ(taken.code(), ErrorCode::kInvalidArgument);
     EXPECT_EQ(reg.names(), (std::vector<std::string>{"dense", "sparse"}));
 
     // Every model in the registry executes on ONE shared compute pool.
@@ -819,14 +867,16 @@ TEST(Registry, RoutesByNameSharesPoolAndEvicts)
     EXPECT_EQ(Tensor::maxAbsDiff(reg.submit("dense", in).get(),
                                  ref_dense.run(in)),
               0.0);
-    EXPECT_THROW(reg.submit("missing", in).get(), UnknownModelError);
+    std::future<Tensor> unknown = reg.submit("missing", in);
+    EXPECT_EQ(futureErrorCode(unknown), ErrorCode::kNotFound);
     reg.drainAll();
     EXPECT_EQ(reg.stats("sparse").completed, 1);
     EXPECT_EQ(reg.stats("dense").completed, 1);
 
     EXPECT_TRUE(reg.evict("sparse"));
     EXPECT_FALSE(reg.evict("sparse"));
-    EXPECT_THROW(reg.submit("sparse", in).get(), UnknownModelError);
+    std::future<Tensor> evicted = reg.submit("sparse", in);
+    EXPECT_EQ(futureErrorCode(evicted), ErrorCode::kNotFound);
     EXPECT_EQ(reg.size(), 1u);
     reg.shutdownAll();
 }
@@ -840,16 +890,19 @@ TEST(Registry, LoadsArtifactsFromDisk)
 
     CompiledModel compiled(m, FrameworkKind::kPatDnn, reg.device());
     std::string path = tempArtifactPath("registry");
-    std::string error;
-    ASSERT_TRUE(saveModel(compiled, path, &error)) << error;
-    ASSERT_TRUE(reg.load("vgg", path, &error)) << error;
+    Status saved = saveModel(compiled, path);
+    ASSERT_TRUE(saved.ok()) << saved.toString();
+    Status loaded = reg.load("vgg", path);
+    ASSERT_TRUE(loaded.ok()) << loaded.toString();
     std::remove(path.c_str());
 
     Tensor in = makeInput(77);
     EXPECT_EQ(Tensor::maxAbsDiff(reg.submit("vgg", in).get(), compiled.run(in)),
               0.0);
-    EXPECT_FALSE(reg.load("other", path, &error));  // File already gone.
-    EXPECT_NE(error.find("cannot load 'other'"), std::string::npos);
+    Status missing = reg.load("other", path);  // File already gone.
+    ASSERT_FALSE(missing.ok());
+    // The loader's typed code propagates through the registry.
+    EXPECT_EQ(missing.code(), ErrorCode::kNotFound);
     reg.shutdownAll();
 }
 

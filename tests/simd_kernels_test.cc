@@ -499,18 +499,17 @@ TEST(SimdExecutors, ArtifactRecordsTunedIsa)
     EXPECT_EQ(model.tunedIsa(), resolveSimdOps(dev.simd_isa).isa);
 
     std::vector<uint8_t> bytes = serializeModel(model);
-    std::string error;
-    auto restored = deserializeModel(bytes, dev, &error);
-    ASSERT_NE(restored, nullptr) << error;
-    EXPECT_EQ(restored->tunedIsa(), model.tunedIsa());
+    auto restored = deserializeModel(bytes, dev);
+    ASSERT_TRUE(restored.ok()) << restored.status().toString();
+    EXPECT_EQ(restored.value()->tunedIsa(), model.tunedIsa());
 
     // A host with a different forced ISA still loads (params are
     // valid, just tuned for another vector width).
     DeviceSpec scalar_dev = makeCpuDevice(2);
     scalar_dev.simd_isa = SimdIsa::kScalar;
-    auto cross = deserializeModel(bytes, scalar_dev, &error);
-    ASSERT_NE(cross, nullptr) << error;
-    EXPECT_EQ(cross->tunedIsa(), model.tunedIsa());
+    auto cross = deserializeModel(bytes, scalar_dev);
+    ASSERT_TRUE(cross.ok()) << cross.status().toString();
+    EXPECT_EQ(cross.value()->tunedIsa(), model.tunedIsa());
 }
 
 }  // namespace

@@ -56,8 +56,8 @@ TEST_P(PipelineSweep, PipelineInvariantsHold)
     // (3) sparsity accounting.
     EXPECT_EQ(fkw.kernelCount(), alpha);
     EXPECT_EQ(pruned.countNonZero(), alpha * 4);
-    std::string err;
-    ASSERT_TRUE(validateFkw(fkw, &err)) << err;
+    Status valid = validateFkw(fkw);
+    ASSERT_TRUE(valid.ok()) << valid.toString();
 
     // (1) storage round trip.
     EXPECT_EQ(Tensor::maxAbsDiff(pruned, fkwToDense(fkw)), 0.0);

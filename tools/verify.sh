@@ -8,7 +8,10 @@
 # tier-1 against the same configuration CI uses without clobbering the
 # default build tree's cache.
 #
-# Usage: tools/verify.sh [--format-only|--no-format] [--simd-off]
+# --gate-only runs just the error-model header gate (the CI step's
+# single source of truth for that grep) and exits.
+#
+# Usage: tools/verify.sh [--format-only|--no-format|--gate-only] [--simd-off]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,16 +24,28 @@ for arg in "$@"; do
     case "${arg}" in
         --format-only) run_build=0 ;;
         --no-format)   run_format=0 ;;
+        --gate-only)   run_build=0; run_format=0 ;;
         --simd-off)
             build_dir=build-scalar
             cmake_args+=(-DPATDNN_ENABLE_SIMD=OFF)
             ;;
         *)
-            echo "usage: tools/verify.sh [--format-only|--no-format] [--simd-off]" >&2
+            echo "usage: tools/verify.sh [--format-only|--no-format|--gate-only] [--simd-off]" >&2
             exit 2
             ;;
     esac
 done
+
+# Error-model gate: the v1 public API returns patdnn::Status /
+# Result<T> (src/util/status.h); the pre-v1 `std::string* error`
+# out-param idiom must not creep back into any public header.
+echo "== error-model gate: no std::string* error out-params in src/ headers =="
+if grep -rnE 'std::string\s*\*\s*error' src --include='*.h'; then
+    echo "error: public headers must return patdnn::Status / Result<T>" \
+         "instead of bool/nullptr + std::string* error out-params" >&2
+    exit 1
+fi
+echo "error-model gate OK"
 
 if [[ ${run_format} -eq 1 ]]; then
     if command -v clang-format >/dev/null 2>&1; then
