@@ -184,6 +184,40 @@ BM_GraphOptimize(benchmark::State& state)
 }
 BENCHMARK(BM_GraphOptimize);
 
+/**
+ * The activation memory planner (rt/memplan.h) over each zoo model:
+ * times the lifetime-analysis + arena-packing pass alone (the compile
+ * stage a v4 artifact save pays), and reports the memory column —
+ * planned arena vs legacy per-layer workspace bytes at batch 1. The
+ * dense framework kind skips pruning so setup stays cheap; planning is
+ * geometry-only and identical across kinds.
+ */
+void
+BM_MemoryPlanZoo(benchmark::State& state, const char* short_name)
+{
+    Model m = buildByShortName(short_name, Dataset::kCifar10);
+    CompileOptions copts;
+    copts.enable_memory_plan = false;  // The loop runs the pass itself.
+    CompiledModel compiled(m, FrameworkKind::kTfliteLike, makeCpuDevice(1),
+                           copts);
+    std::vector<PlanNode> nodes = compiled.planNodes();
+    int output_node = compiled.outputNode();
+    MemoryPlan plan;
+    for (auto _ : state) {
+        plan = planActivations(nodes, output_node);
+        benchmark::DoNotOptimize(plan.arenaElemsPerSample());
+    }
+    state.counters["arena_kb"] =
+        static_cast<double>(plan.arenaBytes(1)) / 1024.0;
+    state.counters["legacy_kb"] =
+        static_cast<double>(plan.sumBytes(1)) / 1024.0;
+    state.counters["reduction_x"] = static_cast<double>(plan.sumBytes(1)) /
+                                    static_cast<double>(plan.arenaBytes(1));
+}
+BENCHMARK_CAPTURE(BM_MemoryPlanZoo, vgg, "VGG");
+BENCHMARK_CAPTURE(BM_MemoryPlanZoo, rnt, "RNT");
+BENCHMARK_CAPTURE(BM_MemoryPlanZoo, mbnt, "MBNT");
+
 }  // namespace
 }  // namespace patdnn
 

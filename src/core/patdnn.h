@@ -13,7 +13,11 @@
  * Deployment extends the pipeline past Fig. 5: saveModel()/loadModel()
  * freeze a CompiledModel into a distributable artifact (header v3
  * records the compile options + device fingerprint, so a mismatched
- * host gets a diagnostic instead of a failed invariant), serve()
+ * host gets a diagnostic instead of a failed invariant; v4 adds the
+ * offline activation MemoryPlan, so sessions on the serving host run
+ * out of one peak-live-sized arena — rt/memplan.h — with
+ * CompileOptions::enable_memory_plan controlling plan creation at
+ * compile time), serve()
  * stands up an async batched InferenceServer — per-request deadlines,
  * cancellation, and a linger window that coalesces sparse request
  * streams — and ModelRegistry serves several named artifacts from one

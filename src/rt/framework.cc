@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "prune/projections.h"
 #include "util/logging.h"
@@ -166,9 +167,77 @@ CompiledConvLayer::timeWithParams(const TuneParams& params, int reps) const
 // Workspace
 // ---------------------------------------------------------------------------
 
+void
+Workspace::bindPlan(const MemoryPlan* plan)
+{
+    plan_ = plan;
+    batch_ = 0;
+    arena_ = Tensor();
+    for (Tensor& v : values_)
+        v = Tensor();
+}
+
+void
+Workspace::beginRun(int64_t batch)
+{
+    if (plan_ == nullptr)
+        return;
+    PATDNN_CHECK_GT(batch, 0, "planned run needs a positive batch");
+    PATDNN_CHECK_EQ(values_.size(), plan_->slotCount(),
+                    "memory plan does not cover this graph");
+    if (batch == batch_)
+        return;
+    batch_ = batch;
+    int64_t needed = plan_->arenaElemsPerSample() * batch;
+    if (arena_.shape().rank() == 0 || arena_.numel() < needed)
+        arena_ = Tensor(Shape{needed});
+    // Every offset scales with the batch, so stale views must go.
+    for (Tensor& v : values_)
+        v = Tensor();
+}
+
+void
+Workspace::poisonFreedAfter(size_t id)
+{
+    if (!poisonFreed())
+        return;
+    constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+    for (size_t j = 0; j < plan_->slotCount(); ++j) {
+        const PlanSlot& s = plan_->slot(j);
+        if (!s.planned || s.last_use != static_cast<int>(id))
+            continue;
+        float* p = arena_.data() + s.offset_elems * batch_;
+        std::fill(p, p + s.size_elems * batch_, kNan);
+    }
+}
+
+size_t
+Workspace::activationBytes() const
+{
+    if (plan_ != nullptr)
+        return arena_.shape().rank() == 0
+                   ? 0
+                   : static_cast<size_t>(arena_.numel()) * sizeof(float);
+    size_t total = 0;
+    for (const Tensor& v : values_)
+        if (v.shape().rank() != 0)
+            total += static_cast<size_t>(v.numel()) * sizeof(float);
+    return total;
+}
+
 Tensor&
 Workspace::raw(size_t id, const Shape& shape)
 {
+    if (plan_ != nullptr && plan_->slot(id).planned) {
+        const PlanSlot& s = plan_->slot(id);
+        PATDNN_CHECK_GT(batch_, 0, "beginRun() must precede slot access");
+        PATDNN_CHECK_EQ(shape.numel(), s.size_elems * batch_,
+                        "planned slot extent mismatch for node " << id);
+        Tensor& t = values_[id];
+        if (!t.isView() || t.shape() != shape)
+            t = Tensor::view(arena_.data() + s.offset_elems * batch_, shape);
+        return t;
+    }
     Tensor& t = values_[id];
     if (t.shape() != shape) {
         // A never-used slot is rank-0 with NO storage but numel() == 1,
@@ -342,6 +411,12 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
         }
         executors_[static_cast<size_t>(n.id)] = std::move(ex);
     }
+
+    if (opts.enable_memory_plan) {
+        std::vector<PlanNode> plan_nodes = planNodes();
+        if (!plan_nodes.empty())
+            plan_ = planActivations(plan_nodes, output_node_);
+    }
 }
 
 CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
@@ -384,6 +459,79 @@ CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
     }
 }
 
+std::vector<PlanNode>
+CompiledModel::planNodes() const
+{
+    std::vector<PlanNode> nodes(executors_.size());
+    // Per-sample output shapes (leading batch dim fixed at 1), inferred
+    // in execution order. Only a conv knows the model-input geometry
+    // (its ConvDesc carries cin/h/w); any other op reading the model
+    // input directly makes shapes — and hence planning — uninferable.
+    std::vector<Shape> shapes(executors_.size());
+    for (size_t id = 0; id < executors_.size(); ++id) {
+        const auto& exp = executors_[id];
+        if (!exp)
+            continue;
+        const Executor& ex = *exp;
+        auto input_shape = [&](size_t i) -> const Shape* {
+            int src = ex.inputs[i];
+            return src < 0 ? nullptr : &shapes[static_cast<size_t>(src)];
+        };
+        Shape out;
+        switch (ex.kind) {
+          case OpKind::kConv:
+            out = Shape{1, ex.conv.cout, ex.conv.outH(), ex.conv.outW()};
+            break;
+          case OpKind::kBatchNorm:
+          case OpKind::kReLU:
+          case OpKind::kAdd: {
+            const Shape* s = input_shape(0);
+            if (s == nullptr)
+                return {};
+            out = *s;
+            break;
+          }
+          case OpKind::kMaxPool:
+          case OpKind::kAvgPool: {
+            const Shape* s = input_shape(0);
+            if (s == nullptr)
+                return {};
+            int64_t oh = (s->dim(2) - ex.pool_k) / ex.pool_stride + 1;
+            int64_t ow = (s->dim(3) - ex.pool_k) / ex.pool_stride + 1;
+            out = Shape{1, s->dim(1), oh, ow};
+            break;
+          }
+          case OpKind::kFlatten: {
+            const Shape* s = input_shape(0);
+            if (s == nullptr)
+                return {};
+            out = Shape{1, s->numel()};
+            break;
+          }
+          case OpKind::kFullyConnected:
+            out = Shape{1, ex.out_features};
+            break;
+        }
+        shapes[id] = out;
+        nodes[id].live = true;
+        nodes[id].inputs = ex.inputs;
+        nodes[id].elems_per_sample = out.numel();
+    }
+    return nodes;
+}
+
+Status
+CompiledModel::adoptMemoryPlan(MemoryPlan plan)
+{
+    std::vector<PlanNode> nodes = planNodes();
+    if (nodes.empty())
+        return Status(ErrorCode::kInvalidArgument,
+                      "memory plan: model shapes cannot be inferred");
+    PATDNN_RETURN_IF_ERROR(plan.validateAgainst(nodes, output_node_));
+    plan_ = std::move(plan);
+    return Status::OK();
+}
+
 std::vector<CompiledLayerState>
 CompiledModel::exportState() const
 {
@@ -418,6 +566,7 @@ Tensor
 CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const
 {
     ws.resize(executors_.size());
+    ws.beginRun(input.shape().dim(0));
     auto input_of = [&](const Executor& ex, int i) -> const Tensor& {
         int id = ex.inputs[static_cast<size_t>(i)];
         return id < 0 ? input : ws.value(static_cast<size_t>(id));
@@ -533,6 +682,8 @@ CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) co
             break;
           }
         }
+        if (ws.poisonFreed())
+            ws.poisonFreedAfter(id);
     }
     if (conv_ms != nullptr)
         *conv_ms = conv_total;

@@ -34,6 +34,8 @@
 #include "rt/conv_pattern.h"
 #include "rt/conv_winograd.h"
 #include "rt/device.h"
+#include "rt/memplan.h"
+#include "util/status.h"
 
 namespace patdnn {
 
@@ -61,6 +63,16 @@ struct CompileOptions
     TuneParams default_tuning;
     bool run_graph_passes = true;
     uint64_t seed = 5;
+    /**
+     * Run the offline activation-lifetime pass (rt/memplan.h) after
+     * compilation and attach the resulting single-arena MemoryPlan to
+     * the CompiledModel. Planning is geometry-only and cheap; the plan
+     * is recorded in v4 artifacts and lets sessions replace their
+     * per-layer Workspace with one arena of plan.arenaBytes(batch)
+     * (SessionMemory::kAuto picks this up automatically). Disable only
+     * to reproduce pre-plan behaviour byte-for-byte.
+     */
+    bool enable_memory_plan = true;
     /**
      * Optional per-layer tuned-parameter source consulted for each
      * conv layer at compile time (the Compiler facade wires the
@@ -104,12 +116,53 @@ struct CompiledLayerState
  * across runs. Each InferenceSession owns its own Workspace so that
  * concurrent sessions sharing one immutable CompiledModel never share
  * intermediate buffers.
+ *
+ * Two backing modes:
+ *  - per-layer (default): every slot owns its own allocation, sized on
+ *    first touch and kept across runs;
+ *  - planned (bindPlan()): slots are views into ONE 64-byte-aligned
+ *    arena laid out by an offline MemoryPlan, so the whole session
+ *    costs plan.arenaBytes(batch) — peak-live, not sum-of-layers.
  */
 class Workspace
 {
   public:
     void resize(size_t nodes) { values_.resize(nodes); }
     size_t size() const { return values_.size(); }
+
+    /**
+     * Back this workspace with an activation plan; nullptr restores
+     * per-layer mode. The plan must outlive the workspace (sessions
+     * point at their shared model's plan). Switching modes drops all
+     * cached slots.
+     */
+    void bindPlan(const MemoryPlan* plan);
+
+    /** True when slots alias a planned arena. */
+    bool planned() const { return plan_ != nullptr; }
+
+    /** Called by CompiledModel at the start of every run: sizes the
+     * arena for this batch and rebuilds slot views when the batch (and
+     * with it every scaled offset) changed. No-op in per-layer mode. */
+    void beginRun(int64_t batch);
+
+    /**
+     * Debug canary for plan correctness (used by the memplan execution
+     * tests, including under ASan/UBSan — intra-arena stale reads are
+     * invisible to ASan): when enabled, every arena range whose
+     * lifetime ends at node `id` is NaN-poisoned right after node `id`
+     * executes, so an executor that reads a freed range corrupts its
+     * output instead of silently consuming stale bytes. Planned mode
+     * only.
+     */
+    void setPoisonFreed(bool on) { poison_freed_ = on; }
+    bool poisonFreed() const { return poison_freed_ && plan_ != nullptr; }
+    void poisonFreedAfter(size_t id);
+
+    /** Bytes currently backing activations: the arena allocation in
+     * planned mode, the sum of slot allocations in per-layer mode
+     * (0 before the first run in either mode). */
+    size_t activationBytes() const;
 
     /** Slot for node id shaped to `shape` and zero-filled (executors
      * accumulate into their outputs). Reallocates only on shape change. */
@@ -124,6 +177,10 @@ class Workspace
 
   private:
     std::vector<Tensor> values_;
+    const MemoryPlan* plan_ = nullptr;  ///< Null: per-layer mode.
+    Tensor arena_;                      ///< Planned mode backing store.
+    int64_t batch_ = 0;                 ///< Batch the views were built for.
+    bool poison_freed_ = false;
 };
 
 /**
@@ -204,6 +261,32 @@ class CompiledModel
      * artifact without re-deriving it from the weights. */
     const CompileOptions& compileOptions() const { return compile_opts_; }
 
+    /**
+     * The activation MemoryPlan computed at compile time (or restored
+     * from a v4 artifact). Empty when planning was disabled, the graph
+     * shapes could not be inferred, or the model came from a pre-v4
+     * artifact — sessions then fall back to per-layer workspaces.
+     */
+    bool hasMemoryPlan() const { return !plan_.empty(); }
+    const MemoryPlan& memoryPlan() const { return plan_; }
+
+    /**
+     * Planner view of the compiled graph: per-node liveness, producer
+     * edges and per-sample output extents, derived by static shape
+     * inference over the executor list. Empty when shapes cannot be
+     * inferred (a non-conv node reads the model input directly).
+     */
+    std::vector<PlanNode> planNodes() const;
+
+    /**
+     * Validate `plan` against this model's graph and adopt it
+     * (artifact-restore path: the plan record is parsed after the
+     * layers, so it is attached after construction but before the
+     * model is shared). kInvalidArgument with a diagnostic when the
+     * plan does not fit this graph; the model is left plan-less.
+     */
+    Status adoptMemoryPlan(MemoryPlan plan);
+
   private:
     struct Executor;
     Tensor runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const;
@@ -217,6 +300,7 @@ class CompiledModel
     CompileOptions compile_opts_;
     int output_node_ = -1;
     std::vector<std::unique_ptr<Executor>> executors_;  ///< Per node id.
+    MemoryPlan plan_;  ///< Activation arena plan; may be empty.
 };
 
 /**

@@ -210,6 +210,8 @@ emitPayload(const CompiledModel& model, uint32_t version, const Emit& emit)
         buf.push_back(co.opts.tuned ? 1 : 0);
         buf.push_back(co.run_graph_passes ? 1 : 0);
         putU64(buf, co.seed);
+        if (version >= 4)
+            buf.push_back(co.enable_memory_plan ? 1 : 0);
     }
     putU32(buf, static_cast<uint32_t>(model.outputNode()));
     putU32(buf, static_cast<uint32_t>(layers.size()));
@@ -243,6 +245,30 @@ emitPayload(const CompiledModel& model, uint32_t version, const Emit& emit)
             st.fkw.reset();
             st.weight = Tensor();
             st.bias = Tensor();
+        }
+        emitBuf(emit, buf);
+    }
+
+    // Memory-plan record (version >= 4): per-slot arena placement in
+    // per-sample elements, so serving hosts skip lifetime analysis.
+    if (version >= 4) {
+        bool has_plan = model.hasMemoryPlan();
+        buf.push_back(has_plan ? 1 : 0);
+        if (has_plan) {
+            const MemoryPlan& plan = model.memoryPlan();
+            putI64(buf, plan.alignElems());
+            putI64(buf, plan.arenaElemsPerSample());
+            putI64(buf, plan.sumElemsPerSample());
+            putU32(buf, static_cast<uint32_t>(plan.slotCount()));
+            for (const PlanSlot& s : plan.slots()) {
+                buf.push_back(s.planned ? 1 : 0);
+                if (!s.planned)
+                    continue;
+                putI64(buf, s.offset_elems);
+                putI64(buf, s.size_elems);
+                putU32(buf, static_cast<uint32_t>(s.def));
+                putU32(buf, static_cast<uint32_t>(s.last_use));
+            }
         }
         emitBuf(emit, buf);
     }
@@ -296,6 +322,9 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         info->tuned_isa = tuned_isa;
 
     CompileOptions compile_opts;
+    // Pre-v4 artifacts were produced before memory planning existed;
+    // record that honestly rather than inheriting the modern default.
+    compile_opts.enable_memory_plan = false;
     if (version < 3) {
         warn(info, "artifact: pre-v3 header (version " + std::to_string(version) +
                        "): no device fingerprint or compile-option record; "
@@ -312,6 +341,8 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         compile_opts.opts.tuned = r.u8() != 0;
         compile_opts.run_graph_passes = r.u8() != 0;
         compile_opts.seed = r.u64();
+        if (version >= 4)
+            compile_opts.enable_memory_plan = r.u8() != 0;
         if (!r.ok)
             return fail("artifact: truncated provenance record");
         if (pool_width < 1 || pool_width > 4096 ||
@@ -423,14 +454,54 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         if (!plausibleLayer(st))
             return fail("artifact: implausible layer geometry");
     }
+    // Memory-plan record (version >= 4). Framing plausibility here;
+    // the aliasing-safety validation happens against the restored graph
+    // below, once the model exists.
+    bool has_plan = false;
+    MemoryPlan plan;
+    if (version >= 4) {
+        has_plan = r.u8() != 0;
+        if (has_plan) {
+            int64_t align_elems = r.i64();
+            int64_t arena_elems = r.i64();
+            int64_t sum_elems = r.i64();
+            uint32_t n_slots = r.u32();
+            if (!r.ok || align_elems < 1 || align_elems > 4096 ||
+                arena_elems < 0 || sum_elems < 0 || n_slots != n_layers)
+                return fail("artifact: bad memory-plan header");
+            std::vector<PlanSlot> slots(n_slots);
+            for (uint32_t id = 0; id < n_slots; ++id) {
+                PlanSlot& s = slots[id];
+                s.planned = r.u8() != 0;
+                if (!s.planned)
+                    continue;
+                s.offset_elems = r.i64();
+                s.size_elems = r.i64();
+                s.def = static_cast<int>(r.u32());
+                s.last_use = static_cast<int>(r.u32());
+            }
+            if (!r.ok)
+                return fail("artifact: truncated memory-plan record");
+            plan = MemoryPlan(std::move(slots), arena_elems, sum_elems,
+                              align_elems);
+        }
+    }
     if (r.pos != r.size)
         return fail("artifact: trailing bytes in payload");
     if (!layers[static_cast<size_t>(output_node)].live)
         return fail("artifact: output node is not a live layer");
 
-    return std::make_shared<CompiledModel>(kind, device, std::move(layers),
-                                           output_node, tuned_isa,
-                                           std::move(compile_opts));
+    auto model = std::make_shared<CompiledModel>(kind, device, std::move(layers),
+                                                 output_node, tuned_isa,
+                                                 std::move(compile_opts));
+    if (has_plan) {
+        Status adopted = model->adoptMemoryPlan(std::move(plan));
+        if (!adopted.ok())
+            return Status(ErrorCode::kDataLoss,
+                          "artifact: invalid memory plan: " + adopted.message(),
+                          artifact_detail::kBadMemoryPlan);
+    }
+    return model;
 }
 
 Status

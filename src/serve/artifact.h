@@ -21,6 +21,15 @@
  * FKW storage via sparse/fkw.h's byte-level serializer and are
  * re-validated with validateFkw() on load.
  *
+ * Version 4 memory plan: the payload ends with the model's activation
+ * MemoryPlan (rt/memplan.h) — per-slot arena offsets/sizes/lifetimes in
+ * per-sample float elements — so a serving host gets the planned-arena
+ * session footprint without re-running lifetime analysis. The restored
+ * plan is re-validated against the restored graph on load
+ * (CompiledModel::adoptMemoryPlan); an inconsistent plan is kDataLoss
+ * with the kBadMemoryPlan slug. v1–v3 artifacts load plan-less and
+ * sessions over them fall back to per-layer workspaces.
+ *
  * Version 3 provenance: the header records what produced the artifact
  * (pool width, GPU-like scheduling flag, tile budget, pattern count,
  * connectivity rates, optimization switches, seed), so a serving host
@@ -64,13 +73,15 @@ inline constexpr char kTruncatedStream[] = "artifact/truncated-stream";
 inline constexpr char kChecksumMismatch[] = "artifact/checksum-mismatch";
 inline constexpr char kMalformedPayload[] = "artifact/malformed-payload";
 inline constexpr char kFingerprintMismatch[] = "artifact/fingerprint-mismatch";
+inline constexpr char kBadMemoryPlan[] = "artifact/bad-memory-plan";
 }  // namespace artifact_detail
 
 /** Artifact format version written by serializeModel. Version 2 added
  * the tuned-ISA field; version 3 the device fingerprint and compile
- * option record. v1/v2 artifacts still load (with a provenance
- * warning; ISA assumed scalar for v1). */
-constexpr uint32_t kModelArtifactVersion = 3;
+ * option record; version 4 the activation memory plan. v1–v3 artifacts
+ * still load (plan-less; with a provenance warning pre-v3, ISA assumed
+ * scalar for v1). */
+constexpr uint32_t kModelArtifactVersion = 4;
 
 /** Load-time strictness knobs. */
 struct ArtifactLoadOptions

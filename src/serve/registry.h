@@ -10,7 +10,11 @@
  * construction and every loaded model is compiled/restored against a
  * copy of that spec, so N models cost one set of compute workers
  * instead of N (the per-server *serving* workers are cheap: they
- * block in the queue, the compute pool does the math).
+ * block in the queue, the compute pool does the math). Each worker's
+ * session follows ServerOptions::session_memory — models restored
+ * from v4 artifacts run out of a planned activation arena, so the
+ * per-worker memory cost of holding many models stays at peak-live
+ * size rather than sum-of-layers.
  *
  * Eviction shuts the model's server down (outstanding futures resolve
  * or fail per the server's shutdown contract) and drops the registry's

@@ -291,7 +291,7 @@ InferenceServer::popBatch()
 void
 InferenceServer::workerLoop()
 {
-    InferenceSession session(model_);
+    InferenceSession session(model_, opts_.session_memory);
     for (;;) {
         std::vector<Request> batch = popBatch();
         if (batch.empty())

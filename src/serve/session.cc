@@ -5,10 +5,16 @@
 
 namespace patdnn {
 
-InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model)
+InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
+                                   SessionMemory memory)
     : model_(std::move(model))
 {
     PATDNN_CHECK(model_ != nullptr, "session needs a model");
+    if (memory == SessionMemory::kPlannedArena)
+        PATDNN_CHECK(model_->hasMemoryPlan(),
+                     "planned-arena session requires a model memory plan");
+    if (memory != SessionMemory::kPerLayer && model_->hasMemoryPlan())
+        workspace_.bindPlan(&model_->memoryPlan());
 }
 
 Tensor

@@ -8,6 +8,14 @@
  * latency bookkeeping. This is the serving-side answer to model-size
  * pressure: N concurrent streams cost one copy of the weights and N
  * copies of the (much smaller) activations.
+ *
+ * When the model carries an activation MemoryPlan (rt/memplan.h —
+ * compiled with CompileOptions::enable_memory_plan, or restored from a
+ * v4 artifact), a session's activations collapse further: one arena of
+ * plan.arenaBytes(batch) sized by peak LIVE memory instead of one
+ * allocation per layer, which is what lets a host hold many more
+ * concurrent sessions per GB. Planned and per-layer execution are
+ * bit-exact against each other (tests/memplan_exec_test.cc).
  */
 #pragma once
 
@@ -26,6 +34,19 @@ struct SessionStats
     double total_ms = 0.0;     ///< Wall-clock summed over run() calls.
 };
 
+/** Activation-memory strategy for a session. */
+enum class SessionMemory
+{
+    /// Planned arena when the model carries a MemoryPlan, else
+    /// per-layer. The default: artifacts with plans get the small
+    /// footprint, everything else keeps working.
+    kAuto,
+    /// Require the model's plan (CHECK-aborts when absent).
+    kPlannedArena,
+    /// Legacy per-layer Workspace allocations, even when a plan exists.
+    kPerLayer,
+};
+
 /**
  * A single inference stream over a shared compiled model. Not
  * thread-safe itself (one stream = one caller), but any number of
@@ -34,10 +55,23 @@ struct SessionStats
 class InferenceSession
 {
   public:
-    explicit InferenceSession(std::shared_ptr<const CompiledModel> model);
+    explicit InferenceSession(std::shared_ptr<const CompiledModel> model,
+                              SessionMemory memory = SessionMemory::kAuto);
 
     /** Run one NCHW batch through the shared model. */
     Tensor run(const Tensor& input);
+
+    /** True when activations live in a single planned arena. */
+    bool usesPlannedArena() const { return workspace_.planned(); }
+
+    /** Bytes currently backing this session's activations (0 before
+     * the first run). Planned sessions report the arena; per-layer
+     * sessions the sum of their slot allocations. */
+    size_t activationBytes() const { return workspace_.activationBytes(); }
+
+    /** Debug canary (tests): NaN-poison freed arena ranges between
+     * layers to surface any executor reading recycled memory. */
+    void setDebugPoisonFreed(bool on) { workspace_.setPoisonFreed(on); }
 
     const SessionStats& stats() const { return stats_; }
     const CompiledModel& model() const { return *model_; }

@@ -36,25 +36,63 @@ Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape)
     data_.assign(values.begin(), values.end());
 }
 
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_)
+{
+    // Copying a view materializes owned storage: values handed out of
+    // an arena-backed workspace must survive the arena's next reuse.
+    if (other.ext_ != nullptr)
+        data_.assign(other.ext_, other.ext_ + other.numel());
+    else
+        data_ = other.data_;
+}
+
+Tensor&
+Tensor::operator=(const Tensor& other)
+{
+    if (this == &other)
+        return *this;
+    shape_ = other.shape_;
+    ext_ = nullptr;
+    if (other.ext_ != nullptr)
+        data_.assign(other.ext_, other.ext_ + other.numel());
+    else
+        data_ = other.data_;
+    return *this;
+}
+
+Tensor
+Tensor::view(float* data, Shape shape)
+{
+    PATDNN_CHECK(data != nullptr, "tensor view needs storage");
+    PATDNN_CHECK_GT(shape.rank(), 0, "tensor view needs a shaped extent");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.ext_ = data;
+    return t;
+}
+
 void
 Tensor::fill(float v)
 {
-    for (auto& x : data_)
-        x = v;
+    float* p = data();
+    for (size_t i = 0, n = storageElems(); i < n; ++i)
+        p[i] = v;
 }
 
 void
 Tensor::fillNormal(Rng& rng, float mean, float stddev)
 {
-    for (auto& x : data_)
-        x = rng.normal(mean, stddev);
+    float* p = data();
+    for (size_t i = 0, n = storageElems(); i < n; ++i)
+        p[i] = rng.normal(mean, stddev);
 }
 
 void
 Tensor::fillUniform(Rng& rng, float lo, float hi)
 {
-    for (auto& x : data_)
-        x = rng.uniform(lo, hi);
+    float* p = data();
+    for (size_t i = 0, n = storageElems(); i < n; ++i)
+        p[i] = rng.uniform(lo, hi);
 }
 
 void
@@ -68,9 +106,10 @@ Tensor::fillHe(Rng& rng, int64_t fan_in)
 int64_t
 Tensor::countNonZero() const
 {
+    const float* p = data();
     int64_t n = 0;
-    for (float x : data_)
-        if (x != 0.0f)
+    for (size_t i = 0, e = storageElems(); i < e; ++i)
+        if (p[i] != 0.0f)
             ++n;
     return n;
 }
@@ -78,9 +117,10 @@ Tensor::countNonZero() const
 double
 Tensor::normSq() const
 {
+    const float* p = data();
     double s = 0.0;
-    for (float x : data_)
-        s += static_cast<double>(x) * x;
+    for (size_t i = 0, e = storageElems(); i < e; ++i)
+        s += static_cast<double>(p[i]) * p[i];
     return s;
 }
 

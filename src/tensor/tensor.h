@@ -17,7 +17,14 @@
 
 namespace patdnn {
 
-/** Owning dense float tensor. Copyable (deep) and movable. */
+/** Owning dense float tensor. Copyable (deep) and movable.
+ *
+ * A Tensor can also be a non-owning *view* over caller-managed storage
+ * (Tensor::view()): same API, no allocation. Views exist for planned
+ * workspaces, whose activation slots alias one session arena
+ * (rt/memplan.h). Copying a view materializes an owning deep copy, so
+ * a value copied out of an arena-backed workspace never dangles when
+ * the arena is reused. */
 class Tensor
 {
   public:
@@ -29,35 +36,51 @@ class Tensor
     /** Allocate and fill from values (size must match shape.numel()). */
     Tensor(Shape shape, std::vector<float> values);
 
+    Tensor(const Tensor& other);             ///< Deep copy (views materialize).
+    Tensor& operator=(const Tensor& other);  ///< Deep copy (views materialize).
+    Tensor(Tensor&&) noexcept = default;
+    Tensor& operator=(Tensor&&) noexcept = default;
+    ~Tensor() = default;
+
+    /**
+     * Non-owning view of shape.numel() floats at `data`, which must
+     * outlive the view and every move of it. The caller is responsible
+     * for alignment (arena views are 64-byte aligned by construction).
+     */
+    static Tensor view(float* data, Shape shape);
+
+    /** True when this tensor aliases external storage. */
+    bool isView() const { return ext_ != nullptr; }
+
     const Shape& shape() const { return shape_; }
     int64_t numel() const { return shape_.numel(); }
 
-    float* data() { return data_.data(); }
-    const float* data() const { return data_.data(); }
+    float* data() { return ext_ != nullptr ? ext_ : data_.data(); }
+    const float* data() const { return ext_ != nullptr ? ext_ : data_.data(); }
 
-    float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-    float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+    float& operator[](int64_t i) { return data()[static_cast<size_t>(i)]; }
+    float operator[](int64_t i) const { return data()[static_cast<size_t>(i)]; }
 
     /** Element access for rank-4 tensors (bounds unchecked in release). */
     float&
     at4(int64_t a, int64_t b, int64_t c, int64_t d)
     {
-        return data_[static_cast<size_t>(
+        return data()[static_cast<size_t>(
             ((a * shape_.dim(1) + b) * shape_.dim(2) + c) * shape_.dim(3) + d)];
     }
 
     float
     at4(int64_t a, int64_t b, int64_t c, int64_t d) const
     {
-        return data_[static_cast<size_t>(
+        return data()[static_cast<size_t>(
             ((a * shape_.dim(1) + b) * shape_.dim(2) + c) * shape_.dim(3) + d)];
     }
 
     /** Element access for rank-2 tensors. */
-    float& at2(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * shape_.dim(1) + c)]; }
+    float& at2(int64_t r, int64_t c) { return data()[static_cast<size_t>(r * shape_.dim(1) + c)]; }
     float at2(int64_t r, int64_t c) const
     {
-        return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+        return data()[static_cast<size_t>(r * shape_.dim(1) + c)];
     }
 
     /** Set every element to v. */
@@ -85,7 +108,17 @@ class Tensor
     void reshape(Shape shape);
 
   private:
+    /** Elements actually backed by storage: a default (rank-0) tensor
+     * reports numel() == 1 but owns nothing, so fills and reductions
+     * must size themselves off the storage, not the shape. */
+    size_t storageElems() const
+    {
+        return ext_ != nullptr ? static_cast<size_t>(shape_.numel())
+                               : data_.size();
+    }
+
     Shape shape_;
+    float* ext_ = nullptr;  ///< Non-null: view over external storage.
     // 64-byte alignment keeps SIMD loads in the microkernels aligned.
     struct AlignedAllocator
     {

@@ -1,0 +1,228 @@
+/** @file Memory-plan execution conformance.
+ *
+ * The planner's static invariants (tests/memplan_test.cc) say nothing
+ * about whether the *runtime* honors them — an executor that caches a
+ * pointer, reads an input after writing its output's aliased range, or
+ * sizes a view wrong would pass every static check and still corrupt
+ * activations. So this suite runs every zoo model through a planned
+ * (single-arena) session and a legacy per-layer session on identical
+ * inputs and requires bit-exact (memcmp) agreement — at batch 1 and a
+ * multi-sample batch, under the vector and forced-scalar kernel paths,
+ * and with the NaN poison canary filling freed arena ranges between
+ * layers (any executor touching recycled memory surfaces as a NaN in
+ * the diff). Also pins the headline footprint win: peak-live arena vs
+ * per-layer sum on the ResNet-class model.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/patdnn.h"
+
+namespace patdnn {
+namespace {
+
+Tensor
+cifarInput(uint64_t seed, int64_t n)
+{
+    Tensor in(Shape{n, 3, 32, 32});
+    Rng rng(seed);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    return in;
+}
+
+/** Bit-exact: memcmp, not a tolerance — planned execution must be the
+ * SAME computation, only at different addresses. */
+void
+expectBitExact(const Tensor& got, const Tensor& want, const std::string& what)
+{
+    ASSERT_EQ(got.shape(), want.shape()) << what;
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          static_cast<size_t>(want.numel()) * sizeof(float)),
+              0)
+        << what << ": planned output differs from per-layer output "
+        << "(maxAbsDiff=" << Tensor::maxAbsDiff(got, want) << ")";
+}
+
+/** Compile each (model, kind, ISA) once per process: the zoo compiles
+ * (pattern pruning + packing) dominate suite wall-clock — especially
+ * under the sanitizer CI cell — and every test reads the shared model
+ * immutably, which is the serving contract anyway. */
+std::shared_ptr<const CompiledModel>
+compileZoo(const std::string& short_name, FrameworkKind kind,
+           const DeviceSpec& dev)
+{
+    static std::map<std::string, std::shared_ptr<const CompiledModel>> cache;
+    std::string key = short_name + "/" + std::to_string(static_cast<int>(kind)) +
+                      "/" + std::to_string(static_cast<int>(dev.simd_isa));
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    Model m = buildByShortName(short_name, Dataset::kCifar10);
+    auto compiled = std::make_shared<const CompiledModel>(m, kind, dev);
+    cache.emplace(std::move(key), compiled);
+    return compiled;
+}
+
+/** Planned vs per-layer differential over one shared model. */
+void
+runDifferential(std::shared_ptr<const CompiledModel> model,
+                const std::string& what)
+{
+    ASSERT_TRUE(model->hasMemoryPlan()) << what;
+    InferenceSession legacy(model, SessionMemory::kPerLayer);
+    InferenceSession planned(model, SessionMemory::kPlannedArena);
+    EXPECT_FALSE(legacy.usesPlannedArena());
+    EXPECT_TRUE(planned.usesPlannedArena());
+
+    for (int64_t batch : {int64_t{1}, int64_t{3}}) {
+        Tensor in = cifarInput(77 + static_cast<uint64_t>(batch), batch);
+        Tensor want = legacy.run(in);
+        Tensor got = planned.run(in);
+        expectBitExact(got, want,
+                       what + " batch " + std::to_string(batch));
+    }
+    // The arena really is one allocation of plan size, scaled by the
+    // largest batch run so far.
+    EXPECT_EQ(planned.activationBytes(), model->memoryPlan().arenaBytes(3));
+    EXPECT_LE(planned.activationBytes(), legacy.activationBytes());
+}
+
+TEST(MemPlanExec, VggPatternBitExact)
+{
+    runDifferential(compileZoo("VGG", FrameworkKind::kPatDnn, makeCpuDevice(2)),
+                    "VGG/kPatDnn");
+}
+
+TEST(MemPlanExec, VggDenseBitExact)
+{
+    runDifferential(
+        compileZoo("VGG", FrameworkKind::kPatDnnDense, makeCpuDevice(2)),
+        "VGG/kPatDnnDense");
+}
+
+TEST(MemPlanExec, ResNetPatternBitExact)
+{
+    runDifferential(compileZoo("RNT", FrameworkKind::kPatDnn, makeCpuDevice(2)),
+                    "RNT/kPatDnn");
+}
+
+TEST(MemPlanExec, MobileNetPatternBitExact)
+{
+    runDifferential(compileZoo("MBNT", FrameworkKind::kPatDnn, makeCpuDevice(2)),
+                    "MBNT/kPatDnn");
+}
+
+TEST(MemPlanExec, ScalarKernelsBitExact)
+{
+    // Force the scalar kernel table: the planned path must be exact on
+    // both SIMD cells, not just whichever this host dispatches to.
+    DeviceSpec dev = makeCpuDevice(2);
+    dev.simd_isa = SimdIsa::kScalar;
+    runDifferential(compileZoo("VGG", FrameworkKind::kPatDnn, dev),
+                    "VGG/kPatDnn/scalar");
+}
+
+TEST(MemPlanExec, PoisonCanaryFindsNoStaleReads)
+{
+    // NaN-fill every freed arena range between layers: an executor that
+    // reads a value past its last_use consumes NaN, which propagates to
+    // the output and breaks the memcmp. Bit-exact here means no
+    // executor touches recycled memory. (Runs under the ASan/UBSan CI
+    // job too, where the poison writes also exercise range bounds.)
+    auto model = compileZoo("RNT", FrameworkKind::kPatDnn, makeCpuDevice(2));
+    ASSERT_TRUE(model->hasMemoryPlan());
+    InferenceSession legacy(model, SessionMemory::kPerLayer);
+    InferenceSession canary(model, SessionMemory::kPlannedArena);
+    canary.setDebugPoisonFreed(true);
+    for (int64_t batch : {int64_t{1}, int64_t{2}}) {
+        Tensor in = cifarInput(31 + static_cast<uint64_t>(batch), batch);
+        expectBitExact(canary.run(in), legacy.run(in),
+                       "RNT poison canary batch " + std::to_string(batch));
+    }
+}
+
+TEST(MemPlanExec, ArenaIsAtMost60PercentOfPerLayerOnResNet)
+{
+    // The acceptance bar from the planner's reason to exist: deep nets
+    // with short-lived intermediates should pack into well under the
+    // per-layer sum. ResNet-50's 100+ activations reuse a handful of
+    // arena ranges.
+    auto model = compileZoo("RNT", FrameworkKind::kPatDnn, makeCpuDevice(2));
+    ASSERT_TRUE(model->hasMemoryPlan());
+    const MemoryPlan& plan = model->memoryPlan();
+    EXPECT_LE(plan.arenaBytes(1), plan.sumBytes(1) * 6 / 10)
+        << "arena " << plan.arenaBytes(1) << " B vs per-layer "
+        << plan.sumBytes(1) << " B";
+}
+
+TEST(MemPlanExec, AutoModePicksArenaWhenPlanExists)
+{
+    auto model = compileZoo("MBNT", FrameworkKind::kPatDnn, makeCpuDevice(2));
+    InferenceSession auto_session(model);  // kAuto default.
+    EXPECT_TRUE(auto_session.usesPlannedArena());
+
+    // Planning disabled at compile time -> kAuto falls back per-layer.
+    Model m = buildByShortName("MBNT", Dataset::kCifar10);
+    CompileOptions no_plan;
+    no_plan.enable_memory_plan = false;
+    auto unplanned = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnn, makeCpuDevice(2), no_plan);
+    EXPECT_FALSE(unplanned->hasMemoryPlan());
+    InferenceSession fallback(unplanned);
+    Tensor out = fallback.run(cifarInput(5, 1));
+    EXPECT_FALSE(fallback.usesPlannedArena());
+    EXPECT_EQ(out.shape(), Shape({1, 10}));
+}
+
+TEST(MemPlanExec, ConcurrentPlannedSessionsAreIndependent)
+{
+    // Sessions share the model but each owns its arena; concurrent
+    // planned runs must not interfere (the serving workers' shape).
+    auto model = compileZoo("VGG", FrameworkKind::kPatDnn, makeCpuDevice(2));
+    InferenceSession reference(model, SessionMemory::kPerLayer);
+    std::vector<Tensor> inputs, expected;
+    for (uint64_t s = 0; s < 4; ++s) {
+        inputs.push_back(cifarInput(100 + s, 1));
+        expected.push_back(reference.run(inputs.back()));
+    }
+    std::vector<Tensor> got(inputs.size());
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < inputs.size(); ++i)
+        threads.emplace_back([&, i] {
+            InferenceSession session(model, SessionMemory::kPlannedArena);
+            got[i] = session.run(inputs[i]);
+        });
+    for (std::thread& t : threads)
+        t.join();
+    for (size_t i = 0; i < inputs.size(); ++i)
+        expectBitExact(got[i], expected[i],
+                       "concurrent session " + std::to_string(i));
+}
+
+TEST(MemPlanExec, OutputSurvivesNextRun)
+{
+    // The returned tensor must be an owning copy, not a view into the
+    // arena the next run overwrites.
+    auto model = compileZoo("MBNT", FrameworkKind::kPatDnn, makeCpuDevice(2));
+    InferenceSession planned(model, SessionMemory::kPlannedArena);
+    InferenceSession legacy(model, SessionMemory::kPerLayer);
+    Tensor in_a = cifarInput(1, 1);
+    Tensor in_b = cifarInput(2, 1);
+    Tensor out_a = planned.run(in_a);
+    Tensor out_a_copy = out_a;  // Snapshot before the arena is reused.
+    Tensor out_b = planned.run(in_b);
+    expectBitExact(out_a, out_a_copy, "first output after second run");
+    // Both outputs stay individually correct: neither is a live view
+    // into the (now twice-recycled) arena.
+    expectBitExact(out_a, legacy.run(in_a), "first output vs per-layer");
+    expectBitExact(out_b, legacy.run(in_b), "second output vs per-layer");
+}
+
+}  // namespace
+}  // namespace patdnn

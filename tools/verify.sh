@@ -6,7 +6,10 @@
 # build directory (build-scalar/), so developers on machines without
 # AVX2 — and anyone reproducing the CI matrix's scalar cell — run
 # tier-1 against the same configuration CI uses without clobbering the
-# default build tree's cache.
+# default build tree's cache. The memory-planner suites (memplan_test,
+# memplan_exec_test) run in both cells: planned-arena execution must be
+# bit-exact against per-layer execution on the vector AND scalar kernel
+# paths.
 #
 # --gate-only runs just the error-model header gate (the CI step's
 # single source of truth for that grep) and exits.
