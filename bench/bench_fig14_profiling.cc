@@ -9,6 +9,11 @@
  * (b) Register load counts per unique VGG layer before and after
  *     load redundancy elimination (analytic model over the executed
  *     plan; see src/rt/load_analysis.*).
+ * (c) Whole-model per-layer time attribution from the runtime's own
+ *     RunProfile (obs/profile.h), cross-checked against this harness's
+ *     external wall-clock timer: the profile must account for the
+ *     model run within 10% (CHECK-enforced), so the Fig. 14-style
+ *     breakdown tables the runtime reports can be trusted.
  */
 #include <algorithm>
 
@@ -92,6 +97,44 @@ main()
                                  2) + "x"});
         }
         t.print();
+    }
+
+    // --- (c) runtime per-layer profile vs harness timer ---
+    {
+        std::printf("\n--- (c) whole-model per-layer profile (VGG-16, pattern "
+                    "engine) ---\n");
+        Model m = buildVGG16(Dataset::kCifar10);
+        CompiledModel compiled(m, FrameworkKind::kPatDnn, makeCpuDevice(4));
+        Workspace ws;
+        Rng rng(14);
+        Tensor in(Shape{1, 3, 32, 32});
+        in.fillUniform(rng, -1.0f, 1.0f);
+        compiled.run(in, ws);  // Warm caches and the workspace.
+
+        RunProfile merged;
+        double harness_ms = 0.0;
+        for (int i = 0; i < bench::reps(); ++i) {
+            RunProfile p;
+            Timer t;
+            compiled.run(in, ws, &p);
+            harness_ms += t.elapsedMs();
+            merged.merge(p);
+        }
+        std::printf("%s", merged.renderTable().c_str());
+
+        // The profile's per-layer sum must account for the harness's
+        // external wall clock: everything outside the per-node timing
+        // (workspace prep, output copy) is supposed to be noise. This
+        // pins the attribution numbers the runtime reports.
+        double profile_ms = static_cast<double>(merged.totalNs()) / 1e6;
+        double covered = harness_ms > 0.0 ? profile_ms / harness_ms : 0.0;
+        std::printf("profile total %.3f ms vs harness timer %.3f ms "
+                    "(%.1f%% attributed)\n",
+                    profile_ms, harness_ms, 100.0 * covered);
+        PATDNN_CHECK(covered > 0.90 && covered < 1.10,
+                     "RunProfile disagrees with the harness timer by more "
+                     "than 10%: " << profile_ms << " vs " << harness_ms
+                     << " ms");
     }
     return 0;
 }

@@ -218,6 +218,57 @@ BENCHMARK_CAPTURE(BM_MemoryPlanZoo, vgg, "VGG");
 BENCHMARK_CAPTURE(BM_MemoryPlanZoo, rnt, "RNT");
 BENCHMARK_CAPTURE(BM_MemoryPlanZoo, mbnt, "MBNT");
 
+/**
+ * Raw cost of one TraceSpan (obs/trace.h) in each runtime state:
+ * dormant (compiled in, collection off — one relaxed atomic load) vs
+ * live (two clock reads + a ring write). In PATDNN_ENABLE_TRACING=OFF
+ * builds both are an empty object and time the loop itself.
+ */
+void
+BM_TraceSpan(benchmark::State& state, bool live)
+{
+    Tracer::setEnabled(live);
+    for (auto _ : state) {
+        TraceSpan span("bench.span", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+    Tracer::setEnabled(false);
+    state.SetLabel(!Tracer::compiledIn() ? "compiled-out"
+                                         : (live ? "live" : "dormant"));
+}
+BENCHMARK_CAPTURE(BM_TraceSpan, dormant, false);
+BENCHMARK_CAPTURE(BM_TraceSpan, live, true);
+
+/**
+ * The tracing overhead guard (observability acceptance gate): a full
+ * zoo forward pass with the tracer live vs dormant. The live/dormant
+ * ratio must stay within the noise — tools/bench_diff.py only compares
+ * orders, and CI runs both cells, so a hot-path regression that makes
+ * tracing expensive flips the order against BM_TraceOverheadZoo/off
+ * and fails the baseline diff. Locally: the two medians should agree
+ * within ~3%.
+ */
+void
+BM_TraceOverheadZoo(benchmark::State& state, bool live)
+{
+    Model m = buildVGG16(Dataset::kCifar10);
+    CompiledModel compiled(m, FrameworkKind::kPatDnnDense, makeCpuDevice(4));
+    Workspace ws;
+    Rng rng(8);
+    Tensor in(Shape{1, 3, 32, 32});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    Tracer::setEnabled(live);
+    for (auto _ : state) {
+        Tensor out = compiled.run(in, ws);
+        benchmark::DoNotOptimize(out.data());
+    }
+    Tracer::setEnabled(false);
+    state.SetLabel(!Tracer::compiledIn() ? "compiled-out"
+                                         : (live ? "live" : "dormant"));
+}
+BENCHMARK_CAPTURE(BM_TraceOverheadZoo, off, false);
+BENCHMARK_CAPTURE(BM_TraceOverheadZoo, on, true);
+
 }  // namespace
 }  // namespace patdnn
 

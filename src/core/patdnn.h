@@ -40,6 +40,9 @@
 #include "graph/builder.h"
 #include "graph/passes.h"
 #include "nn/zoo.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "prune/admm.h"
 #include "prune/pruners.h"
 #include "rt/framework.h"

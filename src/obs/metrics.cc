@@ -1,0 +1,366 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+double
+histogramBucketUpper(size_t i)
+{
+    if (i + 1 >= kHistogramBuckets)
+        return std::numeric_limits<double>::infinity();
+    return kHistogramBase * std::pow(kHistogramGrowth, static_cast<double>(i));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+size_t
+bucketIndex(double v)
+{
+    // Geometric layout: log-time lookup beats a 72-step linear scan and
+    // keeps record() branch-light.
+    if (!(v > kHistogramBase))  // Also catches NaN and negatives.
+        return 0;
+    double idx = std::log(v / kHistogramBase) / std::log(kHistogramGrowth);
+    size_t i = static_cast<size_t>(idx) + 1;  // v > upper(i-1), candidate i.
+    // Float slop: walk to the first bucket whose upper bound covers v.
+    while (i < kHistogramBuckets - 1 && v > histogramBucketUpper(i))
+        ++i;
+    while (i > 0 && v <= histogramBucketUpper(i - 1))
+        --i;
+    return std::min(i, kHistogramBuckets - 1);
+}
+
+/** CAS-raise (or -lower) an atomic double. */
+template <typename Cmp>
+void
+atomicExtreme(std::atomic<double>& cell, double v, Cmp better)
+{
+    double cur = cell.load(std::memory_order_relaxed);
+    while (better(v, cur) &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+}  // namespace
+
+void
+Histogram::record(double v)
+{
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // First writer seeds min/max; the seed races are benign because the
+    // sentinel (0-with-no-samples) is replaced before has_samples_ flips.
+    if (!has_samples_.load(std::memory_order_acquire)) {
+        double expected = 0.0;
+        min_.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+        expected = 0.0;
+        max_.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+        has_samples_.store(true, std::memory_order_release);
+    }
+    atomicExtreme(min_, v, [](double a, double b) { return a < b; });
+    atomicExtreme(max_, v, [](double a, double b) { return a > b; });
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        s.count += s.buckets[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    if (s.count > 0) {
+        s.min = min_.load(std::memory_order_relaxed);
+        s.max = max_.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+HistogramSnapshot
+Histogram::collectAndReset()
+{
+    HistogramSnapshot s;
+    // Conservation is on COUNTS: bucket drains are exchanges, so every
+    // recorded sample's count lands in exactly one collected snapshot.
+    // min/max racing a concurrent record may attribute that sample's
+    // extreme to the next snapshot — reporting fuzz only, never a lost
+    // or double-counted sample.
+    s.min = min_.exchange(0.0, std::memory_order_relaxed);
+    s.max = max_.exchange(0.0, std::memory_order_relaxed);
+    has_samples_.store(false, std::memory_order_release);
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        s.buckets[i] = buckets_[i].exchange(0, std::memory_order_relaxed);
+        s.count += s.buckets[i];
+    }
+    s.sum = sum_.exchange(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    if (s.count == 0) {
+        s.min = 0.0;
+        s.max = 0.0;
+    }
+    return s;
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    double rank = p / 100.0 * static_cast<double>(count);
+    int64_t cum = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (static_cast<double>(cum + buckets[i]) >= rank) {
+            double lo = i == 0 ? 0.0 : histogramBucketUpper(i - 1);
+            double hi = histogramBucketUpper(i);
+            if (!std::isfinite(hi))
+                return max;  // Overflow bucket: best answer is the max.
+            double frac = (rank - static_cast<double>(cum)) /
+                          static_cast<double>(buckets[i]);
+            double v = lo + (hi - lo) * frac;
+            return std::clamp(v, min, max);
+        }
+        cum += buckets[i];
+    }
+    return max;
+}
+
+Percentiles
+HistogramSnapshot::percentiles() const
+{
+    Percentiles q;
+    q.p50 = percentile(50.0);
+    q.p90 = percentile(90.0);
+    q.p99 = percentile(99.0);
+    q.p999 = percentile(99.9);
+    return q;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot& other)
+{
+    if (other.count == 0)
+        return;
+    for (size_t i = 0; i < kHistogramBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    // Leaked: worker threads may record during static destruction.
+    static MetricsRegistry* reg = new MetricsRegistry();
+    return *reg;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    Slot& slot = metrics_[name];
+    if (!slot.counter && !slot.gauge && !slot.histogram) {
+        slot.kind = MetricKind::kCounter;
+        slot.counter = std::make_unique<Counter>();
+    }
+    PATDNN_CHECK(slot.kind == MetricKind::kCounter,
+                 "metric '" << name << "' already registered as a different kind");
+    return *slot.counter;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    Slot& slot = metrics_[name];
+    if (!slot.counter && !slot.gauge && !slot.histogram) {
+        slot.kind = MetricKind::kGauge;
+        slot.gauge = std::make_unique<Gauge>();
+    }
+    PATDNN_CHECK(slot.kind == MetricKind::kGauge,
+                 "metric '" << name << "' already registered as a different kind");
+    return *slot.gauge;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    Slot& slot = metrics_[name];
+    if (!slot.counter && !slot.gauge && !slot.histogram) {
+        slot.kind = MetricKind::kHistogram;
+        slot.histogram = std::make_unique<Histogram>();
+    }
+    PATDNN_CHECK(slot.kind == MetricKind::kHistogram,
+                 "metric '" << name << "' already registered as a different kind");
+    return *slot.histogram;
+}
+
+std::vector<MetricValue>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<MetricValue> out;
+    out.reserve(metrics_.size());
+    for (const auto& [name, slot] : metrics_) {  // std::map: sorted by name.
+        MetricValue v;
+        v.name = name;
+        v.kind = slot.kind;
+        switch (slot.kind) {
+          case MetricKind::kCounter: v.counter = slot.counter->value(); break;
+          case MetricKind::kGauge: v.gauge = slot.gauge->value(); break;
+          case MetricKind::kHistogram:
+            v.histogram = slot.histogram->snapshot();
+            break;
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string
+MetricsRegistry::renderText() const
+{
+    std::ostringstream os;
+    for (const MetricValue& m : snapshot()) {
+        switch (m.kind) {
+          case MetricKind::kCounter:
+            os << "counter " << m.name << " " << m.counter << "\n";
+            break;
+          case MetricKind::kGauge:
+            os << "gauge " << m.name << " " << formatDouble(m.gauge) << "\n";
+            break;
+          case MetricKind::kHistogram: {
+            Percentiles q = m.histogram.percentiles();
+            os << "histogram " << m.name << " count " << m.histogram.count
+               << " sum " << formatDouble(m.histogram.sum) << " min "
+               << formatDouble(m.histogram.min) << " max "
+               << formatDouble(m.histogram.max) << " p50 "
+               << formatDouble(q.p50) << " p90 " << formatDouble(q.p90)
+               << " p99 " << formatDouble(q.p99) << " p999 "
+               << formatDouble(q.p999) << "\n";
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    // Metric names are caller-chosen identifiers (no quotes/control
+    // chars in practice), but escape defensively anyway.
+    auto esc = [](const std::string& s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    std::vector<MetricValue> all = snapshot();
+    std::ostringstream os;
+    auto emit_section = [&](const char* title, MetricKind kind,
+                            auto&& emit_value) {
+        os << "\"" << title << "\":{";
+        bool first = true;
+        for (const MetricValue& m : all) {
+            if (m.kind != kind)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << esc(m.name) << "\":";
+            emit_value(m);
+        }
+        os << "}";
+    };
+    os << "{";
+    emit_section("counters", MetricKind::kCounter,
+                 [&](const MetricValue& m) { os << m.counter; });
+    os << ",";
+    emit_section("gauges", MetricKind::kGauge,
+                 [&](const MetricValue& m) { os << formatDouble(m.gauge); });
+    os << ",";
+    emit_section("histograms", MetricKind::kHistogram, [&](const MetricValue& m) {
+        Percentiles q = m.histogram.percentiles();
+        os << "{\"count\":" << m.histogram.count
+           << ",\"sum\":" << formatDouble(m.histogram.sum)
+           << ",\"min\":" << formatDouble(m.histogram.min)
+           << ",\"max\":" << formatDouble(m.histogram.max)
+           << ",\"p50\":" << formatDouble(q.p50)
+           << ",\"p90\":" << formatDouble(q.p90)
+           << ",\"p99\":" << formatDouble(q.p99)
+           << ",\"p999\":" << formatDouble(q.p999) << ",\"buckets\":[";
+        bool first = true;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (m.histogram.buckets[i] == 0)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            double upper = histogramBucketUpper(i);
+            os << "[" << (std::isfinite(upper) ? formatDouble(upper) : "1e308")
+               << "," << m.histogram.buckets[i] << "]";
+        }
+        os << "]}";
+    });
+    os << "}";
+    return os.str();
+}
+
+void
+MetricsRegistry::resetAllForTest()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto& [name, slot] : metrics_) {
+        (void)name;
+        switch (slot.kind) {
+          case MetricKind::kCounter: slot.counter->resetForTest(); break;
+          case MetricKind::kGauge: slot.gauge->resetForTest(); break;
+          case MetricKind::kHistogram: slot.histogram->resetForTest(); break;
+        }
+    }
+}
+
+}  // namespace patdnn

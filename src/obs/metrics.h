@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Low-overhead process metrics: counters, gauges and fixed-bucket
+ * histograms behind a process-wide registry.
+ *
+ * The paper's evaluation is built on attributable numbers (per-layer
+ * breakdowns, queue/batching behaviour); this is the runtime half of
+ * that story. Every metric is a lock-free atomic cell — recording a
+ * sample is a handful of relaxed atomic ops, cheap enough for the
+ * serving hot path — while snapshot/reset/export take no lock over the
+ * writers either (reset drains each cell with an atomic exchange, so
+ * counts are conserved across concurrent writers; see
+ * HistogramSnapshot::merge and the stress tests).
+ *
+ * Registry contract: MetricsRegistry::global() hands out stable
+ * references — a registered metric is never destroyed or moved for the
+ * life of the process, so hot paths may cache `Counter&` in a static
+ * and skip the name lookup. resetAllForTest() zeroes values but keeps
+ * every registration (and its address) intact.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace patdnn {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void resetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (plus a high-water helper). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    /** Raise the gauge to v if v is larger (high-water marks). */
+    void setMax(double v)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+            ;
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void resetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Bucket layout shared by every Histogram (fixed at compile time so
+ * snapshots from different histograms merge without negotiation):
+ * geometric upper bounds from kBucketBase growing by kBucketGrowth per
+ * bucket, final bucket unbounded. Sized for latencies in milliseconds
+ * (1 us .. ~2 min) but unit-agnostic. */
+constexpr size_t kHistogramBuckets = 72;
+constexpr double kHistogramBase = 1e-3;
+constexpr double kHistogramGrowth = 1.3;
+
+/** Upper bound of bucket i (inclusive); +inf for the last bucket. */
+double histogramBucketUpper(size_t i);
+
+/** A point-in-time copy of a histogram's state; mergeable. */
+struct HistogramSnapshot
+{
+    std::array<int64_t, kHistogramBuckets> buckets{};
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0.
+    double max = 0.0;
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+    /**
+     * The p-th percentile (p in [0,100]) estimated by linear
+     * interpolation inside the owning bucket, clamped to the observed
+     * [min, max]; 0 for an empty snapshot. Accuracy is bounded by the
+     * bucket growth factor (~30% worst case inside one bucket).
+     */
+    double percentile(double p) const;
+
+    /** p50/p90/p99/p999 in one call (the serving-stats quad). */
+    Percentiles percentiles() const;
+
+    /** Accumulate another snapshot into this one. */
+    void merge(const HistogramSnapshot& other);
+};
+
+/**
+ * Fixed-bucket histogram with lock-free record(). snapshot() is a
+ * consistent-enough read for reporting (relaxed loads may miss
+ * in-flight records); collectAndReset() drains via atomic exchange, so
+ * every recorded sample lands in exactly one collected snapshot even
+ * under concurrent writers.
+ */
+class Histogram
+{
+  public:
+    void record(double v);
+
+    HistogramSnapshot snapshot() const;
+
+    /** Atomically drain this histogram into a snapshot (counts are
+     * conserved: sample counts land in exactly one drain). The min/max
+     * of the returned snapshot cover everything drained by it. */
+    HistogramSnapshot collectAndReset();
+
+    void resetForTest() { (void)collectAndReset(); }
+
+  private:
+    std::array<std::atomic<int64_t>, kHistogramBuckets> buckets_{};
+    std::atomic<int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};  ///< Valid only while count_ > 0.
+    std::atomic<double> max_{0.0};
+    std::atomic<bool> has_samples_{false};
+};
+
+/** What kind of metric a registry name resolves to. */
+enum class MetricKind
+{
+    kCounter,
+    kGauge,
+    kHistogram,
+};
+
+/** One exported metric in a registry snapshot. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    int64_t counter = 0;           ///< kCounter.
+    double gauge = 0.0;            ///< kGauge.
+    HistogramSnapshot histogram;   ///< kHistogram.
+};
+
+/**
+ * Process-wide name -> metric table. Lookup takes a mutex (cache the
+ * returned reference on hot paths); recording through the returned
+ * handles is lock-free. Re-requesting a name returns the same object;
+ * requesting an existing name as a different kind aborts (names are
+ * one flat namespace, as in every metrics pipeline).
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& global();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** All registered metrics, sorted by name. */
+    std::vector<MetricValue> snapshot() const;
+
+    /** One `<kind> <name> <value...>` line per metric (human/greppable). */
+    std::string renderText() const;
+
+    /** JSON object {"counters":{...},"gauges":{...},"histograms":{...}}. */
+    std::string renderJson() const;
+
+    /** Zero every metric, keeping all registrations (and addresses). */
+    void resetAllForTest();
+
+  private:
+    struct Slot
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Slot> metrics_;
+};
+
+}  // namespace patdnn

@@ -1,0 +1,89 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace patdnn {
+
+int64_t
+RunProfile::totalNs() const
+{
+    int64_t total = 0;
+    for (const RunProfileEntry& e : entries)
+        total += e.total_ns;
+    return total;
+}
+
+void
+RunProfile::prepare(size_t nodes)
+{
+    if (entries.size() != nodes)
+        entries.resize(nodes);
+}
+
+void
+RunProfile::reset()
+{
+    for (RunProfileEntry& e : entries) {
+        e.bytes = 0;
+        e.calls = 0;
+        e.total_ns = 0;
+        e.max_ns = 0;
+    }
+    runs = 0;
+    wall_ns = 0;
+}
+
+void
+RunProfile::merge(const RunProfile& other)
+{
+    if (other.entries.empty() && other.runs == 0)
+        return;
+    if (entries.empty())
+        entries.resize(other.entries.size());
+    PATDNN_CHECK_EQ(entries.size(), other.entries.size(),
+                    "RunProfile::merge needs profiles over the same graph");
+    for (size_t i = 0; i < entries.size(); ++i) {
+        RunProfileEntry& e = entries[i];
+        const RunProfileEntry& o = other.entries[i];
+        if (o.calls == 0)
+            continue;
+        if (e.name.empty()) {
+            e.name = o.name;
+            e.kind = o.kind;
+            e.isa = o.isa;
+        }
+        e.bytes += o.bytes;
+        e.calls += o.calls;
+        e.total_ns += o.total_ns;
+        e.max_ns = std::max(e.max_ns, o.max_ns);
+    }
+    runs += other.runs;
+    wall_ns += other.wall_ns;
+}
+
+std::string
+RunProfile::renderTable() const
+{
+    Table t({"Layer", "Kind", "ISA", "Calls", "MB/call", "Total ms", "Max ms",
+             "%"});
+    double total = static_cast<double>(totalNs());
+    for (const RunProfileEntry& e : entries) {
+        if (e.calls == 0)
+            continue;
+        double mb_per_call = static_cast<double>(e.bytes) /
+                             static_cast<double>(e.calls) / (1024.0 * 1024.0);
+        t.addRow({e.name, e.kind, e.isa, std::to_string(e.calls),
+                  Table::num(mb_per_call, 2), Table::num(e.totalMs(), 3),
+                  Table::num(static_cast<double>(e.max_ns) / 1e6, 3),
+                  Table::num(total > 0.0
+                                 ? 100.0 * static_cast<double>(e.total_ns) / total
+                                 : 0.0,
+                             1)});
+    }
+    return t.render();
+}
+
+}  // namespace patdnn

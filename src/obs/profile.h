@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-run layerwise execution profile — the Fig. 14-style breakdown as
+ * a first-class runtime object instead of a one-off bench printout.
+ *
+ * The run loop (rt/framework.cc) fills a RunProfile when the caller
+ * passes one: per graph node it accumulates the layer name, executor
+ * kind, kernel ISA, bytes touched, call count and total/max wall time.
+ * InferenceSession keeps one per session (lastRunProfile()), and
+ * bench_fig14_profiling cross-checks the accumulated totals against
+ * its own timers so the instrumented path can never silently diverge
+ * from the published figure.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace patdnn {
+
+/** Accumulated execution stats for one graph node. */
+struct RunProfileEntry
+{
+    std::string name;     ///< Layer name (ConvDesc name or op kind + id).
+    std::string kind;     ///< Executor kind ("pattern", "im2col", "pool"...).
+    std::string isa;      ///< Kernel ISA ("avx2"/"neon"/"scalar", "-" = none).
+    int64_t bytes = 0;    ///< Bytes touched, summed over calls (in+out+weights).
+    int64_t calls = 0;
+    int64_t total_ns = 0;
+    int64_t max_ns = 0;
+
+    double totalMs() const { return static_cast<double>(total_ns) / 1e6; }
+};
+
+/**
+ * Layerwise profile over one or more runs. Entries are indexed by graph
+ * node id (dead slots keep calls == 0 and are skipped when rendering).
+ */
+struct RunProfile
+{
+    std::vector<RunProfileEntry> entries;
+    int64_t runs = 0;      ///< Whole-model runs accumulated.
+    int64_t wall_ns = 0;   ///< End-to-end run-loop time, summed over runs.
+
+    bool empty() const { return runs == 0; }
+
+    /** Sum of per-entry total_ns (<= wall_ns; the gap is inter-layer
+     * glue, which the fig14 cross-check bounds). */
+    int64_t totalNs() const;
+
+    /** Size the entry table for a graph (keeps existing labels/stats). */
+    void prepare(size_t nodes);
+
+    /** Zero all accumulated numbers, keeping labels (cheap per-run reset). */
+    void reset();
+
+    /** Accumulate another profile over the same graph. */
+    void merge(const RunProfile& other);
+
+    /**
+     * Fig. 14-style table: Layer | Kind | ISA | Calls | MB/call |
+     * Total ms | Max ms | % of layer time. Rendered via util/table.
+     */
+    std::string renderTable() const;
+};
+
+}  // namespace patdnn

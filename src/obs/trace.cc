@@ -1,0 +1,233 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace patdnn {
+
+namespace {
+
+/**
+ * One thread's event ring. The owning thread writes under `mutex`
+ * (uncontended except while a collector is reading, so the lock is a
+ * couple of uncontended atomic ops on the hot path); collect()/clear()
+ * lock each ring briefly. A shared_ptr keeps the ring alive — and its
+ * contents collectable — after the owning thread exits.
+ */
+struct TraceRing
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> events;  ///< Fixed storage of `capacity`.
+    size_t capacity = 0;
+    size_t next = 0;       ///< Next write index.
+    bool wrapped = false;  ///< True once the ring has overwritten.
+    uint32_t tid = 0;
+};
+
+struct TraceState
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<TraceRing>> rings;
+    uint32_t next_tid = 1;
+    std::atomic<size_t> ring_capacity{Tracer::kDefaultRingCapacity};
+    std::atomic<bool> enabled{false};
+};
+
+TraceState&
+state()
+{
+    // Leaked: spans may fire during static destruction of other TUs.
+    static TraceState* s = new TraceState();
+    return *s;
+}
+
+TraceRing&
+localRing()
+{
+    thread_local std::shared_ptr<TraceRing> ring = [] {
+        auto r = std::make_shared<TraceRing>();
+        TraceState& st = state();
+        r->capacity =
+            std::max<size_t>(16, st.ring_capacity.load(std::memory_order_relaxed));
+        r->events.resize(r->capacity);
+        std::lock_guard<std::mutex> lk(st.mutex);
+        r->tid = st.next_tid++;
+        st.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+void
+appendEvent(TraceRing& ring, const TraceEvent& ev)
+{
+    std::lock_guard<std::mutex> lk(ring.mutex);
+    ring.events[ring.next] = ev;
+    ring.next = (ring.next + 1) % ring.capacity;
+    if (ring.next == 0)
+        ring.wrapped = true;
+}
+
+std::string
+escapeJson(const char* s)
+{
+    std::string out;
+    for (; *s != '\0'; ++s) {
+        unsigned char c = static_cast<unsigned char>(*s);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += static_cast<char>(c);
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+bool
+Tracer::runtimeEnabled()
+{
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    if (!compiledIn())
+        return;
+    state().enabled.store(on, std::memory_order_relaxed);
+}
+
+int64_t
+Tracer::nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+Tracer::emitSpan(const char* name, const char* cat, int64_t ts_ns,
+                 int64_t dur_ns, const char* arg_name, int64_t arg_value)
+{
+    if (!enabled())
+        return;
+    TraceRing& ring = localRing();
+    TraceEvent ev;
+    std::strncpy(ev.name, name != nullptr ? name : "", TraceEvent::kMaxName - 1);
+    ev.name[TraceEvent::kMaxName - 1] = '\0';
+    ev.cat = cat != nullptr ? cat : "";
+    ev.ts_ns = ts_ns;
+    ev.dur_ns = dur_ns < 0 ? 0 : dur_ns;
+    ev.tid = ring.tid;
+    ev.arg_name = arg_name;
+    ev.arg_value = arg_value;
+    appendEvent(ring, ev);
+}
+
+void
+Tracer::setRingCapacity(size_t events)
+{
+    state().ring_capacity.store(std::max<size_t>(16, events),
+                                std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    TraceState& st = state();
+    std::vector<std::shared_ptr<TraceRing>> rings;
+    {
+        std::lock_guard<std::mutex> lk(st.mutex);
+        rings = st.rings;
+    }
+    for (auto& ring : rings) {
+        std::lock_guard<std::mutex> lk(ring->mutex);
+        ring->next = 0;
+        ring->wrapped = false;
+    }
+}
+
+std::vector<TraceEvent>
+Tracer::collect()
+{
+    TraceState& st = state();
+    std::vector<std::shared_ptr<TraceRing>> rings;
+    {
+        std::lock_guard<std::mutex> lk(st.mutex);
+        rings = st.rings;
+    }
+    std::vector<TraceEvent> out;
+    for (auto& ring : rings) {
+        std::lock_guard<std::mutex> lk(ring->mutex);
+        // Oldest-first: [next, capacity) when wrapped, then [0, next).
+        if (ring->wrapped)
+            out.insert(out.end(), ring->events.begin() + ring->next,
+                       ring->events.end());
+        out.insert(out.end(), ring->events.begin(),
+                   ring->events.begin() + ring->next);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.ts_ns != b.ts_ns)
+                             return a.ts_ns < b.ts_ns;
+                         // Parents before children at equal start times.
+                         return a.dur_ns > b.dur_ns;
+                     });
+    return out;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream& os)
+{
+    std::vector<TraceEvent> events = collect();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // Chrome trace timestamps are microseconds (fractions allowed).
+        os << "{\"name\":\"" << escapeJson(ev.name) << "\",\"cat\":\""
+           << escapeJson(ev.cat) << "\",\"ph\":\"X\",\"ts\":"
+           << static_cast<double>(ev.ts_ns) / 1e3
+           << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3
+           << ",\"pid\":1,\"tid\":" << ev.tid;
+        if (ev.arg_name != nullptr)
+            os << ",\"args\":{\"" << escapeJson(ev.arg_name)
+               << "\":" << ev.arg_value << "}";
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Status
+Tracer::writeChromeTrace(const std::string& path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return Status(ErrorCode::kUnavailable,
+                      "cannot open trace output file: " + path);
+    writeChromeTrace(os);
+    os.flush();
+    if (!os)
+        return Status(ErrorCode::kUnavailable,
+                      "failed writing trace output file: " + path);
+    return Status::OK();
+}
+
+}  // namespace patdnn

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prune/projections.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -189,8 +191,14 @@ Workspace::beginRun(int64_t batch)
         return;
     batch_ = batch;
     int64_t needed = plan_->arenaElemsPerSample() * batch;
-    if (arena_.shape().rank() == 0 || arena_.numel() < needed)
+    if (arena_.shape().rank() == 0 || arena_.numel() < needed) {
         arena_ = Tensor(Shape{needed});
+        // Reference cached: the registry lookup (mutex + map) must not
+        // recur on the run path; registered metrics never move.
+        static Gauge& arena_hwm =
+            MetricsRegistry::global().gauge("rt.arena_hwm_bytes");
+        arena_hwm.setMax(static_cast<double>(needed) * sizeof(float));
+    }
     // Every offset scales with the batch, so stale views must go.
     for (Tensor& v : values_)
         v = Tensor();
@@ -283,6 +291,13 @@ struct CompiledModel::Executor
     std::unique_ptr<Im2colConv> im2col;
     std::unique_ptr<WinogradConv> winograd;
     std::unique_ptr<CsrConv> csr;
+
+    // Attribution strings for RunProfile rows and trace spans,
+    // precomputed at compile/restore time (labelExecutor) so the run
+    // loop never formats on the hot path.
+    std::string label;             ///< "conv1_1" or "maxpool#4".
+    const char* kind_name = "?";   ///< Engine actually executing.
+    const char* isa_name = "-";    ///< Kernel-table ISA ("-": no table).
 };
 
 CompiledModel::~CompiledModel() = default;
@@ -329,6 +344,41 @@ CompiledModel::attachConvEngines(Executor& ex) const
             ex.naive = std::make_unique<NaiveConv>(ex.conv, &ex.weight, device_);
         }
         break;
+    }
+}
+
+void
+CompiledModel::labelExecutor(Executor& ex, size_t id) const
+{
+    if (ex.kind == OpKind::kConv && !ex.conv.name.empty())
+        ex.label = ex.conv.name;
+    else
+        ex.label = opKindName(ex.kind) + "#" + std::to_string(id);
+    switch (ex.kind) {
+      case OpKind::kConv:
+        if (ex.pattern) {
+            ex.kind_name = "pattern";
+        } else if (ex.csr) {
+            ex.kind_name = "csr";
+        } else if (ex.naive) {
+            ex.kind_name = "naive";
+        } else if (ex.winograd && ex.winograd->usesWinograd()) {
+            ex.kind_name = "winograd";
+        } else if (ex.im2col) {
+            ex.kind_name = "im2col";
+        }
+        // Only the sparse engines dispatch through the SIMD kernel
+        // tables; the dense baselines run scalar/engine-internal code.
+        if (ex.pattern || ex.csr)
+            ex.isa_name = isaName(resolveSimdOps(device_.simd_isa).isa);
+        break;
+      case OpKind::kBatchNorm:      ex.kind_name = "bn"; break;
+      case OpKind::kReLU:           ex.kind_name = "relu"; break;
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool:        ex.kind_name = "pool"; break;
+      case OpKind::kAdd:            ex.kind_name = "add"; break;
+      case OpKind::kFlatten:        ex.kind_name = "flatten"; break;
+      case OpKind::kFullyConnected: ex.kind_name = "fc"; break;
     }
 }
 
@@ -409,6 +459,7 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
             ex->weight = n.bn_scale;
             ex->bias = n.bn_shift;
         }
+        labelExecutor(*ex, static_cast<size_t>(n.id));
         executors_[static_cast<size_t>(n.id)] = std::move(ex);
     }
 
@@ -416,6 +467,15 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
         std::vector<PlanNode> plan_nodes = planNodes();
         if (!plan_nodes.empty())
             plan_ = planActivations(plan_nodes, output_node_);
+    }
+    if (!plan_.empty()) {
+        // Most-recent-compile planner quality, for dashboards/tests.
+        MetricsRegistry& reg = MetricsRegistry::global();
+        reg.gauge("memplan.arena_kb_per_sample")
+            .set(static_cast<double>(plan_.arenaBytes(1)) / 1024.0);
+        reg.gauge("memplan.reuse_x")
+            .set(static_cast<double>(plan_.sumElemsPerSample()) /
+                 static_cast<double>(plan_.arenaElemsPerSample()));
     }
 }
 
@@ -455,6 +515,7 @@ CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
                 ex->weight = fkwToDense(*ex->fkw);
             attachConvEngines(*ex);
         }
+        labelExecutor(*ex, id);
         executors_[id] = std::move(ex);
     }
 }
@@ -563,10 +624,22 @@ CompiledModel::exportState() const
 }
 
 Tensor
-CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const
+CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms,
+                         RunProfile* profile) const
 {
+    static Counter& model_runs =
+        MetricsRegistry::global().counter("rt.model_runs");
+    model_runs.inc();
+    const int64_t batch = input.shape().dim(0);
+    TraceSpan run_span("model.run", "rt", "batch", batch);
+    // Per-node timing is paid only when someone is looking: a profile
+    // was requested or the tracer is live.
+    const bool timing = profile != nullptr || Tracer::enabled();
+    const int64_t run_start_ns = timing ? Tracer::nowNs() : 0;
+    if (profile != nullptr)
+        profile->prepare(executors_.size());
     ws.resize(executors_.size());
-    ws.beginRun(input.shape().dim(0));
+    ws.beginRun(batch);
     auto input_of = [&](const Executor& ex, int i) -> const Tensor& {
         int id = ex.inputs[static_cast<size_t>(i)];
         return id < 0 ? input : ws.value(static_cast<size_t>(id));
@@ -578,6 +651,7 @@ CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) co
             continue;
         const Executor& ex = *exp;
         const Tensor& x = input_of(ex, 0);
+        const int64_t node_start_ns = timing ? Tracer::nowNs() : 0;
         switch (ex.kind) {
           case OpKind::kConv: {
             Tensor& y = ws.fresh(
@@ -682,8 +756,35 @@ CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms) co
             break;
           }
         }
+        if (timing) {
+            const int64_t dur_ns = Tracer::nowNs() - node_start_ns;
+            if (Tracer::enabled())
+                Tracer::emitSpan(ex.label.c_str(), "layer", node_start_ns,
+                                 dur_ns);
+            if (profile != nullptr) {
+                RunProfileEntry& e = profile->entries[id];
+                if (e.name.empty()) {
+                    e.name = ex.label;
+                    e.kind = ex.kind_name;
+                    e.isa = ex.isa_name;
+                }
+                int64_t elems = x.numel() + ws.value(id).numel();
+                if (ex.weight.shape().rank() != 0)
+                    elems += ex.weight.numel();
+                if (ex.kind == OpKind::kAdd)
+                    elems += input_of(ex, 1).numel();
+                e.bytes += elems * static_cast<int64_t>(sizeof(float));
+                e.calls += 1;
+                e.total_ns += dur_ns;
+                e.max_ns = std::max(e.max_ns, dur_ns);
+            }
+        }
         if (ws.poisonFreed())
             ws.poisonFreedAfter(id);
+    }
+    if (profile != nullptr) {
+        profile->runs += 1;
+        profile->wall_ns += Tracer::nowNs() - run_start_ns;
     }
     if (conv_ms != nullptr)
         *conv_ms = conv_total;
@@ -695,20 +796,27 @@ Tensor
 CompiledModel::run(const Tensor& input) const
 {
     Workspace ws;
-    return runLayers(input, ws, nullptr);
+    return runLayers(input, ws, nullptr, nullptr);
 }
 
 Tensor
 CompiledModel::run(const Tensor& input, Workspace& ws) const
 {
-    return runLayers(input, ws, nullptr);
+    return runLayers(input, ws, nullptr, nullptr);
+}
+
+Tensor
+CompiledModel::run(const Tensor& input, Workspace& ws, RunProfile* profile) const
+{
+    return runLayers(input, ws, nullptr, profile);
 }
 
 double
 CompiledModel::timeMs(const Tensor& input, int warmup, int reps) const
 {
     Workspace ws;
-    return medianTimeMs([&] { runLayers(input, ws, nullptr); }, warmup, reps);
+    return medianTimeMs([&] { runLayers(input, ws, nullptr, nullptr); }, warmup,
+                        reps);
 }
 
 double
@@ -716,11 +824,11 @@ CompiledModel::convOnlyTimeMs(const Tensor& input, int warmup, int reps) const
 {
     Workspace ws;
     for (int i = 0; i < warmup; ++i)
-        runLayers(input, ws, nullptr);
+        runLayers(input, ws, nullptr, nullptr);
     std::vector<double> times;
     for (int i = 0; i < reps; ++i) {
         double conv_ms = 0.0;
-        runLayers(input, ws, &conv_ms);
+        runLayers(input, ws, &conv_ms, nullptr);
         times.push_back(conv_ms);
     }
     return summarize(times).median;

@@ -28,6 +28,7 @@
 #include "graph/passes.h"
 #include "nn/model.h"
 #include "nn/zoo.h"
+#include "obs/profile.h"
 #include "rt/conv_csr.h"
 #include "rt/conv_im2col.h"
 #include "rt/conv_naive.h"
@@ -223,6 +224,17 @@ class CompiledModel
     /** Run using caller-owned activation scratch (serving sessions). */
     Tensor run(const Tensor& input, Workspace& ws) const;
 
+    /**
+     * Run with per-layer attribution: when `profile` is non-null, every
+     * executed node is timed and accumulated into it (prepare() is
+     * called to size it; pass the same profile across runs to
+     * accumulate, reset() it for per-run numbers). Timing uses the
+     * steady clock directly, independent of tracing; when the Tracer is
+     * enabled a span per layer (cat "layer") plus a whole-run
+     * "model.run" span (cat "rt") are emitted too.
+     */
+    Tensor run(const Tensor& input, Workspace& ws, RunProfile* profile) const;
+
     /** Median wall-clock of `run` over reps (after warmup). */
     double timeMs(const Tensor& input, int warmup = 1, int reps = 3) const;
 
@@ -289,10 +301,14 @@ class CompiledModel
 
   private:
     struct Executor;
-    Tensor runLayers(const Tensor& input, Workspace& ws, double* conv_ms) const;
+    Tensor runLayers(const Tensor& input, Workspace& ws, double* conv_ms,
+                     RunProfile* profile) const;
     /** Instantiate engine objects for a conv executor whose state
      * fields (weight / fkw / tuning) are already populated. */
     void attachConvEngines(Executor& ex) const;
+    /** Fill the executor's display label / engine-kind / ISA strings
+     * (profile + trace attribution), after engines are attached. */
+    void labelExecutor(Executor& ex, size_t id) const;
 
     FrameworkKind kind_;
     DeviceSpec device_;

@@ -1,15 +1,32 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace patdnn {
 
 namespace {
+
+/**
+ * Serve-layer spans are stamped from the server's injectable ServeClock
+ * rather than TraceSpan's steady clock, so FakeClock tests can assert
+ * exact span extents (e.g. batch_form covering precisely the linger
+ * window). The system ServeClock is the same steady clock the rt spans
+ * use, so in production both layers share one timebase.
+ */
+int64_t
+nsOf(ServeClock::TimePoint tp)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               tp.time_since_epoch())
+        .count();
+}
 
 /**
  * A servable request: leading batch dimension with at least one
@@ -79,6 +96,8 @@ RequestId
 InferenceServer::enqueueLocked(Request& req)
 {
     req.id = next_id_++;
+    if (Tracer::enabled())
+        req.submit_ns = nsOf(clock_->now());
     ++accepted_;
     queue_.push_back(std::move(req));
     return queue_.back().id;
@@ -237,6 +256,10 @@ InferenceServer::popBatch()
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
         ++in_flight_;  // Counted immediately so drain() sees lingering work.
+        // batch_form: first pop through linger-loop exit (== the linger
+        // window exactly when nothing preempts it; pinned by tests).
+        const int64_t form_start_ns =
+            Tracer::enabled() ? nsOf(clock_->now()) : 0;
         int64_t rows = batch.front().input.shape().dim(0);
         // By value: push_back below reallocates batch's storage.
         const Shape sample = batch.front().input.shape();
@@ -284,6 +307,14 @@ InferenceServer::popBatch()
         }
         if (batch.empty() && queue_.empty() && in_flight_ == 0)
             cv_idle_.notify_all();
+        if (!batch.empty() && Tracer::enabled()) {
+            int64_t dispatched = 0;
+            for (const Request& r : batch)
+                dispatched += r.input.shape().dim(0);
+            Tracer::emitSpan("batch_form", "serve", form_start_ns,
+                             nsOf(clock_->now()) - form_start_ns, "rows",
+                             dispatched);
+        }
     }
     return batch;
 }
@@ -297,10 +328,22 @@ InferenceServer::workerLoop()
         if (batch.empty())
             return;
 
+        if (Tracer::enabled()) {
+            // queue_wait: admission through batch formation, one span
+            // per request, stamped from the serve clock.
+            int64_t now_ns = nsOf(clock_->now());
+            for (const Request& r : batch)
+                Tracer::emitSpan("queue_wait", "serve", r.submit_ns,
+                                 now_ns - r.submit_ns, "request",
+                                 static_cast<int64_t>(r.id));
+        }
+
         int64_t rows = 0;
         for (const Request& r : batch)
             rows += r.input.shape().dim(0);
 
+        const int64_t dispatch_ns =
+            Tracer::enabled() ? nsOf(clock_->now()) : 0;
         Tensor out;
         if (batch.size() == 1) {
             out = session.run(batch.front().input);
@@ -319,7 +362,12 @@ InferenceServer::workerLoop()
             }
             out = session.run(stacked);
         }
+        if (Tracer::enabled())
+            Tracer::emitSpan("dispatch", "serve", dispatch_ns,
+                             nsOf(clock_->now()) - dispatch_ns, "rows", rows);
 
+        const int64_t epilogue_ns =
+            Tracer::enabled() ? nsOf(clock_->now()) : 0;
         std::vector<double> lat;
         lat.reserve(batch.size());
         if (batch.size() == 1) {
@@ -340,20 +388,17 @@ InferenceServer::workerLoop()
                 r.promise.set_value(std::move(slice));
             }
         }
+        if (Tracer::enabled())
+            Tracer::emitSpan("epilogue", "serve", epilogue_ns,
+                             nsOf(clock_->now()) - epilogue_ns);
 
+        for (double ms : lat)
+            latency_hist_.record(ms);  // Lock-free; no mutex_ needed.
         {
             std::lock_guard<std::mutex> lk(mutex_);
             completed_ += static_cast<int64_t>(batch.size());
             ++batches_;
             batched_samples_ += rows;
-            for (double ms : lat) {
-                if (latencies_ms_.size() < kLatencyWindow) {
-                    latencies_ms_.push_back(ms);
-                } else {
-                    latencies_ms_[latency_cursor_] = ms;
-                    latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-                }
-            }
             in_flight_ -= static_cast<int>(batch.size());
             if (queue_.empty() && in_flight_ == 0)
                 cv_idle_.notify_all();
@@ -388,7 +433,6 @@ InferenceServer::shutdown()
 ServerStats
 InferenceServer::stats() const
 {
-    std::vector<double> lat;
     ServerStats s;
     {
         std::lock_guard<std::mutex> lk(mutex_);
@@ -408,11 +452,12 @@ InferenceServer::stats() const
             if (sec > 0.0)
                 s.throughput_rps = static_cast<double>(completed_) / sec;
         }
-        lat = latencies_ms_;
     }
-    s.mean_ms = summarize(lat).mean;
-    s.p50_ms = percentile(lat, 50.0);
-    s.p99_ms = percentile(lat, 99.0);
+    s.latency_hist = latency_hist_.snapshot();
+    s.latency = s.latency_hist.percentiles();
+    s.mean_ms = s.latency_hist.mean();
+    s.p50_ms = s.latency.p50;
+    s.p99_ms = s.latency.p99;
     return s;
 }
 

@@ -7,7 +7,11 @@
  * a util::ThreadPool) pop them, transparently micro-batch compatible
  * inputs along N, run their private InferenceSession over the shared
  * artifact, and fulfill per-request futures. Per-model serving stats
- * (p50/p99 latency, throughput, queue depth) come from util/stats.h.
+ * (latency percentiles from an obs/metrics.h histogram, throughput,
+ * queue depth) are exposed via stats(); when tracing is enabled the
+ * whole request path — queue wait, batch formation, dispatch,
+ * per-layer execution, epilogue — emits spans (obs/trace.h) stamped
+ * from the server's injectable clock.
  *
  * Three behaviours make the server production-shaped rather than a
  * queue demo:
@@ -42,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/clock.h"
 #include "serve/session.h"
 #include "util/stats.h"
@@ -116,9 +121,14 @@ struct ServerStats
     int64_t cancelled = 0;         ///< Removed from the queue by cancel().
     int64_t batches = 0;           ///< Model invocations.
     size_t queue_depth = 0;        ///< Requests currently waiting.
-    /// Latency percentiles are computed over a sliding window of the
-    /// most recent requests (InferenceServer::kLatencyWindow), so a
-    /// long-running server's stats stay bounded and current.
+    /// Full submit-to-completion latency distribution (obs/metrics.h
+    /// fixed-bucket histogram, ms): constant memory for any lifetime,
+    /// every completed request counted.
+    HistogramSnapshot latency_hist;
+    /// p50/p90/p99/p999 of latency_hist.
+    Percentiles latency;
+    /// Convenience aliases of the quad above (kept for existing
+    /// callers; same numbers as latency.p50 / latency.p99).
     double p50_ms = 0.0;           ///< Median submit-to-completion latency.
     double p99_ms = 0.0;           ///< Tail submit-to-completion latency.
     double mean_ms = 0.0;
@@ -192,10 +202,6 @@ class InferenceServer
 
     const ServerOptions& options() const { return opts_; }
 
-    /// Latency samples retained for the stats percentiles (ring buffer;
-    /// bounds memory and stats() cost on long-running servers).
-    static constexpr size_t kLatencyWindow = 4096;
-
   private:
     struct Request
     {
@@ -204,6 +210,7 @@ class InferenceServer
         Timer queued;  ///< Started at submit; read at completion.
         ServeClock::TimePoint deadline = ServeClock::TimePoint::max();
         RequestId id = 0;
+        int64_t submit_ns = 0;  ///< clock_ ns at admission (queue_wait span).
     };
 
     void workerLoop();
@@ -235,9 +242,10 @@ class InferenceServer
     bool started_ = false;
     bool stopping_ = false;  ///< Intake closed; workers exit when drained.
 
-    // Serving statistics (guarded by mutex_).
-    std::vector<double> latencies_ms_;  ///< Ring of <= kLatencyWindow samples.
-    size_t latency_cursor_ = 0;         ///< Overwrite position once full.
+    // Serving statistics (guarded by mutex_, except the histogram,
+    // whose record() is lock-free). Per-server (not in the global
+    // MetricsRegistry) so concurrent servers/tests never share state.
+    Histogram latency_hist_;  ///< Submit-to-completion ms.
     int64_t accepted_ = 0;
     int64_t completed_ = 0;
     int64_t rejected_ = 0;

@@ -1,5 +1,6 @@
 #include "serve/session.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -20,8 +21,12 @@ InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
 Tensor
 InferenceSession::run(const Tensor& input)
 {
+    TraceSpan span("session.run", "serve", "batch", input.shape().dim(0));
+    if (profiling_)
+        profile_.reset();  // lastRunProfile() == the most recent run.
     Timer t;
-    Tensor out = model_->run(input, workspace_);
+    Tensor out =
+        model_->run(input, workspace_, profiling_ ? &profile_ : nullptr);
     stats_.total_ms += t.elapsedMs();
     ++stats_.requests;
     stats_.samples += input.shape().dim(0);

@@ -61,6 +61,19 @@ class InferenceSession
     /** Run one NCHW batch through the shared model. */
     Tensor run(const Tensor& input);
 
+    /**
+     * Per-layer breakdown of the MOST RECENT run() (empty before the
+     * first run or when profiling is disabled): layer name, engine
+     * kind, kernel ISA, bytes touched, call count, total/max time.
+     * RunProfile::renderTable() prints it as a Fig. 14-style table.
+     */
+    const RunProfile& lastRunProfile() const { return profile_; }
+
+    /** Per-layer profiling on/off (on by default; the per-node clock
+     * reads cost well under a percent of a model run). */
+    void setProfilingEnabled(bool on) { profiling_ = on; }
+    bool profilingEnabled() const { return profiling_; }
+
     /** True when activations live in a single planned arena. */
     bool usesPlannedArena() const { return workspace_.planned(); }
 
@@ -80,6 +93,8 @@ class InferenceSession
     std::shared_ptr<const CompiledModel> model_;
     Workspace workspace_;  ///< This session's private activation scratch.
     SessionStats stats_;
+    RunProfile profile_;   ///< Most recent run's per-layer breakdown.
+    bool profiling_ = true;
 };
 
 }  // namespace patdnn

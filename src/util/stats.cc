@@ -19,22 +19,51 @@ Timer::elapsedUs() const
     return std::chrono::duration<double, std::micro>(now - start_).count();
 }
 
+namespace {
+double sortedPercentile(const std::vector<double>& sorted, double p);
+}  // namespace
+
 double
 percentile(std::vector<double> samples, double p)
 {
-    if (samples.empty())
-        return 0.0;
     std::sort(samples.begin(), samples.end());
+    return sortedPercentile(samples, p);
+}
+
+namespace {
+
+/** percentile() over an already-sorted sample (shared by the quad). */
+double
+sortedPercentile(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
     if (p <= 0.0)
-        return samples.front();
+        return sorted.front();
     if (p >= 100.0)
-        return samples.back();
-    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+        return sorted.back();
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     size_t lo = static_cast<size_t>(rank);
     double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= samples.size())
-        return samples.back();
-    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace
+
+Percentiles
+computePercentiles(std::vector<double> samples)
+{
+    Percentiles q;
+    if (samples.empty())
+        return q;
+    std::sort(samples.begin(), samples.end());
+    q.p50 = sortedPercentile(samples, 50.0);
+    q.p90 = sortedPercentile(samples, 90.0);
+    q.p99 = sortedPercentile(samples, 99.0);
+    q.p999 = sortedPercentile(samples, 99.9);
+    return q;
 }
 
 Summary

@@ -45,10 +45,29 @@ Summary summarize(std::vector<double> samples);
 
 /**
  * The p-th percentile (p in [0, 100]) of a sample using linear
- * interpolation between closest ranks; 0 for an empty sample. Used by
- * the serving layer for p50/p99 latency reporting.
+ * interpolation between closest ranks (NOT nearest-rank truncation:
+ * percentile({1,2,3,4}, 75) == 3.25, pinned by util_test); 0 for an
+ * empty sample. Used by the serving layer for p50/p99 latency
+ * reporting.
  */
 double percentile(std::vector<double> samples, double p);
+
+/**
+ * The standard latency-reporting percentile quad. Produced from exact
+ * samples by computePercentiles() and from bucketed data by
+ * HistogramSnapshot::percentiles() (obs/metrics.h), so the serving
+ * stats and the metrics exporters publish the same shape.
+ */
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
+/** All four percentiles of a sample with one sort (empty -> zeros). */
+Percentiles computePercentiles(std::vector<double> samples);
 
 /**
  * Time fn over repeated runs.

@@ -570,6 +570,101 @@ TEST(Server, LingerFlushesAtExactlyMaxLinger)
     server.shutdown();
 }
 
+// The serve spans are stamped from the server's injectable clock, so
+// under a FakeClock the batch_form span must cover the linger window
+// EXACTLY — not approximately — from first pop to flush.
+TEST(Server, BatchFormSpanCoversExactlyTheLingerWindow)
+{
+    if (!Tracer::compiledIn())
+        GTEST_SKIP() << "built with PATDNN_ENABLE_TRACING=OFF";
+
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    auto clock = std::make_shared<FakeClock>();
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.max_batch = 4;
+    opts.max_linger_ms = 10.0;
+    opts.clock = clock;
+    InferenceServer server(model, opts);
+
+    Tracer::clear();
+    Tracer::setEnabled(true);  // Before submit: stamps the admission time.
+    std::future<Tensor> f = server.submit(makeInput(1));
+    clock->waitForRegistrations(1);
+    int64_t r = clock->registrations();
+    clock->advanceMs(9.0);
+    clock->waitForRegistrations(r + 1);
+    clock->advanceMs(1.0);  // Exactly max_linger: flush.
+    EXPECT_EQ(f.get().shape(), Shape({1, 10}));
+    server.drain();
+    Tracer::setEnabled(false);
+    server.shutdown();
+
+    const TraceEvent* batch_form = nullptr;
+    const TraceEvent* queue_wait = nullptr;
+    std::vector<TraceEvent> events = Tracer::collect();
+    for (const TraceEvent& e : events) {
+        if (std::strcmp(e.name, "batch_form") == 0)
+            batch_form = &e;
+        if (std::strcmp(e.name, "queue_wait") == 0)
+            queue_wait = &e;
+    }
+    ASSERT_NE(batch_form, nullptr);
+    // First pop to flush is the whole 10 ms linger window, on the dot:
+    // 9 ms advance + 1 ms advance, and the fake clock never moves
+    // otherwise.
+    EXPECT_EQ(batch_form->dur_ns, 10'000'000);
+    EXPECT_STREQ(batch_form->arg_name, "rows");
+    EXPECT_EQ(batch_form->arg_value, 1);
+    // The request's queue wait is also clock-stamped and can only be
+    // the same window or less (popped at or after admission).
+    ASSERT_NE(queue_wait, nullptr);
+    EXPECT_GE(queue_wait->dur_ns, 0);
+    EXPECT_LE(queue_wait->dur_ns, 10'000'000);
+    Tracer::clear();
+}
+
+// ServerStats latencies come from a lock-free histogram now; the
+// legacy p50_ms/p99_ms fields must stay aliases of the new quad.
+TEST(Server, StatsLatencyHistogramCountsEveryCompletion)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    auto model = std::make_shared<const CompiledModel>(
+        m, FrameworkKind::kPatDnnDense, dev);
+
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.max_batch = 4;
+    opts.max_linger_ms = 0.5;
+    InferenceServer server(model, opts);
+
+    constexpr int kBurst = 12;
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < kBurst; ++i)
+        futures.push_back(server.submit(makeInput(static_cast<uint64_t>(i))));
+    for (auto& f : futures)
+        EXPECT_EQ(f.get().shape(), Shape({1, 10}));
+    server.drain();
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, kBurst);
+    EXPECT_EQ(stats.latency_hist.count, kBurst);
+    EXPECT_GT(stats.latency_hist.min, 0.0);
+    EXPECT_GE(stats.latency_hist.max, stats.latency_hist.min);
+    // The legacy fields alias the histogram quad.
+    EXPECT_DOUBLE_EQ(stats.p50_ms, stats.latency.p50);
+    EXPECT_DOUBLE_EQ(stats.p99_ms, stats.latency.p99);
+    EXPECT_GE(stats.latency.p99, stats.latency.p50);
+    EXPECT_GE(stats.latency.p999, stats.latency.p99);
+    EXPECT_GT(stats.mean_ms, 0.0);
+    server.shutdown();
+}
+
 TEST(Server, FullBatchPreemptsLingerAndBurstFormsFullBatches)
 {
     Model m = tinyModel();

@@ -85,6 +85,40 @@ TEST(Stats, TimeRunsReturnsRequestedReps)
         EXPECT_GE(t, 0.0);
 }
 
+// Pins the interpolation contract documented in util/stats.h: linear
+// interpolation between closest ranks, never nearest-rank truncation.
+TEST(Stats, PercentileInterpolatesBetweenRanks)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 75.0), 3.25);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({4.0, 2.0, 1.0, 3.0}, 75.0), 3.25);  // Unsorted.
+    EXPECT_DOUBLE_EQ(percentile({5.0}, 99.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 100.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, ComputePercentilesMatchesSingleCalls)
+{
+    std::vector<double> samples;
+    for (int i = 1; i <= 100; ++i)
+        samples.push_back(static_cast<double>(i));
+    Percentiles q = computePercentiles(samples);
+    EXPECT_DOUBLE_EQ(q.p50, 50.5);
+    EXPECT_DOUBLE_EQ(q.p90, 90.1);
+    EXPECT_DOUBLE_EQ(q.p99, 99.01);
+    EXPECT_NEAR(q.p999, 99.901, 1e-9);
+    // The quad must agree with the one-shot percentile() calls.
+    EXPECT_DOUBLE_EQ(q.p50, percentile(samples, 50.0));
+    EXPECT_DOUBLE_EQ(q.p90, percentile(samples, 90.0));
+    EXPECT_DOUBLE_EQ(q.p99, percentile(samples, 99.0));
+    EXPECT_DOUBLE_EQ(q.p999, percentile(samples, 99.9));
+
+    Percentiles empty = computePercentiles({});
+    EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p999, 0.0);
+}
+
 TEST(Rng, Deterministic)
 {
     Rng a(3), b(3);

@@ -11,10 +11,15 @@
 # bit-exact against per-layer execution on the vector AND scalar kernel
 # paths.
 #
+# --trace-off configures with -DPATDNN_ENABLE_TRACING=OFF in
+# build-notrace/, reproducing CI's tracing-compiled-out cell: proves
+# every TraceSpan emit site dead-strips (obs_test's static_asserts and
+# the compiled-out behaviour tests run in this configuration).
+#
 # --gate-only runs just the error-model header gate (the CI step's
 # single source of truth for that grep) and exits.
 #
-# Usage: tools/verify.sh [--format-only|--no-format|--gate-only] [--simd-off]
+# Usage: tools/verify.sh [--format-only|--no-format|--gate-only] [--simd-off|--trace-off]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,8 +37,12 @@ for arg in "$@"; do
             build_dir=build-scalar
             cmake_args+=(-DPATDNN_ENABLE_SIMD=OFF)
             ;;
+        --trace-off)
+            build_dir=build-notrace
+            cmake_args+=(-DPATDNN_ENABLE_TRACING=OFF)
+            ;;
         *)
-            echo "usage: tools/verify.sh [--format-only|--no-format|--gate-only] [--simd-off]" >&2
+            echo "usage: tools/verify.sh [--format-only|--no-format|--gate-only] [--simd-off|--trace-off]" >&2
             exit 2
             ;;
     esac
@@ -53,7 +62,7 @@ echo "error-model gate OK"
 if [[ ${run_format} -eq 1 ]]; then
     if command -v clang-format >/dev/null 2>&1; then
         echo "== clang-format check =="
-        mapfile -t files < <(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' 'bench/*.cc' 'bench/*.h' 'examples/*.cpp')
+        mapfile -t files < <(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' 'bench/*.cc' 'bench/*.h' 'examples/*.cpp' 'tools/*.cpp')
         clang-format --dry-run --Werror "${files[@]}"
         echo "format OK (${#files[@]} files)"
     else
