@@ -2,12 +2,14 @@
  * @file
  * Fig. 17 reproduction.
  *
- * (a) Dense sanity check without Winograd: our optimized dense
- *     (im2col + register-blocked GEMM) against the MNN-like engine
- *     with Winograd disabled, whole VGG conv stack on CPU and GPU-like.
+ * (a) Dense backend check without Winograd: the packed tiled GEMM
+ *     (rt/gemm_packed.h, the run path) vs the register-blocked naive
+ *     GEMM it replaced, whole VGG conv stack on CPU and GPU-like —
+ *     the packed backend's >= 2x acceptance gate at stack level.
  * (b) Per-layer GFLOPS of the pattern engine (counting only the MACs
- *     it actually executes) vs the dense baseline (no Winograd) —
- *     the paper's claim: comparable on CPU, better on GPU.
+ *     it actually executes) vs the packed dense baseline (no
+ *     Winograd) — the paper's claim: comparable on CPU, better on
+ *     GPU, now measured against a competitive dense GEMM.
  */
 #include "bench_common.h"
 #include "util/stats.h"
@@ -16,9 +18,10 @@ using namespace patdnn;
 
 namespace {
 
-/** Dense im2col time (the no-Winograd dense baseline). */
+/** Dense im2col time (the no-Winograd dense baseline): the packed
+ * tiled GEMM run path, or the retained pre-packing naive GEMM. */
 double
-denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, int row_block)
+denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, bool packed)
 {
     Rng rng(3);
     Tensor w(Shape{d.cout, d.cin, d.kh, d.kw});
@@ -27,8 +30,9 @@ denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, int row_block)
     in.fillUniform(rng, -1.0f, 1.0f);
     Tensor out = makeConvOutput(d, 1);
     Im2colConv engine(d, &w, dev);
-    (void)row_block;
-    return medianTimeMs([&] { engine.run(in, out); }, 1, bench::reps());
+    if (packed)
+        return medianTimeMs([&] { engine.run(in, out); }, 1, bench::reps());
+    return medianTimeMs([&] { engine.runNaive(in, out); }, 1, bench::reps());
 }
 
 }  // namespace
@@ -39,26 +43,25 @@ main()
     bench::banner("Fig. 17", "GFLOPS: PatDNN pattern vs optimized dense");
     auto layers = vggUniqueLayers(bench::spatialScale());
 
-    // --- (a) whole-stack dense w/o Winograd ---
+    // --- (a) whole-stack dense w/o Winograd: packed vs naive GEMM ---
     std::printf("--- (a) dense VGG conv stack, Winograd off (ms) ---\n");
     {
-        Table t({"Device", "MNN-like (no Wino)", "PatDNN-dense (no Wino)"});
+        Table t({"Device", "naive GEMM", "packed GEMM", "naive/packed"});
         for (bool gpu : {false, true}) {
             DeviceSpec dev = gpu ? makeGpuDevice() : makeCpuDevice(8);
-            double mnn = 0.0, ours = 0.0;
+            double naive = 0.0, packed = 0.0;
             for (const auto& d : layers) {
-                // Same GEMM kernel: both engines collapse to im2col when
-                // Winograd is off; the residual difference is scheduling.
-                mnn += denseNoWinoMs(d, dev, 1);
-                ours += denseNoWinoMs(d, dev, 4);
+                naive += denseNoWinoMs(d, dev, false);
+                packed += denseNoWinoMs(d, dev, true);
             }
-            t.addRow({gpu ? "GPU-like" : "CPU", Table::num(mnn, 1),
-                      Table::num(ours, 1)});
+            t.addRow({gpu ? "GPU-like" : "CPU", Table::num(naive, 1),
+                      Table::num(packed, 1),
+                      Table::num(naive / packed, 2) + "x"});
         }
         t.print();
-        std::printf("(both facades share one GEMM here, so parity — not the "
-                    "paper's 1.1-1.6x dense edge — is expected; see "
-                    "EXPERIMENTS.md)\n\n");
+        std::printf("(the packed tile-kernel GEMM replaced the naive one on "
+                    "every dense run path; the naive column is the retained "
+                    "comparison point — see docs/KERNELS.md)\n\n");
     }
 
     // --- (b) per-layer GFLOPS, pattern vs dense ---

@@ -172,6 +172,49 @@ BM_Im2colDenseLayer(benchmark::State& state)
 }
 BENCHMARK(BM_Im2colDenseLayer);
 
+/**
+ * Packed tiled GEMM (rt/gemm_packed.h, the run path) vs the
+ * register-blocked pre-packing GEMM it replaced (Im2colConv::runNaive,
+ * kept callable exactly for this comparison) on zoo-representative
+ * dense shapes: the VGG first conv (3->64 3x3 @ 32x32, where dense
+ * executors do the whole work), a mid-net conv, and an FC-like 1x1.
+ * The acceptance gate for the packed backend is >= 2x on AVX2 here.
+ */
+void
+BM_DenseGemmConv(benchmark::State& state, ConvDesc d, bool packed)
+{
+    Rng rng(9);
+    Tensor w(Shape{d.cout, d.cinPerGroup(), d.kh, d.kw});
+    w.fillHe(rng, d.cinPerGroup() * d.kh * d.kw);
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    DeviceSpec dev = makeCpuDevice(4);
+    Im2colConv engine(d, &w, dev);
+    Tensor out = makeConvOutput(d, 1);
+    for (auto _ : state) {
+        if (packed)
+            engine.run(in, out);
+        else
+            engine.runNaive(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    int64_t macs = d.outH() * d.outW() * d.cout * d.cinPerGroup() * d.kh * d.kw;
+    state.SetItemsProcessed(state.iterations() * macs);
+    state.SetLabel(packed ? "packed" : "naive");
+}
+BENCHMARK_CAPTURE(BM_DenseGemmConv, first_conv_naive,
+                  ConvDesc{"c1", 3, 64, 3, 3, 32, 32, 1, 1, 1, 1}, false);
+BENCHMARK_CAPTURE(BM_DenseGemmConv, first_conv_packed,
+                  ConvDesc{"c1", 3, 64, 3, 3, 32, 32, 1, 1, 1, 1}, true);
+BENCHMARK_CAPTURE(BM_DenseGemmConv, mid_conv_naive,
+                  ConvDesc{"c8", 128, 128, 3, 3, 16, 16, 1, 1, 1, 1}, false);
+BENCHMARK_CAPTURE(BM_DenseGemmConv, mid_conv_packed,
+                  ConvDesc{"c8", 128, 128, 3, 3, 16, 16, 1, 1, 1, 1}, true);
+BENCHMARK_CAPTURE(BM_DenseGemmConv, fc_like_naive,
+                  ConvDesc{"fc", 256, 256, 1, 1, 8, 8, 1, 0, 1, 1}, false);
+BENCHMARK_CAPTURE(BM_DenseGemmConv, fc_like_packed,
+                  ConvDesc{"fc", 256, 256, 1, 1, 8, 8, 1, 0, 1, 1}, true);
+
 void
 BM_GraphOptimize(benchmark::State& state)
 {

@@ -11,7 +11,13 @@ namespace patdnn {
 namespace {
 
 /** GA budget of the facade auto-tune path (small: the cache makes the
- * search a one-time cost per (shape, ISA)). */
+ * search a one-time cost per (shape, ISA)). Candidate evaluations run
+ * in parallel on the process-wide pool — a distinct pool from any
+ * device pool the measured engines fork on, so the nested fork-join is
+ * legal (ThreadPool serializes concurrent submitters but is not
+ * reentrant). The measured times gain cross-candidate contention
+ * noise; the GA only ranks candidates, and the search it runs is
+ * identical to the serial schedule. */
 TunerConfig
 facadeTunerConfig()
 {
@@ -19,6 +25,7 @@ facadeTunerConfig()
     cfg.population = 8;
     cfg.generations = 2;
     cfg.measure_reps = 1;
+    cfg.eval_pool = &ThreadPool::global();
     return cfg;
 }
 
@@ -122,12 +129,15 @@ Compiler::compileLayer(const ConvDesc& desc, Tensor weight,
             Tensor in(Shape{1, desc.cin, desc.h, desc.w});
             Rng rng(17);
             in.fillUniform(rng, -1.0f, 1.0f);
-            Tensor result_buf = makeConvOutput(desc, 1);
+            // Thread-safe for parallel GA evaluation: each call builds
+            // its own engine and output buffer; `in`, the FKW and the
+            // LR template are shared read-only.
             std::function<double(const TuneParams&)> measure =
                 [&](const TuneParams& params) -> double {
                 LayerwiseRep lr = out.lr;
                 lr.tuning = params;
                 PatternConv engine(desc, out.fkw.get(), lr, device_);
+                Tensor result_buf = makeConvOutput(desc, 1);
                 Timer t;
                 engine.run(in, result_buf);
                 return t.elapsedMs();
@@ -164,14 +174,50 @@ Compiler::compile(const Model& model, FrameworkKind kind) const
     }
 
     // Whole-model compiles reuse per-layer tunings the GA already paid
-    // for (compileLayer populates the cache; misses keep the options'
-    // default tuning).
+    // for (compileLayer / tuneDenseLayer populate the cache; misses
+    // keep the options' default tuning). Sparse kinds key on the
+    // pruning rate the GA measured; dense kinds key on the 0.0 rate
+    // tuneDenseLayer writes.
+    bool sparse_kind =
+        kind == FrameworkKind::kPatDnn || kind == FrameworkKind::kCsrSparse;
+    double lookup_rate = sparse_kind ? opts_.connectivity_rate : 0.0;
     CompileOptions opts = opts_;
-    opts.tune_lookup = [device = device_, rate = opts_.connectivity_rate](
+    opts.tune_lookup = [device = device_, rate = lookup_rate](
                            const ConvDesc& desc, TuneParams* params) {
         return TuneCache::instance().lookup(desc, device, rate, params);
     };
     return std::make_shared<CompiledModel>(model, kind, device_, opts);
+}
+
+Result<TuneParams>
+Compiler::tuneDenseLayer(const ConvDesc& desc) const
+{
+    PATDNN_RETURN_IF_ERROR(desc.validate());
+    TuneParams cached;
+    if (TuneCache::instance().lookup(desc, device_, /*connectivity_rate=*/0.0,
+                                     &cached))
+        return cached;
+
+    Rng rng(23);
+    Tensor weight(Shape{desc.cout, desc.cinPerGroup(), desc.kh, desc.kw});
+    weight.fillHe(rng, desc.cinPerGroup() * desc.kh * desc.kw);
+    Tensor in(Shape{1, desc.cin, desc.h, desc.w});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    // Thread-safe: each candidate packs its own engine (the real
+    // compile-time cost of a blocking choice) and owns its output.
+    std::function<double(const TuneParams&)> measure =
+        [&](const TuneParams& params) -> double {
+        Im2colConv engine(desc, &weight, device_, params);
+        Tensor result_buf = makeConvOutput(desc, 1);
+        Timer t;
+        engine.run(in, result_buf);
+        return t.elapsedMs();
+    };
+    TuneResult tuned = tuneLayer(measure, tuneSpaceFor(device_.simd_isa),
+                                 facadeTunerConfig());
+    TuneCache::instance().insert(desc, device_, /*connectivity_rate=*/0.0,
+                                 tuned.best);
+    return tuned.best;
 }
 
 }  // namespace patdnn

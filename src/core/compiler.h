@@ -95,6 +95,20 @@ class Compiler
     Result<std::shared_ptr<CompiledModel>> compile(
         const Model& model, FrameworkKind kind = FrameworkKind::kPatDnn) const;
 
+    /**
+     * Auto-tune the dense packed-GEMM backend (rt/conv_im2col.h) for
+     * one layer geometry: GA-search the gemm_kc/gemm_nc cache-blocking
+     * axes of tuneSpaceFor(device ISA), measuring the real packed
+     * executor on synthetic data. Memoized in the process-wide
+     * TuneCache under connectivity rate 0.0 (dense layers have no
+     * pruning rate; the distinct key keeps them from inheriting sparse
+     * tunings and vice versa) — so first convs and FC heads get the
+     * same tuned-once treatment sparse layers already have, and dense
+     * compiles via compile() pick the result up through tune_lookup.
+     * kInvalidArgument on a malformed descriptor.
+     */
+    Result<TuneParams> tuneDenseLayer(const ConvDesc& desc) const;
+
     const DeviceSpec& device() const { return device_; }
     const CompileOptions& options() const { return opts_; }
 

@@ -6,6 +6,25 @@
 
 namespace patdnn {
 
+Im2colConv::Im2colConv(ConvDesc desc, const Tensor* weight, DeviceSpec device,
+                       TuneParams tuning)
+    : desc_(std::move(desc)), weight_(weight), device_(std::move(device)),
+      tuning_(tuning), ops_(&resolveSimdOps(device_.simd_isa))
+{
+    int64_t opg = desc_.coutPerGroup();
+    int64_t k_dim = desc_.cinPerGroup() * desc_.kh * desc_.kw;
+    int64_t n_dim = desc_.outH() * desc_.outW();
+    blocking_ = gemmBlockingFor(*ops_, k_dim, n_dim, device_.tile_budget_kb,
+                                tuning_.gemm_kc, tuning_.gemm_nc);
+    // Weights are row-major [cout, cinPerGroup*kh*kw], so each group is
+    // a contiguous [opg x k_dim] LHS; pack all groups back to back.
+    int64_t per_group = packedLhsElems(opg, k_dim, ops_->gemm_mr);
+    packed_w_ = Tensor(Shape{desc_.groups * per_group});
+    for (int64_t g = 0; g < desc_.groups; ++g)
+        packLhsTiles(weight->data() + g * opg * k_dim, opg, k_dim, k_dim,
+                     ops_->gemm_mr, packed_w_.data() + g * per_group);
+}
+
 Tensor
 Im2colConv::im2col(const ConvDesc& d, const Tensor& in, int64_t batch_index,
                    int64_t group)
@@ -42,11 +61,66 @@ void
 Im2colConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
 {
     const ConvDesc& d = desc_;
+    const SimdOps& ops = *ops_;
     int64_t n = in.shape().dim(0);
     int64_t oh = d.outH(), ow = d.outW();
-    int64_t cpg = d.cinPerGroup();
     int64_t opg = d.coutPerGroup();
-    int64_t k_dim = cpg * d.kh * d.kw;
+    int64_t k_dim = d.cinPerGroup() * d.kh * d.kw;
+    int64_t n_dim = oh * ow;
+    const int mr = ops.gemm_mr;
+    const int nr = ops.gemm_nr;
+    int64_t lhs_tiles = (opg + mr - 1) / mr;
+    int64_t rhs_tiles = (n_dim + nr - 1) / nr;
+    int64_t per_group = packedLhsElems(opg, k_dim, mr);
+
+    // Per-call scratch (run() is const and may race across sessions).
+    Tensor packed_cols(Shape{packedRhsElems(k_dim, n_dim, nr)});
+
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t g = 0; g < d.groups; ++g) {
+            Tensor cols = im2col(d, in, b, g);
+            // Pack the patch matrix into NR-column panels in parallel:
+            // each tile is an independent [k_dim x NR] slab.
+            device_.pool().parallelChunks(
+                rhs_tiles, [&](int64_t begin, int64_t end) {
+                    for (int64_t j = begin; j < end; ++j) {
+                        int64_t live = std::min<int64_t>(nr, n_dim - j * nr);
+                        packRhsTiles(cols.data() + j * nr, k_dim, live, n_dim,
+                                     nr, packed_cols.data() + j * k_dim * nr);
+                    }
+                });
+            // Blocked GEMM over LHS row tiles: bias prefill, tile
+            // kernels, fused ReLU — each worker owns its output rows.
+            const float* plhs = packed_w_.data() + g * per_group;
+            float* cbase = out.data() + (b * d.cout + g * opg) * n_dim;
+            device_.pool().parallelChunks(
+                lhs_tiles, [&](int64_t begin, int64_t end) {
+                    int64_t row0 = begin * mr;
+                    int64_t row1 = std::min<int64_t>(end * mr, opg);
+                    for (int64_t m = row0; m < row1; ++m) {
+                        float bias = ep.bias ? (*ep.bias)[g * opg + m] : 0.0f;
+                        std::fill(cbase + m * n_dim, cbase + (m + 1) * n_dim,
+                                  bias);
+                    }
+                    packedGemmRowTiles(ops, plhs, packed_cols.data(), opg,
+                                       k_dim, n_dim, cbase, n_dim, begin, end,
+                                       blocking_);
+                    if (ep.relu)
+                        for (int64_t m = row0; m < row1; ++m)
+                            ops.relu(cbase + m * n_dim, n_dim);
+                });
+        }
+    }
+}
+
+void
+Im2colConv::runNaive(const Tensor& in, Tensor& out, const Epilogue& ep) const
+{
+    const ConvDesc& d = desc_;
+    int64_t n = in.shape().dim(0);
+    int64_t oh = d.outH(), ow = d.outW();
+    int64_t opg = d.coutPerGroup();
+    int64_t k_dim = d.cinPerGroup() * d.kh * d.kw;
     int64_t n_dim = oh * ow;
     const Tensor& weight = *weight_;
 

@@ -1,36 +1,61 @@
 /**
  * @file
- * im2col + blocked GEMM convolution: the tuned dense baseline standing
- * in for TVM's scheduled dense kernels (Table 1's "tensor optimization"
- * row: blocking, vector-friendly inner loops, threading).
+ * im2col + packed tiled GEMM convolution: the optimized dense baseline
+ * standing in for TVM's scheduled dense kernels (Table 1's "tensor
+ * optimization" row: packing, cache blocking, vectorized tile kernels,
+ * threading). The filter matrix is packed once at construction; each
+ * run packs the im2col patch matrix and dispatches the per-ISA
+ * SimdOps::gemm_tile micro-kernel through rt/gemm_packed.h, so the
+ * Fig. 17 pattern-vs-dense comparison runs against a competitive dense
+ * baseline rather than a scalar loop.
  */
 #pragma once
 
 #include "nn/conv_desc.h"
 #include "rt/conv_ref.h"
 #include "rt/device.h"
+#include "rt/gemm_packed.h"
+#include "rt/lr.h"
 
 namespace patdnn {
 
-/** Tuned dense conv via im2col and a register-blocked GEMM. */
+/** Dense conv via im2col and a packed, cache-blocked, tiled GEMM. */
 class Im2colConv
 {
   public:
-    Im2colConv(ConvDesc desc, const Tensor* weight, DeviceSpec device)
-        : desc_(std::move(desc)), weight_(weight), device_(std::move(device))
-    {
-    }
+    /**
+     * Packs the filter matrix per group for `device`'s kernel ISA.
+     * `tuning.gemm_kc` / `tuning.gemm_nc` override the cache-blocking
+     * heuristic when > 0 (the auto-tuner's dense knobs).
+     */
+    Im2colConv(ConvDesc desc, const Tensor* weight, DeviceSpec device,
+               TuneParams tuning = {});
 
     void run(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
+
+    /**
+     * The pre-packing register-blocked GEMM this backend replaced.
+     * Kept callable as the bench/test comparison point (bench_micro's
+     * packed-vs-naive columns, the ≥2x acceptance gate) — not used on
+     * any run path.
+     */
+    void runNaive(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
 
     /** Expose im2col for testing: [cin*kh*kw, outH*outW] column matrix. */
     static Tensor im2col(const ConvDesc& d, const Tensor& in, int64_t batch_index,
                          int64_t group);
 
+    /** The cache-blocking factors in effect (heuristic or tuned). */
+    const GemmBlocking& blocking() const { return blocking_; }
+
   private:
     ConvDesc desc_;
     const Tensor* weight_;
     DeviceSpec device_;
+    TuneParams tuning_;
+    const SimdOps* ops_;   ///< Resolved kernel table (never null).
+    Tensor packed_w_;      ///< [groups][lhs-tile panels] packed filters.
+    GemmBlocking blocking_;
 };
 
 }  // namespace patdnn

@@ -67,31 +67,50 @@ transformOutput(const float m[16], float y[4])
 
 }  // namespace
 
-WinogradConv::WinogradConv(ConvDesc desc, const Tensor* weight, DeviceSpec device)
-    : desc_(std::move(desc)), weight_(weight), device_(std::move(device))
+WinogradConv::WinogradConv(ConvDesc desc, const Tensor* weight, DeviceSpec device,
+                           TuneParams tuning)
+    : desc_(std::move(desc)), weight_(weight), device_(std::move(device)),
+      tuning_(tuning), ops_(&resolveSimdOps(device_.simd_isa))
 {
     winograd_ok_ = desc_.kh == 3 && desc_.kw == 3 && desc_.stride == 1 &&
                    desc_.dilation == 1 && desc_.groups == 1;
-    if (winograd_ok_) {
-        transformed_ = Tensor(Shape{16, desc_.cout, desc_.cin});
-        for (int64_t oc = 0; oc < desc_.cout; ++oc) {
-            for (int64_t ic = 0; ic < desc_.cin; ++ic) {
-                float u[16];
-                transformFilter(weight->data() + (oc * desc_.cin + ic) * 9, u);
-                for (int t = 0; t < 16; ++t)
-                    transformed_[(static_cast<int64_t>(t) * desc_.cout + oc) *
-                                     desc_.cin + ic] = u[t];
-            }
+    if (!winograd_ok_) {
+        // Build the fallback once: it packs its filter matrix in its
+        // constructor, which must not happen per run().
+        fallback_ = std::make_unique<Im2colConv>(desc_, weight_, device_,
+                                                 tuning_);
+        return;
+    }
+    transformed_ = Tensor(Shape{16, desc_.cout, desc_.cin});
+    for (int64_t oc = 0; oc < desc_.cout; ++oc) {
+        for (int64_t ic = 0; ic < desc_.cin; ++ic) {
+            float u[16];
+            transformFilter(weight->data() + (oc * desc_.cin + ic) * 9, u);
+            for (int t = 0; t < 16; ++t)
+                transformed_[(static_cast<int64_t>(t) * desc_.cout + oc) *
+                                 desc_.cin + ic] = u[t];
         }
     }
+    // Pack the 16 transformed-filter matrices [cout x cin] as LHS tile
+    // panels for the stage-2 GEMMs.
+    int64_t tiles = ((desc_.outH() + 1) / 2) * ((desc_.outW() + 1) / 2);
+    blocking_ = gemmBlockingFor(*ops_, desc_.cin, tiles,
+                                device_.tile_budget_kb, tuning_.gemm_kc,
+                                tuning_.gemm_nc);
+    int64_t per_t = packedLhsElems(desc_.cout, desc_.cin, ops_->gemm_mr);
+    packed_u_ = Tensor(Shape{16 * per_t});
+    for (int t = 0; t < 16; ++t)
+        packLhsTiles(transformed_.data() + static_cast<int64_t>(t) *
+                         desc_.cout * desc_.cin,
+                     desc_.cout, desc_.cin, desc_.cin, ops_->gemm_mr,
+                     packed_u_.data() + t * per_t);
 }
 
 void
 WinogradConv::run(const Tensor& in, Tensor& out, const Epilogue& ep) const
 {
     if (!winograd_ok_) {
-        Im2colConv fallback(desc_, weight_, device_);
-        fallback.run(in, out, ep);
+        fallback_->run(in, out, ep);
         return;
     }
     runWinograd(in, out, ep);
@@ -134,23 +153,33 @@ WinogradConv::runWinograd(const Tensor& in, Tensor& out, const Epilogue& ep) con
         });
 
         // Stage 2: 16 independent GEMMs M[t] = U[t] * V[t],
-        // [cout x cin] * [cin x tiles].
+        // [cout x cin] * [cin x tiles], on the packed tile kernel.
+        const SimdOps& ops = *ops_;
+        const int mr = ops.gemm_mr;
+        const int nr = ops.gemm_nr;
+        int64_t lhs_tiles = (d.cout + mr - 1) / mr;
+        int64_t rhs_tiles = (tiles + nr - 1) / nr;
+        int64_t per_t_lhs = packedLhsElems(d.cout, d.cin, mr);
+        int64_t per_t_rhs = packedRhsElems(d.cin, tiles, nr);
+        Tensor packed_v(Shape{16 * per_t_rhs});
+        device_.pool().parallelFor(16 * rhs_tiles, [&](int64_t job) {
+            int64_t t = job / rhs_tiles;
+            int64_t j = job % rhs_tiles;
+            int64_t live = std::min<int64_t>(nr, tiles - j * nr);
+            packRhsTiles(v.data() + t * d.cin * tiles + j * nr, d.cin, live,
+                         tiles, nr,
+                         packed_v.data() + t * per_t_rhs + j * d.cin * nr);
+        });
         Tensor mbuf(Shape{16, d.cout, tiles});
-        device_.pool().parallelFor(16 * d.cout, [&](int64_t job) {
-            int64_t t = job / d.cout;
-            int64_t oc = job % d.cout;
-            const float* urow = transformed_.data() + (t * d.cout + oc) * d.cin;
-            float* mrow = mbuf.data() + (t * d.cout + oc) * tiles;
-            std::fill(mrow, mrow + tiles, 0.0f);
-            const float* vbase = v.data() + t * d.cin * tiles;
-            for (int64_t ic = 0; ic < d.cin; ++ic) {
-                float uv = urow[ic];
-                if (uv == 0.0f)
-                    continue;
-                const float* vrow = vbase + ic * tiles;
-                for (int64_t j = 0; j < tiles; ++j)
-                    mrow[j] += uv * vrow[j];
-            }
+        device_.pool().parallelFor(16 * lhs_tiles, [&](int64_t job) {
+            int64_t t = job / lhs_tiles;
+            int64_t i = job % lhs_tiles;
+            float* mbase = mbuf.data() + t * d.cout * tiles;
+            int64_t row1 = std::min<int64_t>((i + 1) * mr, d.cout);
+            std::fill(mbase + i * mr * tiles, mbase + row1 * tiles, 0.0f);
+            packedGemmRowTiles(ops, packed_u_.data() + t * per_t_lhs,
+                               packed_v.data() + t * per_t_rhs, d.cout, d.cin,
+                               tiles, mbase, tiles, i, i + 1, blocking_);
         });
 
         // Stage 3: output transform.

@@ -3,6 +3,10 @@
  * Winograd F(2x2, 3x3) convolution: the hand-optimized dense path the
  * paper enables "for all dense runs" (Section 6.1) and the MNN-like
  * facade's fast 3x3 kernel. Falls back to im2col for non-3x3/stride>1.
+ * The 16 per-tile-position stage-2 GEMMs run on the same packed
+ * SimdOps::gemm_tile kernel as the im2col backend (rt/gemm_packed.h):
+ * the transformed filters are packed once at construction, the
+ * transformed input is packed per run.
  */
 #pragma once
 
@@ -10,6 +14,8 @@
 #include "rt/conv_im2col.h"
 #include "rt/conv_ref.h"
 #include "rt/device.h"
+#include "rt/gemm_packed.h"
+#include "rt/lr.h"
 
 namespace patdnn {
 
@@ -17,7 +23,8 @@ namespace patdnn {
 class WinogradConv
 {
   public:
-    WinogradConv(ConvDesc desc, const Tensor* weight, DeviceSpec device);
+    WinogradConv(ConvDesc desc, const Tensor* weight, DeviceSpec device,
+                 TuneParams tuning = {});
 
     void run(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
 
@@ -30,8 +37,13 @@ class WinogradConv
     ConvDesc desc_;
     const Tensor* weight_;
     DeviceSpec device_;
+    TuneParams tuning_;
     bool winograd_ok_ = false;
     Tensor transformed_;  ///< [16, cout, cin] pre-transformed filters U.
+    const SimdOps* ops_ = nullptr;  ///< Resolved kernel table.
+    Tensor packed_u_;     ///< 16 packed LHS tile-panel sets of U.
+    GemmBlocking blocking_;
+    std::unique_ptr<Im2colConv> fallback_;  ///< Built once when !winograd_ok_.
 };
 
 }  // namespace patdnn

@@ -101,13 +101,20 @@ CompiledConvLayer::CompiledConvLayer(const ConvDesc& desc, FrameworkKind kind,
         break;
       case FrameworkKind::kTvmLike:
         // TVM-like: scheduled im2col+GEMM (no hand-written Winograd).
-        im2col_ = std::make_unique<Im2colConv>(desc_, &weight_, device_);
+        im2col_ = std::make_unique<Im2colConv>(desc_, &weight_, device_,
+                                               opts_.default_tuning);
         break;
       case FrameworkKind::kMnnLike:
       case FrameworkKind::kPatDnnDense:
-        winograd_ = std::make_unique<WinogradConv>(desc_, &weight_, device_);
-        if (!winograd_->usesWinograd())
-            im2col_ = std::make_unique<Im2colConv>(desc_, &weight_, device_);
+        winograd_ = std::make_unique<WinogradConv>(desc_, &weight_, device_,
+                                                   opts_.default_tuning);
+        if (!winograd_->usesWinograd()) {
+            // Drop the non-applicable engine (it carries a packed
+            // fallback of its own) instead of packing weights twice.
+            winograd_.reset();
+            im2col_ = std::make_unique<Im2colConv>(desc_, &weight_, device_,
+                                                   opts_.default_tuning);
+        }
         break;
       default:
         PATDNN_CHECK(false, "unsupported single-layer kind");
@@ -329,17 +336,22 @@ CompiledModel::attachConvEngines(Executor& ex) const
         break;
       case FrameworkKind::kTvmLike:
         if (ex.conv.groups == 1)
-            ex.im2col = std::make_unique<Im2colConv>(ex.conv, &ex.weight, device_);
+            ex.im2col = std::make_unique<Im2colConv>(ex.conv, &ex.weight,
+                                                     device_, ex.tuning);
         else
             ex.naive = std::make_unique<NaiveConv>(ex.conv, &ex.weight, device_);
         break;
       default:
         if (ex.conv.groups == 1) {
             ex.winograd = std::make_unique<WinogradConv>(ex.conv, &ex.weight,
-                                                         device_);
-            if (!ex.winograd->usesWinograd())
+                                                         device_, ex.tuning);
+            if (!ex.winograd->usesWinograd()) {
+                // Drop the non-applicable engine (it carries a packed
+                // fallback of its own) instead of packing weights twice.
+                ex.winograd.reset();
                 ex.im2col = std::make_unique<Im2colConv>(ex.conv, &ex.weight,
-                                                         device_);
+                                                         device_, ex.tuning);
+            }
         } else {
             ex.naive = std::make_unique<NaiveConv>(ex.conv, &ex.weight, device_);
         }
@@ -367,9 +379,11 @@ CompiledModel::labelExecutor(Executor& ex, size_t id) const
         } else if (ex.im2col) {
             ex.kind_name = "im2col";
         }
-        // Only the sparse engines dispatch through the SIMD kernel
-        // tables; the dense baselines run scalar/engine-internal code.
-        if (ex.pattern || ex.csr)
+        // The sparse engines and the packed-GEMM dense engines
+        // (im2col, winograd stage-2) dispatch through the SIMD kernel
+        // tables; only the tflite-like naive baseline stays
+        // engine-internal scalar code.
+        if (ex.pattern || ex.csr || ex.im2col || ex.winograd)
             ex.isa_name = isaName(resolveSimdOps(device_.simd_isa).isa);
         break;
       case OpKind::kBatchNorm:      ex.kind_name = "bn"; break;

@@ -1,0 +1,130 @@
+#include "rt/gemm_packed.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+GemmBlocking
+gemmBlockingFor(const SimdOps& ops, int64_t k, int64_t n,
+                int64_t tile_budget_kb, int64_t kc_override,
+                int64_t nc_override)
+{
+    GemmBlocking b;
+    if (kc_override > 0) {
+        b.kc = kc_override;
+    } else {
+        // One [kc x MR] LHS slice + one [kc x NR] RHS slice should fill
+        // about half the L1 budget, leaving the rest for the C block
+        // and the streaming write-back.
+        int64_t budget_elems = std::max<int64_t>(1, tile_budget_kb) * 1024 / 4;
+        int64_t per_k = ops.gemm_mr + ops.gemm_nr;
+        b.kc = std::max<int64_t>(16, budget_elems / (2 * per_k));
+    }
+    b.kc = std::min(b.kc, std::max<int64_t>(1, k));
+    if (nc_override > 0) {
+        b.nc = nc_override;
+    } else {
+        // A handful of column tiles per C block: wide enough to amortize
+        // the LHS panel reload, narrow enough that [MR x nc] stays hot.
+        b.nc = static_cast<int64_t>(ops.gemm_nr) * 8;
+    }
+    // Round up to whole tiles so blocks never split a tile.
+    int64_t nr = ops.gemm_nr;
+    b.nc = std::max<int64_t>(nr, (b.nc / nr) * nr);
+    b.nc = std::min(b.nc, std::max<int64_t>(1, n));
+    return b;
+}
+
+int64_t
+packedLhsElems(int64_t m, int64_t k, int mr)
+{
+    return ((m + mr - 1) / mr) * k * mr;
+}
+
+int64_t
+packedRhsElems(int64_t k, int64_t n, int nr)
+{
+    return ((n + nr - 1) / nr) * k * nr;
+}
+
+void
+packLhsTiles(const float* a, int64_t m, int64_t k, int64_t lda, int mr,
+             float* dst)
+{
+    int64_t tiles = (m + mr - 1) / mr;
+    for (int64_t i = 0; i < tiles; ++i) {
+        int live = static_cast<int>(std::min<int64_t>(mr, m - i * mr));
+        float* panel = dst + i * k * mr;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            float* out = panel + kk * mr;
+            const float* src = a + i * mr * lda + kk;
+            int r = 0;
+            for (; r < live; ++r)
+                out[r] = src[r * lda];
+            for (; r < mr; ++r)
+                out[r] = 0.0f;
+        }
+    }
+}
+
+void
+packRhsTiles(const float* b, int64_t k, int64_t n, int64_t ldb, int nr,
+             float* dst)
+{
+    int64_t tiles = (n + nr - 1) / nr;
+    for (int64_t j = 0; j < tiles; ++j) {
+        int live = static_cast<int>(std::min<int64_t>(nr, n - j * nr));
+        float* panel = dst + j * k * nr;
+        const float* src_col = b + j * nr;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            float* out = panel + kk * nr;
+            const float* src = src_col + kk * ldb;
+            int x = 0;
+            for (; x < live; ++x)
+                out[x] = src[x];
+            for (; x < nr; ++x)
+                out[x] = 0.0f;
+        }
+    }
+}
+
+void
+packedGemmRowTiles(const SimdOps& ops, const float* packed_lhs,
+                   const float* packed_rhs, int64_t m, int64_t k, int64_t n,
+                   float* c, int64_t ldc, int64_t tile_begin, int64_t tile_end,
+                   const GemmBlocking& blocking)
+{
+    PATDNN_CHECK(ops.gemm_tile != nullptr, "SimdOps table lacks gemm_tile");
+    const int mr = ops.gemm_mr;
+    const int nr = ops.gemm_nr;
+    const int64_t kc = std::max<int64_t>(1, blocking.kc);
+    const int64_t nc = std::max<int64_t>(nr, blocking.nc);
+    for (int64_t i = tile_begin; i < tile_end; ++i) {
+        const int live_m = static_cast<int>(std::min<int64_t>(mr, m - i * mr));
+        const float* lhs_tile = packed_lhs + i * k * mr;
+        float* c_rows = c + i * mr * ldc;
+        for (int64_t n0 = 0; n0 < n; n0 += nc) {
+            const int64_t n1 = std::min(n, n0 + nc);
+            // K blocks accumulate through C, so this loop is bit-neutral
+            // (dispatch.h): the [mr x (n1-n0)] C block stays resident
+            // while K streams through it.
+            for (int64_t k0 = 0; k0 < k; k0 += kc) {
+                const int64_t kcur = std::min(kc, k - k0);
+                const float* a_panel = lhs_tile + k0 * mr;
+                for (int64_t jn = n0; jn < n1; jn += nr) {
+                    const int64_t j = jn / nr;
+                    const int live_n =
+                        static_cast<int>(std::min<int64_t>(nr, n - jn));
+                    const float* b_panel =
+                        packed_rhs + (j * k + k0) * nr;
+                    ops.gemm_tile(a_panel, b_panel, c_rows + jn, ldc, kcur,
+                                  live_m, live_n);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace patdnn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Packed, tiled, cache-blocked dense GEMM (mmt4d-style).
+ *
+ * The dense executors (im2col, Winograd stage 2) compute
+ * C[M x N] (+)= A[M x K] * B[K x N]. This layer rearranges both
+ * operands into tile-major "panel" layouts so the per-ISA tile kernel
+ * (SimdOps::gemm_tile, rt/simd/dispatch.h) streams contiguous,
+ * vector-width-aligned memory:
+ *
+ *   packed LHS: [ceil(M/MR)] tiles, each [K][MR]   (row panels)
+ *   packed RHS: [ceil(N/NR)] tiles, each [K][NR]   (column panels)
+ *
+ * Edge tiles are zero-padded; the padded lanes feed only discarded
+ * accumulator lanes and are never stored back. The outer loops are
+ * blocked for cache: within one row tile, the N dimension is walked in
+ * `nc`-column blocks (keeping the [MR x nc] C block resident across K)
+ * and K in `kc`-element blocks (keeping one [kc x MR] LHS panel slice
+ * plus one [kc x NR] RHS panel slice L1-resident). Because the tile
+ * kernel's per-element accumulation chain runs through C itself,
+ * kc-blocking is bit-neutral, and results are bit-identical across
+ * ISAs and blocking choices (the cross-ISA contract of dispatch.h).
+ *
+ * Blocking defaults derive from the ISA's tile footprint and the
+ * device's cache budget (IREE KernelDispatch-style); the auto-tuner can
+ * override them per layer via TuneParams::gemm_kc / gemm_nc, memoized
+ * in the process-wide TuneCache (see rt/tuner.h).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "rt/simd/dispatch.h"
+
+namespace patdnn {
+
+/** Cache-blocking factors of the packed GEMM outer loops. */
+struct GemmBlocking
+{
+    int64_t kc = 0;  ///< K elements per block (panel-slice depth).
+    int64_t nc = 0;  ///< N columns per block (C-block width).
+};
+
+/**
+ * Derive blocking from the tile footprint and the device's L1-resident
+ * working-set budget (DeviceSpec::tile_budget_kb): kc sized so one LHS
+ * slice + one RHS slice + the C tile fit the budget, nc a few tiles
+ * wide so the C block stays register/L1 friendly. `kc_override` /
+ * `nc_override` (> 0) replace the heuristic — the tuner's knobs.
+ */
+GemmBlocking gemmBlockingFor(const SimdOps& ops, int64_t k, int64_t n,
+                             int64_t tile_budget_kb, int64_t kc_override = 0,
+                             int64_t nc_override = 0);
+
+/** Packed-buffer extents (in floats). */
+int64_t packedLhsElems(int64_t m, int64_t k, int mr);
+int64_t packedRhsElems(int64_t k, int64_t n, int nr);
+
+/**
+ * Pack row-major A[M x K] (row stride `lda`) into MR-row tile panels:
+ * dst tile i holds A rows [i*MR, i*MR+MR) as [K][MR], zero-padded past
+ * M. `dst` must hold packedLhsElems(m, k, mr) floats.
+ */
+void packLhsTiles(const float* a, int64_t m, int64_t k, int64_t lda, int mr,
+                  float* dst);
+
+/**
+ * Pack row-major B[K x N] (row stride `ldb`) into NR-column tile
+ * panels: dst tile j holds B columns [j*NR, j*NR+NR) as [K][NR],
+ * zero-padded past N. `dst` must hold packedRhsElems(k, n, nr) floats.
+ */
+void packRhsTiles(const float* b, int64_t k, int64_t n, int64_t ldb, int nr,
+                  float* dst);
+
+/**
+ * Run the blocked GEMM over row tiles [tile_begin, tile_end) of
+ * C[M x N] (row stride `ldc`): C (+)= A * B with C pre-initialized by
+ * the caller (bias or zero). Callers parallelize by splitting the
+ * [0, ceil(M/MR)) row-tile range across workers; each call is
+ * independent and touches only its own C rows.
+ */
+void packedGemmRowTiles(const SimdOps& ops, const float* packed_lhs,
+                        const float* packed_rhs, int64_t m, int64_t k,
+                        int64_t n, float* c, int64_t ldc, int64_t tile_begin,
+                        int64_t tile_end, const GemmBlocking& blocking);
+
+}  // namespace patdnn

@@ -39,6 +39,12 @@ struct TuneParams
     int unroll_w = 8;         ///< Register-blocked outputs per x step.
     int unroll_oc = 4;        ///< Filter-level unrolling for LRE.
     int filters_per_task = 8; ///< Scheduling granularity.
+
+    // Dense packed-GEMM cache blocking (rt/gemm_packed.h). 0 = derive
+    // from the ISA tile footprint and the device tile budget; the
+    // auto-tuner searches concrete values per layer.
+    int64_t gemm_kc = 0;      ///< K elements per GEMM block.
+    int64_t gemm_nc = 0;      ///< N columns per GEMM block.
 };
 
 /** Optimization switches (the Fig. 13 ablation axes). */

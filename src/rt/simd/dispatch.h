@@ -6,9 +6,11 @@
  * paper's Snapdragon/Kirin targets); this layer is the host-side
  * equivalent. Each ISA provides one table of vectorized primitives
  * (SimdOps) for the hot inner loops — the LRE interior accumulation,
- * the filter-level multi-filter fan-out, the CSR row saxpy and the ReLU
- * epilogue — and one binary selects the best table at load time from
- * CPU features (AVX2 on x86-64, NEON on aarch64, scalar otherwise).
+ * the filter-level multi-filter fan-out, the CSR row saxpy, the ReLU
+ * epilogue and the packed-GEMM tile kernel the dense im2col/Winograd
+ * executors run on — and one binary selects the best table at load
+ * time from CPU features (AVX2 on x86-64, NEON on aarch64, scalar
+ * otherwise).
  *
  * Determinism contract: every table computes bit-identical results to
  * scalarSimdOps() — same per-element operation order, plain IEEE mul
@@ -78,6 +80,33 @@ struct SimdOps
 
     /** y[i] = max(0, y[i]) (fused ReLU epilogue). */
     void (*relu)(float* y, int64_t n);
+
+    /// Full tile footprint of gemm_tile: rows per LHS panel step.
+    int gemm_mr = 1;
+    /// Full tile footprint of gemm_tile: columns per RHS panel step.
+    int gemm_nr = 1;
+
+    /**
+     * Packed-GEMM tile micro-kernel (the mmt4d-style dense inner loop;
+     * rt/gemm_packed.h owns the packing and the cache-blocked outer
+     * loops). `a_panel` is one LHS tile panel slice laid out
+     * [kc][gemm_mr], `b_panel` one RHS tile panel slice laid out
+     * [kc][gemm_nr]; `c` is the [mr x nr] output tile at row stride
+     * `ldc`, already holding the accumulation state (bias or the
+     * previous K block's partial sums). mr/nr are the live extents
+     * (< gemm_mr/gemm_nr only on edge tiles; the padded panel lanes
+     * hold zeros and are never stored).
+     *
+     * Numerics: for every output element the chain is
+     *   acc = c[m*ldc+n]; for k in [0,kc): acc += a[k][m] * b[k][n];
+     * — sequential in k, mul then add, no FMA. The chain runs through
+     * the C element itself, so splitting K into blocks is bit-neutral,
+     * and every ISA produces bit-identical results regardless of its
+     * gemm_mr/gemm_nr footprint (tiling only partitions the m/n space,
+     * never the per-element k chain).
+     */
+    void (*gemm_tile)(const float* a_panel, const float* b_panel, float* c,
+                      int64_t ldc, int64_t kc, int mr, int nr);
 };
 
 /** The portable reference table; always available. */

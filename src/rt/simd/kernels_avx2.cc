@@ -128,6 +128,59 @@ reluAvx2(float* y, int64_t n)
         y[i] = 0.0f < y[i] ? y[i] : 0.0f;
 }
 
+// Packed-GEMM tile: 4 LHS rows x 16 RHS columns = 8 ymm accumulators,
+// plus one broadcast and two RHS loads per k step — 11 of the 16 ymm
+// registers, leaving headroom for addressing.
+constexpr int kGemmMrAvx2 = 4;
+constexpr int kGemmNrAvx2 = 16;
+
+void
+gemmTileAvx2(const float* a_panel, const float* b_panel, float* c, int64_t ldc,
+             int64_t kc, int mr, int nr)
+{
+    if (mr == kGemmMrAvx2 && nr == kGemmNrAvx2) {
+        __m256 acc[kGemmMrAvx2][2];
+        for (int m = 0; m < kGemmMrAvx2; ++m) {
+            acc[m][0] = _mm256_loadu_ps(c + m * ldc);
+            acc[m][1] = _mm256_loadu_ps(c + m * ldc + 8);
+        }
+        for (int64_t k = 0; k < kc; ++k) {
+            const __m256 b0 = _mm256_loadu_ps(b_panel + k * kGemmNrAvx2);
+            const __m256 b1 = _mm256_loadu_ps(b_panel + k * kGemmNrAvx2 + 8);
+            const float* a = a_panel + k * kGemmMrAvx2;
+            for (int m = 0; m < kGemmMrAvx2; ++m) {
+                const __m256 av = _mm256_set1_ps(a[m]);
+                acc[m][0] =
+                    _mm256_add_ps(acc[m][0], _mm256_mul_ps(av, b0));
+                acc[m][1] =
+                    _mm256_add_ps(acc[m][1], _mm256_mul_ps(av, b1));
+            }
+        }
+        for (int m = 0; m < kGemmMrAvx2; ++m) {
+            _mm256_storeu_ps(c + m * ldc, acc[m][0]);
+            _mm256_storeu_ps(c + m * ldc + 8, acc[m][1]);
+        }
+        return;
+    }
+    // Edge tiles: same per-element k chain, scalar lanes.
+    float acc[kGemmMrAvx2][kGemmNrAvx2];
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            acc[m][n] = c[m * ldc + n];
+    for (int64_t k = 0; k < kc; ++k) {
+        const float* a = a_panel + k * kGemmMrAvx2;
+        const float* b = b_panel + k * kGemmNrAvx2;
+        for (int m = 0; m < mr; ++m) {
+            float av = a[m];
+            for (int n = 0; n < nr; ++n)
+                acc[m][n] += av * b[n];
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            c[m * ldc + n] = acc[m][n];
+}
+
 }  // namespace
 
 const SimdOps&
@@ -135,7 +188,8 @@ avx2SimdOps()
 {
     static const SimdOps ops = {SimdIsa::kAvx2, "avx2", 8,
                                 accumRowsAvx2, accumRowsMultiAvx2,
-                                axpyAvx2, reluAvx2};
+                                axpyAvx2, reluAvx2,
+                                kGemmMrAvx2, kGemmNrAvx2, gemmTileAvx2};
     return ops;
 }
 

@@ -111,6 +111,58 @@ reluNeon(float* y, int64_t n)
         y[i] = 0.0f < y[i] ? y[i] : 0.0f;
 }
 
+// Packed-GEMM tile: 4 LHS rows x 8 RHS columns = 8 q-register
+// accumulators plus one broadcast and two RHS loads per k step; well
+// inside the 32 NEON registers. Explicit vmulq+vaddq, never
+// vmlaq/vfmaq (see the file comment).
+constexpr int kGemmMrNeon = 4;
+constexpr int kGemmNrNeon = 8;
+
+void
+gemmTileNeon(const float* a_panel, const float* b_panel, float* c, int64_t ldc,
+             int64_t kc, int mr, int nr)
+{
+    if (mr == kGemmMrNeon && nr == kGemmNrNeon) {
+        float32x4_t acc[kGemmMrNeon][2];
+        for (int m = 0; m < kGemmMrNeon; ++m) {
+            acc[m][0] = vld1q_f32(c + m * ldc);
+            acc[m][1] = vld1q_f32(c + m * ldc + 4);
+        }
+        for (int64_t k = 0; k < kc; ++k) {
+            const float32x4_t b0 = vld1q_f32(b_panel + k * kGemmNrNeon);
+            const float32x4_t b1 = vld1q_f32(b_panel + k * kGemmNrNeon + 4);
+            const float* a = a_panel + k * kGemmMrNeon;
+            for (int m = 0; m < kGemmMrNeon; ++m) {
+                const float32x4_t av = vdupq_n_f32(a[m]);
+                acc[m][0] = vaddq_f32(acc[m][0], vmulq_f32(av, b0));
+                acc[m][1] = vaddq_f32(acc[m][1], vmulq_f32(av, b1));
+            }
+        }
+        for (int m = 0; m < kGemmMrNeon; ++m) {
+            vst1q_f32(c + m * ldc, acc[m][0]);
+            vst1q_f32(c + m * ldc + 4, acc[m][1]);
+        }
+        return;
+    }
+    // Edge tiles: same per-element k chain, scalar lanes.
+    float acc[kGemmMrNeon][kGemmNrNeon];
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            acc[m][n] = c[m * ldc + n];
+    for (int64_t k = 0; k < kc; ++k) {
+        const float* a = a_panel + k * kGemmMrNeon;
+        const float* b = b_panel + k * kGemmNrNeon;
+        for (int m = 0; m < mr; ++m) {
+            float av = a[m];
+            for (int n = 0; n < nr; ++n)
+                acc[m][n] += av * b[n];
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            c[m * ldc + n] = acc[m][n];
+}
+
 }  // namespace
 
 const SimdOps&
@@ -118,7 +170,8 @@ neonSimdOps()
 {
     static const SimdOps ops = {SimdIsa::kNeon, "neon", 4,
                                 accumRowsNeon, accumRowsMultiNeon,
-                                axpyNeon, reluNeon};
+                                axpyNeon, reluNeon,
+                                kGemmMrNeon, kGemmNrNeon, gemmTileNeon};
     return ops;
 }
 

@@ -70,6 +70,38 @@ reluScalar(float* y, int64_t n)
         y[i] = std::max(0.0f, y[i]);
 }
 
+// Packed-GEMM tile footprint. 4x4 keeps 16 independent accumulators
+// live, which the baseline target maps onto whatever registers it has;
+// correctness never depends on these numbers (see dispatch.h).
+constexpr int kGemmMrScalar = 4;
+constexpr int kGemmNrScalar = 4;
+
+void
+gemmTileScalar(const float* a_panel, const float* b_panel, float* c,
+               int64_t ldc, int64_t kc, int mr, int nr)
+{
+    // The per-element k chain — load C once, add a*b in k order, store
+    // once — is the numerics contract every vector tile kernel
+    // reproduces lane for lane. The tile accumulators live in locals so
+    // the k loop runs over registers, not memory.
+    float acc[kGemmMrScalar][kGemmNrScalar];
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            acc[m][n] = c[m * ldc + n];
+    for (int64_t k = 0; k < kc; ++k) {
+        const float* a = a_panel + k * kGemmMrScalar;
+        const float* b = b_panel + k * kGemmNrScalar;
+        for (int m = 0; m < mr; ++m) {
+            float av = a[m];
+            for (int n = 0; n < nr; ++n)
+                acc[m][n] += av * b[n];
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            c[m * ldc + n] = acc[m][n];
+}
+
 }  // namespace
 
 const SimdOps&
@@ -77,7 +109,8 @@ scalarSimdOps()
 {
     static const SimdOps ops = {SimdIsa::kScalar, "scalar", 1,
                                 accumRowsScalar, accumRowsMultiScalar,
-                                axpyScalar, reluScalar};
+                                axpyScalar, reluScalar,
+                                kGemmMrScalar, kGemmNrScalar, gemmTileScalar};
     return ops;
 }
 

@@ -13,6 +13,7 @@ struct Genes
 {
     int tile_oh = 0, tile_ow = 0, unroll_w = 0, unroll_oc = 0;
     int filters_per_task = 0, permutation = 0, blocked = 0;
+    int gemm_kc = 0, gemm_nc = 0;
 };
 
 TuneParams
@@ -26,6 +27,8 @@ decode(const Genes& g, const TuneSpace& s)
     p.filters_per_task = s.filters_per_task[static_cast<size_t>(g.filters_per_task)];
     p.permute = s.permutations[static_cast<size_t>(g.permutation)];
     p.blocked = s.blocked[static_cast<size_t>(g.blocked)];
+    p.gemm_kc = s.gemm_kc[static_cast<size_t>(g.gemm_kc)];
+    p.gemm_nc = s.gemm_nc[static_cast<size_t>(g.gemm_nc)];
     return p;
 }
 
@@ -43,6 +46,8 @@ randomGenes(const TuneSpace& s, Rng& rng)
     g.filters_per_task = pick(s.filters_per_task.size());
     g.permutation = pick(s.permutations.size());
     g.blocked = pick(s.blocked.size());
+    g.gemm_kc = pick(s.gemm_kc.size());
+    g.gemm_nc = pick(s.gemm_nc.size());
     return g;
 }
 
@@ -57,6 +62,8 @@ crossover(const Genes& a, const Genes& b, Rng& rng)
     c.filters_per_task = rng.bernoulli(0.5) ? a.filters_per_task : b.filters_per_task;
     c.permutation = rng.bernoulli(0.5) ? a.permutation : b.permutation;
     c.blocked = rng.bernoulli(0.5) ? a.blocked : b.blocked;
+    c.gemm_kc = rng.bernoulli(0.5) ? a.gemm_kc : b.gemm_kc;
+    c.gemm_nc = rng.bernoulli(0.5) ? a.gemm_nc : b.gemm_nc;
     return c;
 }
 
@@ -74,6 +81,8 @@ mutate(Genes& g, const TuneSpace& s, double rate, Rng& rng)
     maybe(g.filters_per_task, s.filters_per_task.size());
     maybe(g.permutation, s.permutations.size());
     maybe(g.blocked, s.blocked.size());
+    maybe(g.gemm_kc, s.gemm_kc.size());
+    maybe(g.gemm_nc, s.gemm_nc.size());
 }
 
 }  // namespace
@@ -89,6 +98,11 @@ tuneSpaceFor(SimdIsa isa)
         s.unroll_w = {ops.width, 2 * ops.width, 4 * ops.width};
         s.tile_ow = {8 * ops.width, 16 * ops.width, 32 * ops.width};
     }
+    // GEMM N-blocks in whole tile widths of this ISA's gemm_nr (so a
+    // block never splits a tile); 0 keeps the budget heuristic as a
+    // candidate. kc candidates are ISA-independent (panel depth).
+    int64_t nr = ops.gemm_nr;
+    s.gemm_nc = {0, 4 * nr, 8 * nr, 16 * nr};
     return s;
 }
 
@@ -104,35 +118,54 @@ tuneLayer(const std::function<double(const TuneParams&)>& measure,
     for (int i = 0; i < cfg.population; ++i)
         population.push_back(randomGenes(space, rng));
 
-    std::vector<double> fitness(population.size(), 0.0);
-    auto evaluate = [&](const Genes& g) {
-        TuneParams p = decode(g, space);
-        double best = 1e30;
-        for (int r = 0; r < cfg.measure_reps; ++r)
-            best = std::min(best, measure(p));
-        result.history.push_back({p, best});
-        ++result.evaluations;
-        if (best < result.best_ms) {
-            result.best_ms = best;
-            result.best = p;
+    // Evaluate one batch of candidates (the initial population, then
+    // each generation's brood). Breeding only depends on the *previous*
+    // generation's fitness, so a whole batch can be measured at once —
+    // in parallel on cfg.eval_pool when provided — while history order,
+    // the RNG sequence and the explored candidates stay identical to
+    // the serial schedule.
+    auto evaluateBatch = [&](const std::vector<Genes>& batch) {
+        std::vector<TuneRecord> records(batch.size());
+        auto eval_one = [&](int64_t i) {
+            TuneParams p = decode(batch[static_cast<size_t>(i)], space);
+            double best = 1e30;
+            for (int r = 0; r < cfg.measure_reps; ++r)
+                best = std::min(best, measure(p));
+            records[static_cast<size_t>(i)] = {p, best};
+        };
+        if (cfg.eval_pool != nullptr && batch.size() > 1)
+            cfg.eval_pool->parallelFor(static_cast<int64_t>(batch.size()),
+                                       eval_one);
+        else
+            for (int64_t i = 0; i < static_cast<int64_t>(batch.size()); ++i)
+                eval_one(i);
+        std::vector<double> fit(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            result.history.push_back(records[i]);
+            ++result.evaluations;
+            if (records[i].time_ms < result.best_ms) {
+                result.best_ms = records[i].time_ms;
+                result.best = records[i].params;
+            }
+            fit[i] = records[i].time_ms;
         }
-        return best;
+        return fit;
     };
 
-    for (size_t i = 0; i < population.size(); ++i)
-        fitness[i] = evaluate(population[i]);
+    std::vector<double> fitness = evaluateBatch(population);
 
     for (int gen = 0; gen < cfg.generations; ++gen) {
         std::vector<Genes> next;
         std::vector<double> next_fit;
-        // Elitism: carry the best chromosome forward.
+        // Elitism: carry the best chromosome forward (not re-measured).
         size_t best_idx = 0;
         for (size_t i = 1; i < population.size(); ++i)
             if (fitness[i] < fitness[best_idx])
                 best_idx = i;
         next.push_back(population[best_idx]);
         next_fit.push_back(fitness[best_idx]);
-        while (next.size() < population.size()) {
+        std::vector<Genes> brood;
+        while (next.size() + brood.size() < population.size()) {
             // Tournament selection of two parents.
             auto tournament = [&]() -> const Genes& {
                 size_t a = static_cast<size_t>(
@@ -143,8 +176,12 @@ tuneLayer(const std::function<double(const TuneParams&)>& measure,
             };
             Genes child = crossover(tournament(), tournament(), rng);
             mutate(child, space, cfg.mutation_rate, rng);
-            next_fit.push_back(evaluate(child));
-            next.push_back(child);
+            brood.push_back(child);
+        }
+        std::vector<double> brood_fit = evaluateBatch(brood);
+        for (size_t i = 0; i < brood.size(); ++i) {
+            next.push_back(brood[i]);
+            next_fit.push_back(brood_fit[i]);
         }
         population = std::move(next);
         fitness = std::move(next_fit);
@@ -164,6 +201,10 @@ PerfEstimator::features(const TuneParams& p)
         std::log2(static_cast<double>(std::max(1, p.filters_per_task))),
         p.permute == LoopPermutation::kCoHWCi ? 1.0 : 0.0,
         p.blocked ? 1.0 : 0.0,
+        // 0 = "heuristic blocking" decodes to log2(1) = 0, a neutral
+        // baseline the fitted slope measures concrete blocks against.
+        std::log2(static_cast<double>(std::max<int64_t>(1, p.gemm_kc))),
+        std::log2(static_cast<double>(std::max<int64_t>(1, p.gemm_nc))),
     };
 }
 
@@ -238,21 +279,25 @@ PerfEstimator::argminOver(const TuneSpace& space) const
                 for (int uoc : space.unroll_oc)
                     for (int fpt : space.filters_per_task)
                         for (auto perm : space.permutations)
-                            for (bool blk : space.blocked) {
-                                TuneParams p;
-                                p.tile_oh = toh;
-                                p.tile_ow = tow;
-                                p.unroll_w = uw;
-                                p.unroll_oc = uoc;
-                                p.filters_per_task = fpt;
-                                p.permute = perm;
-                                p.blocked = blk;
-                                double y = predict(p);
-                                if (y < best_y) {
-                                    best_y = y;
-                                    best = p;
-                                }
-                            }
+                            for (bool blk : space.blocked)
+                                for (int64_t gkc : space.gemm_kc)
+                                    for (int64_t gnc : space.gemm_nc) {
+                                        TuneParams p;
+                                        p.tile_oh = toh;
+                                        p.tile_ow = tow;
+                                        p.unroll_w = uw;
+                                        p.unroll_oc = uoc;
+                                        p.filters_per_task = fpt;
+                                        p.permute = perm;
+                                        p.blocked = blk;
+                                        p.gemm_kc = gkc;
+                                        p.gemm_nc = gnc;
+                                        double y = predict(p);
+                                        if (y < best_y) {
+                                            best_y = y;
+                                            best = p;
+                                        }
+                                    }
     return best;
 }
 

@@ -34,6 +34,10 @@ struct TuneSpace
     std::vector<LoopPermutation> permutations = {LoopPermutation::kCoCiHW,
                                                  LoopPermutation::kCoHWCi};
     std::vector<bool> blocked = {false, true};
+    // Dense packed-GEMM cache blocking (rt/gemm_packed.h); 0 = the
+    // budget-derived heuristic stays in the running as a candidate.
+    std::vector<int64_t> gemm_kc = {0, 64, 128, 256};
+    std::vector<int64_t> gemm_nc = {0, 32, 64, 128};
 };
 
 /**
@@ -53,6 +57,21 @@ struct TunerConfig
     double mutation_rate = 0.25;
     int measure_reps = 2;     ///< Timed runs per fitness evaluation.
     uint64_t seed = 99;
+
+    /**
+     * Evaluate each batch of candidates (initial population, then each
+     * generation's children) in parallel on this pool instead of
+     * serially. Candidate *selection* is unchanged — every generation's
+     * children are bred from the previous generation only, so the RNG
+     * sequence and the explored configurations are identical to the
+     * serial schedule, and history keeps its deterministic order.
+     * Requirements: `measure` must be thread-safe, and the pool must
+     * not be one `measure` itself forks on (ThreadPool fork-joins are
+     * not reentrant). Measured times gain cross-candidate contention
+     * noise; with a deterministic measure, results are bit-identical
+     * to serial.
+     */
+    ThreadPool* eval_pool = nullptr;
 };
 
 /** One explored configuration with its measured cost. */

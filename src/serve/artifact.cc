@@ -52,7 +52,7 @@ putTensor(std::vector<uint8_t>& out, const Tensor& t)
 }
 
 void
-putTuning(std::vector<uint8_t>& out, const TuneParams& p)
+putTuning(std::vector<uint8_t>& out, const TuneParams& p, uint32_t version)
 {
     putU32(out, p.permute == LoopPermutation::kCoCiHW ? 0u : 1u);
     putU32(out, p.blocked ? 1u : 0u);
@@ -61,6 +61,10 @@ putTuning(std::vector<uint8_t>& out, const TuneParams& p)
     putU32(out, static_cast<uint32_t>(p.unroll_w));
     putU32(out, static_cast<uint32_t>(p.unroll_oc));
     putU32(out, static_cast<uint32_t>(p.filters_per_task));
+    if (version >= 5) {
+        putI64(out, p.gemm_kc);
+        putI64(out, p.gemm_nc);
+    }
 }
 
 /** Artifact-specific records (framing only; structural checks stay
@@ -97,7 +101,7 @@ struct Reader : bytes::Reader
     }
 
     bool
-    tuning(TuneParams& p)
+    tuning(TuneParams& p, uint32_t version)
     {
         p.permute = u32() == 0 ? LoopPermutation::kCoCiHW : LoopPermutation::kCoHWCi;
         p.blocked = u32() != 0;
@@ -106,6 +110,12 @@ struct Reader : bytes::Reader
         p.unroll_w = static_cast<int>(u32());
         p.unroll_oc = static_cast<int>(u32());
         p.filters_per_task = static_cast<int>(u32());
+        if (version >= 5) {
+            // Dense packed-GEMM blocking; pre-v5 artifacts keep the 0
+            // defaults (blocking re-derived from the device budget).
+            p.gemm_kc = i64();
+            p.gemm_nc = i64();
+        }
         return ok;
     }
 };
@@ -230,7 +240,7 @@ emitPayload(const CompiledModel& model, uint32_t version, const Emit& emit)
             putI64(buf, st.pool_stride);
             putI64(buf, st.in_features);
             putI64(buf, st.out_features);
-            putTuning(buf, st.tuning);
+            putTuning(buf, st.tuning, version);
             buf.push_back(st.opts.reorder ? 1 : 0);
             buf.push_back(st.opts.lre ? 1 : 0);
             buf.push_back(st.opts.tuned ? 1 : 0);
@@ -425,7 +435,7 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         st.pool_stride = r.i64();
         st.in_features = r.i64();
         st.out_features = r.i64();
-        if (!r.tuning(st.tuning))
+        if (!r.tuning(st.tuning, version))
             return fail("artifact: truncated tuning block");
         st.opts.reorder = r.u8() != 0;
         st.opts.lre = r.u8() != 0;

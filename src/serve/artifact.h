@@ -78,10 +78,12 @@ inline constexpr char kBadMemoryPlan[] = "artifact/bad-memory-plan";
 
 /** Artifact format version written by serializeModel. Version 2 added
  * the tuned-ISA field; version 3 the device fingerprint and compile
- * option record; version 4 the activation memory plan. v1–v3 artifacts
- * still load (plan-less; with a provenance warning pre-v3, ISA assumed
- * scalar for v1). */
-constexpr uint32_t kModelArtifactVersion = 4;
+ * option record; version 4 the activation memory plan; version 5 the
+ * dense packed-GEMM cache-blocking fields (gemm_kc / gemm_nc) in each
+ * layer's tuning record. v1–v4 artifacts still load (plan-less pre-v4;
+ * with a provenance warning pre-v3, ISA assumed scalar for v1;
+ * blocking re-derived from the device budget pre-v5). */
+constexpr uint32_t kModelArtifactVersion = 5;
 
 /** Load-time strictness knobs. */
 struct ArtifactLoadOptions

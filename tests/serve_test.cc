@@ -966,7 +966,7 @@ TEST(Artifact, V4RoundTripRestoresMemoryPlan)
     auto loaded = deserializeModel(serializeModel(compiled), dev,
                                    ArtifactLoadOptions{}, &info);
     ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
-    EXPECT_EQ(info.version, 4u);
+    EXPECT_EQ(info.version, kModelArtifactVersion);
     EXPECT_TRUE(info.compile_opts.enable_memory_plan);
     ASSERT_TRUE(loaded.value()->hasMemoryPlan());
 
@@ -1020,6 +1020,40 @@ TEST(Artifact, PreV4ArtifactsLoadPlanLess)
         EXPECT_FALSE(session.usesPlannedArena()) << "v" << version;
         EXPECT_EQ(Tensor::maxAbsDiff(session.run(in), expect), 0.0)
             << "v" << version;
+    }
+}
+
+TEST(Artifact, V5RoundTripRestoresGemmBlocking)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompileOptions opts;
+    opts.default_tuning.gemm_kc = 96;
+    opts.default_tuning.gemm_nc = 48;
+    CompiledModel compiled(m, FrameworkKind::kPatDnn, dev, opts);
+
+    // v5 carries the dense packed-GEMM blocking through the artifact.
+    auto loaded = deserializeModel(serializeModel(compiled), dev);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    int checked = 0;
+    for (const CompiledLayerState& st : loaded.value()->exportState()) {
+        if (!st.live || st.kind != OpKind::kConv)
+            continue;
+        EXPECT_EQ(st.tuning.gemm_kc, 96);
+        EXPECT_EQ(st.tuning.gemm_nc, 48);
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+
+    // A v4 serialization has no slot for the fields: the load falls
+    // back to 0 (= blocking re-derived from the device budget).
+    auto v4 = deserializeModel(serializeModel(compiled, 4), dev);
+    ASSERT_TRUE(v4.ok()) << v4.status().toString();
+    for (const CompiledLayerState& st : v4.value()->exportState()) {
+        if (!st.live || st.kind != OpKind::kConv)
+            continue;
+        EXPECT_EQ(st.tuning.gemm_kc, 0);
+        EXPECT_EQ(st.tuning.gemm_nc, 0);
     }
 }
 

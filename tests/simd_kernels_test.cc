@@ -214,6 +214,49 @@ TEST(SimdKernels, AxpyMatchesScalar)
     }
 }
 
+TEST(SimdKernels, GemmTileMatchesDocumentedChain)
+{
+    // The gemm_tile contract (dispatch.h): per output element, the
+    // accumulation chain starts from C, walks k sequentially, IEEE
+    // multiply then add. Each table is checked against that chain at
+    // its own MR x NR footprint, over full tiles and ragged edges.
+    Rng rng(14);
+    for (const SimdOps* ops : allTables()) {
+        const int mr = ops->gemm_mr;
+        const int nr = ops->gemm_nr;
+        ASSERT_GE(mr, 1);
+        ASSERT_GE(nr, 1);
+        for (int64_t kc : {1, 2, 7, 16, 33}) {
+            std::vector<float> a =
+                randomVec(rng, static_cast<size_t>(kc * mr));
+            std::vector<float> b =
+                randomVec(rng, static_cast<size_t>(kc * nr));
+            for (int live_m : {1, mr / 2 > 0 ? mr / 2 : 1, mr}) {
+                for (int live_n : {1, nr / 2 > 0 ? nr / 2 : 1, nr}) {
+                    const int64_t ldc = nr + 3;  // sub-row stores only
+                    std::vector<float> c0 =
+                        randomVec(rng, static_cast<size_t>(mr * ldc));
+                    std::vector<float> want = c0, got = c0;
+                    for (int m = 0; m < live_m; ++m)
+                        for (int n = 0; n < live_n; ++n) {
+                            float acc = want[static_cast<size_t>(m * ldc + n)];
+                            for (int64_t k = 0; k < kc; ++k)
+                                acc += a[static_cast<size_t>(k * mr + m)] *
+                                       b[static_cast<size_t>(k * nr + n)];
+                            want[static_cast<size_t>(m * ldc + n)] = acc;
+                        }
+                    ops->gemm_tile(a.data(), b.data(), got.data(), ldc, kc,
+                                   live_m, live_n);
+                    EXPECT_BITWISE_EQ(got.data(), want.data(),
+                                      static_cast<size_t>(mr * ldc),
+                                      ops->name << " kc=" << kc << " m="
+                                                << live_m << " n=" << live_n);
+                }
+            }
+        }
+    }
+}
+
 TEST(SimdKernels, ReluMatchesScalarIncludingSpecials)
 {
     const SimdOps& ref = scalarSimdOps();

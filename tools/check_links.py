@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and heading anchors in the repo docs.
+
+Scans the given markdown files (default: README.md, CHANGES.md,
+EXPERIMENTS.md, ROADMAP.md, PAPER.md, docs/*.md) for inline links
+`[text](target)` and validates every *relative* target:
+
+  * a path target (`docs/KERNELS.md`, `src/rt/tuner.h`) must exist on
+    disk, resolved against the linking file's directory;
+  * an anchor suffix (`docs/CI.md#bench-gate`) must match a heading in
+    the target file, using GitHub's slug rules (lowercase, spaces to
+    dashes, punctuation stripped);
+  * a bare fragment (`#how-to-add-an-isa`) must match a heading in the
+    linking file itself.
+
+External targets (http/https/mailto) are skipped — CI must not depend
+on network reachability. Link syntax inside fenced code blocks is
+ignored. Exit status 1 if any link is broken; the CI format job runs
+this (docs/CI.md).
+
+Usage:
+    tools/check_links.py [FILE.md ...]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+DEFAULT_FILES = [
+    "README.md",
+    "CHANGES.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "PAPERS.md",
+]
+
+
+def default_files(root):
+    files = [f for f in DEFAULT_FILES if os.path.isfile(os.path.join(root, f))]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files += sorted(
+            os.path.join("docs", f) for f in os.listdir(docs) if f.endswith(".md")
+        )
+    return files
+
+
+def strip_fences(lines):
+    """Yield (lineno, line) outside fenced code blocks."""
+    in_fence = False
+    for i, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield i, line
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, strip punctuation, dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip()
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    slugs = set()
+    for _, line in strip_fences(lines):
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def check_file(root, relpath, anchor_cache):
+    errors = []
+    abspath = os.path.join(root, relpath)
+    with open(abspath, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for lineno, line in strip_fences(lines):
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(root, os.path.dirname(relpath), path_part)
+                )
+                if not os.path.exists(dest):
+                    errors.append(
+                        f"{relpath}:{lineno}: broken link '{target}' "
+                        f"(no such file: {os.path.relpath(dest, root)})"
+                    )
+                    continue
+            else:
+                dest = abspath
+            if fragment:
+                if os.path.isdir(dest) or not dest.endswith(".md"):
+                    continue  # only .md targets carry heading anchors
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if fragment.lower() not in anchor_cache[dest]:
+                    errors.append(
+                        f"{relpath}:{lineno}: broken anchor '{target}' "
+                        f"(no heading '#{fragment}' in "
+                        f"{os.path.relpath(dest, root)})"
+                    )
+    return errors
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = sys.argv[1:] or default_files(root)
+    anchor_cache = {}
+    errors = []
+    for relpath in files:
+        if not os.path.isfile(os.path.join(root, relpath)):
+            errors.append(f"{relpath}: no such file")
+            continue
+        errors += check_file(root, relpath, anchor_cache)
+    for e in errors:
+        print(e)
+    print(
+        f"check_links: {len(files)} files, "
+        f"{'FAILED, ' + str(len(errors)) + ' broken' if errors else 'all links ok'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
