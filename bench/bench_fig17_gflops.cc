@@ -18,10 +18,14 @@ using namespace patdnn;
 
 namespace {
 
+enum class DenseMode { kNaive, kPackedF32, kPackedI8 };
+
 /** Dense im2col time (the no-Winograd dense baseline): the packed
- * tiled GEMM run path, or the retained pre-packing naive GEMM. */
+ * tiled GEMM run path, the retained pre-packing naive GEMM, or the
+ * int8 quantized GEMM (activation scale taken from the input absmax,
+ * as the calibrator would on this one-tensor "batch"). */
 double
-denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, bool packed)
+denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, DenseMode mode)
 {
     Rng rng(3);
     Tensor w(Shape{d.cout, d.cin, d.kh, d.kw});
@@ -29,8 +33,14 @@ denseNoWinoMs(const ConvDesc& d, const DeviceSpec& dev, bool packed)
     Tensor in(Shape{1, d.cin, d.h, d.w});
     in.fillUniform(rng, -1.0f, 1.0f);
     Tensor out = makeConvOutput(d, 1);
+    if (mode == DenseMode::kPackedI8) {
+        ActivationCalibrator cal(CalibrationMethod::kAbsMax);
+        cal.observe(in);
+        Im2colConv engine(d, &w, dev, TuneParams{}, cal.scale());
+        return medianTimeMs([&] { engine.run(in, out); }, 1, bench::reps());
+    }
     Im2colConv engine(d, &w, dev);
-    if (packed)
+    if (mode == DenseMode::kPackedF32)
         return medianTimeMs([&] { engine.run(in, out); }, 1, bench::reps());
     return medianTimeMs([&] { engine.runNaive(in, out); }, 1, bench::reps());
 }
@@ -46,22 +56,27 @@ main()
     // --- (a) whole-stack dense w/o Winograd: packed vs naive GEMM ---
     std::printf("--- (a) dense VGG conv stack, Winograd off (ms) ---\n");
     {
-        Table t({"Device", "naive GEMM", "packed GEMM", "naive/packed"});
+        Table t({"Device", "naive GEMM", "packed GEMM", "packed i8",
+                 "naive/packed", "f32/i8"});
         for (bool gpu : {false, true}) {
             DeviceSpec dev = gpu ? makeGpuDevice() : makeCpuDevice(8);
-            double naive = 0.0, packed = 0.0;
+            double naive = 0.0, packed = 0.0, packed_i8 = 0.0;
             for (const auto& d : layers) {
-                naive += denseNoWinoMs(d, dev, false);
-                packed += denseNoWinoMs(d, dev, true);
+                naive += denseNoWinoMs(d, dev, DenseMode::kNaive);
+                packed += denseNoWinoMs(d, dev, DenseMode::kPackedF32);
+                packed_i8 += denseNoWinoMs(d, dev, DenseMode::kPackedI8);
             }
             t.addRow({gpu ? "GPU-like" : "CPU", Table::num(naive, 1),
-                      Table::num(packed, 1),
-                      Table::num(naive / packed, 2) + "x"});
+                      Table::num(packed, 1), Table::num(packed_i8, 1),
+                      Table::num(naive / packed, 2) + "x",
+                      Table::num(packed / packed_i8, 2) + "x"});
         }
         t.print();
         std::printf("(the packed tile-kernel GEMM replaced the naive one on "
                     "every dense run path; the naive column is the retained "
-                    "comparison point — see docs/KERNELS.md)\n\n");
+                    "comparison point — see docs/KERNELS.md. packed i8 is the "
+                    "quantized path: same im2col, i8 panels + "
+                    "SimdOps::gemm_tile_i8, f32 requant epilogue)\n\n");
     }
 
     // --- (b) per-layer GFLOPS, pattern vs dense ---

@@ -215,6 +215,42 @@ BENCHMARK_CAPTURE(BM_DenseGemmConv, fc_like_naive,
 BENCHMARK_CAPTURE(BM_DenseGemmConv, fc_like_packed,
                   ConvDesc{"fc", 256, 256, 1, 1, 8, 8, 1, 0, 1, 1}, true);
 
+/**
+ * Int8 quantized dense conv (k-pair i8 panels + SimdOps::gemm_tile_i8
+ * + f32 requant epilogue) on the same shapes as the f32 packed rows
+ * above — the Fig. 17 int8-vs-f32 column at micro scale. The i8 GEMM
+ * gate is >= 1.5x over packed f32 at the whole-VGG-stack level
+ * (bench_fig17_gflops section a); per-shape ratios vary with the
+ * quantize/pack share of the runtime.
+ */
+void
+BM_DenseGemmConvI8(benchmark::State& state, ConvDesc d)
+{
+    Rng rng(9);
+    Tensor w(Shape{d.cout, d.cinPerGroup(), d.kh, d.kw});
+    w.fillHe(rng, d.cinPerGroup() * d.kh * d.kw);
+    Tensor in(Shape{1, d.cin, d.h, d.w});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    DeviceSpec dev = makeCpuDevice(4);
+    ActivationCalibrator cal(CalibrationMethod::kAbsMax);
+    cal.observe(in);
+    Im2colConv engine(d, &w, dev, TuneParams{}, cal.scale());
+    Tensor out = makeConvOutput(d, 1);
+    for (auto _ : state) {
+        engine.run(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    int64_t macs = d.outH() * d.outW() * d.cout * d.cinPerGroup() * d.kh * d.kw;
+    state.SetItemsProcessed(state.iterations() * macs);
+    state.SetLabel("packed-i8");
+}
+BENCHMARK_CAPTURE(BM_DenseGemmConvI8, first_conv_i8,
+                  ConvDesc{"c1", 3, 64, 3, 3, 32, 32, 1, 1, 1, 1});
+BENCHMARK_CAPTURE(BM_DenseGemmConvI8, mid_conv_i8,
+                  ConvDesc{"c8", 128, 128, 3, 3, 16, 16, 1, 1, 1, 1});
+BENCHMARK_CAPTURE(BM_DenseGemmConvI8, fc_like_i8,
+                  ConvDesc{"fc", 256, 256, 1, 1, 8, 8, 1, 0, 1, 1});
+
 void
 BM_GraphOptimize(benchmark::State& state)
 {

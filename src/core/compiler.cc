@@ -49,6 +49,15 @@ Compiler::validateOptions() const
     if (!(opts_.first_layer_rate > 0.0))
         return Status(ErrorCode::kInvalidArgument,
                       "compile options: first_layer_rate must be positive");
+    if (opts_.calibration.samples < 1)
+        return Status(ErrorCode::kInvalidArgument,
+                      "compile options: calibration.samples must be >= 1 (got " +
+                          std::to_string(opts_.calibration.samples) + ")");
+    if (!(opts_.calibration.percentile > 0.0 &&
+          opts_.calibration.percentile <= 100.0))
+        return Status(ErrorCode::kInvalidArgument,
+                      "compile options: calibration.percentile must be in "
+                      "(0, 100]");
     return Status::OK();
 }
 

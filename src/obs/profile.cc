@@ -54,6 +54,7 @@ RunProfile::merge(const RunProfile& other)
             e.name = o.name;
             e.kind = o.kind;
             e.isa = o.isa;
+            e.prec = o.prec;
         }
         e.bytes += o.bytes;
         e.calls += o.calls;
@@ -67,15 +68,16 @@ RunProfile::merge(const RunProfile& other)
 std::string
 RunProfile::renderTable() const
 {
-    Table t({"Layer", "Kind", "ISA", "Calls", "MB/call", "Total ms", "Max ms",
-             "%"});
+    Table t({"Layer", "Kind", "ISA", "Prec", "Calls", "MB/call", "Total ms",
+             "Max ms", "%"});
     double total = static_cast<double>(totalNs());
     for (const RunProfileEntry& e : entries) {
         if (e.calls == 0)
             continue;
         double mb_per_call = static_cast<double>(e.bytes) /
                              static_cast<double>(e.calls) / (1024.0 * 1024.0);
-        t.addRow({e.name, e.kind, e.isa, std::to_string(e.calls),
+        t.addRow({e.name, e.kind, e.isa, e.prec.empty() ? "-" : e.prec,
+                  std::to_string(e.calls),
                   Table::num(mb_per_call, 2), Table::num(e.totalMs(), 3),
                   Table::num(static_cast<double>(e.max_ns) / 1e6, 3),
                   Table::num(total > 0.0

@@ -25,6 +25,7 @@ struct RunProfileEntry
     std::string name;     ///< Layer name (ConvDesc name or op kind + id).
     std::string kind;     ///< Executor kind ("pattern", "im2col", "pool"...).
     std::string isa;      ///< Kernel ISA ("avx2"/"neon"/"scalar", "-" = none).
+    std::string prec;     ///< Arithmetic precision ("f32" or "i8").
     int64_t bytes = 0;    ///< Bytes touched, summed over calls (in+out+weights).
     int64_t calls = 0;
     int64_t total_ns = 0;
@@ -59,7 +60,7 @@ struct RunProfile
     void merge(const RunProfile& other);
 
     /**
-     * Fig. 14-style table: Layer | Kind | ISA | Calls | MB/call |
+     * Fig. 14-style table: Layer | Kind | ISA | Prec | Calls | MB/call |
      * Total ms | Max ms | % of layer time. Rendered via util/table.
      */
     std::string renderTable() const;

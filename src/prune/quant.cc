@@ -1,0 +1,180 @@
+#include "prune/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace patdnn {
+
+const char*
+calibrationMethodName(CalibrationMethod m)
+{
+    switch (m) {
+      case CalibrationMethod::kAbsMax: return "absmax";
+      case CalibrationMethod::kPercentile: return "percentile";
+    }
+    return "unknown";
+}
+
+float
+symmetricScaleFor(float absmax)
+{
+    if (!(absmax > 0.0f))
+        return 1.0f;
+    return absmax / 127.0f;
+}
+
+int8_t
+quantizeValue(float v, float inv_scale)
+{
+    // Round half away from zero: symmetric in sign, so q(-v) == -q(v)
+    // and exact zeros stay exactly zero.
+    float scaled = v * inv_scale;
+    float rounded = scaled >= 0.0f ? std::floor(scaled + 0.5f)
+                                   : std::ceil(scaled - 0.5f);
+    rounded = std::min(127.0f, std::max(-127.0f, rounded));
+    return static_cast<int8_t>(rounded);
+}
+
+QuantizedWeights
+quantizeWeightsPerChannel(const Tensor& w, const std::vector<float>& scales)
+{
+    PATDNN_CHECK(w.shape().rank() >= 1 && w.numel() > 0,
+                 "quantizeWeightsPerChannel needs a non-empty tensor");
+    int64_t channels = w.shape().dim(0);
+    QuantizedWeights q;
+    q.channel_elems = w.numel() / channels;
+    q.data.resize(static_cast<size_t>(w.numel()));
+    if (!scales.empty()) {
+        PATDNN_CHECK_EQ(static_cast<int64_t>(scales.size()), channels,
+                        "override scales must cover every output channel");
+        q.scales = scales;
+    } else {
+        q.scales.resize(static_cast<size_t>(channels));
+        for (int64_t c = 0; c < channels; ++c) {
+            const float* p = w.data() + c * q.channel_elems;
+            float absmax = 0.0f;
+            for (int64_t i = 0; i < q.channel_elems; ++i)
+                absmax = std::max(absmax, std::fabs(p[i]));
+            q.scales[static_cast<size_t>(c)] = symmetricScaleFor(absmax);
+        }
+    }
+    for (int64_t c = 0; c < channels; ++c) {
+        float scale = q.scales[static_cast<size_t>(c)];
+        float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+        const float* p = w.data() + c * q.channel_elems;
+        int8_t* d = q.data.data() + c * q.channel_elems;
+        for (int64_t i = 0; i < q.channel_elems; ++i)
+            d[i] = quantizeValue(p[i], inv);
+    }
+    return q;
+}
+
+Tensor
+dequantizeWeights(const QuantizedWeights& q, const Shape& shape)
+{
+    PATDNN_CHECK_EQ(shape.numel(), static_cast<int64_t>(q.data.size()),
+                    "dequantizeWeights shape/data mismatch");
+    Tensor out(shape);
+    int64_t channels = shape.dim(0);
+    for (int64_t c = 0; c < channels; ++c) {
+        float scale = q.scales[static_cast<size_t>(c)];
+        const int8_t* d = q.data.data() + c * q.channel_elems;
+        float* p = out.data() + c * q.channel_elems;
+        for (int64_t i = 0; i < q.channel_elems; ++i)
+            p[i] = static_cast<float>(d[i]) * scale;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// ActivationCalibrator
+// ---------------------------------------------------------------------------
+
+ActivationCalibrator::ActivationCalibrator(CalibrationMethod method,
+                                           double percentile)
+    : method_(method), percentile_(percentile)
+{
+    PATDNN_CHECK(percentile_ > 0.0 && percentile_ <= 100.0,
+                 "calibration percentile must be in (0, 100]");
+    if (method_ == CalibrationMethod::kPercentile)
+        hist_.assign(kBins, 0);
+}
+
+void
+ActivationCalibrator::growRange(float needed)
+{
+    // Double the covered range, folding bin pairs, until |x| fits. The
+    // fold is integer-exact, so the histogram is independent of the
+    // order in which large values arrive relative to small ones only up
+    // to bin resolution — which is all the percentile read uses.
+    while (needed >= range_) {
+        for (int b = 0; b < kBins / 2; ++b)
+            hist_[static_cast<size_t>(b)] =
+                hist_[static_cast<size_t>(2 * b)] +
+                hist_[static_cast<size_t>(2 * b + 1)];
+        std::fill(hist_.begin() + kBins / 2, hist_.end(), 0);
+        range_ *= 2.0f;
+    }
+}
+
+void
+ActivationCalibrator::observe(const float* x, int64_t n)
+{
+    if (method_ == CalibrationMethod::kAbsMax) {
+        for (int64_t i = 0; i < n; ++i)
+            max_ = std::max(max_, std::fabs(x[i]));
+        count_ += n;
+        return;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        float a = std::fabs(x[i]);
+        if (!(a < 1e30f))  // Drop NaN/inf: one poisoned value must not
+            continue;      // blow the whole layer's range.
+        max_ = std::max(max_, a);
+        if (a >= range_)
+            growRange(a);
+        int bin = static_cast<int>(a / range_ * kBins);
+        hist_[static_cast<size_t>(std::min(bin, kBins - 1))] += 1;
+        ++count_;
+    }
+}
+
+void
+ActivationCalibrator::observe(const Tensor& t)
+{
+    observe(t.data(), t.numel());
+}
+
+float
+ActivationCalibrator::effectiveAbsMax() const
+{
+    if (count_ == 0)
+        return 0.0f;
+    if (method_ == CalibrationMethod::kAbsMax)
+        return max_;
+    // Smallest bin upper-edge covering `percentile_` percent of the
+    // observed values; clipping the tail above it trades saturation of
+    // rare outliers for resolution on the bulk.
+    int64_t target = static_cast<int64_t>(
+        std::ceil(percentile_ / 100.0 * static_cast<double>(count_)));
+    int64_t seen = 0;
+    for (int b = 0; b < kBins; ++b) {
+        seen += hist_[static_cast<size_t>(b)];
+        if (seen >= target)
+            return range_ * static_cast<float>(b + 1) /
+                   static_cast<float>(kBins);
+    }
+    return max_;
+}
+
+float
+ActivationCalibrator::scale() const
+{
+    if (count_ == 0)
+        return 1.0f;
+    return symmetricScaleFor(effectiveAbsMax());
+}
+
+}  // namespace patdnn

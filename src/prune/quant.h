@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Post-ADMM int8 quantization front-end.
+ *
+ * PatDNN prunes in f32; this layer maps the surviving weights onto int8
+ * lanes so the dense GEMM backend can run i8×i8→i32 tile kernels
+ * (SimdOps::gemm_tile_i8). Two pieces:
+ *
+ *  - Weights: per-output-channel *symmetric* quantization. Each dim-0
+ *    channel gets scale = absmax/127 and values are round-to-nearest
+ *    into [-127, 127] (symmetric range: -128 is never produced, so
+ *    |q| <= 127 and i8×i8 products stay within 16 bits with headroom).
+ *    Zero always maps to zero — pattern-pruned positions stay exactly
+ *    zero through quantize→dequantize, preserving the sparsity
+ *    structure the ADMM projection paid for.
+ *
+ *  - Activations: a per-layer ActivationCalibrator observes sample-batch
+ *    values and picks one symmetric scale, either from the true absmax
+ *    or from a percentile of a fixed-bin |x| histogram (clipping rare
+ *    outliers tightens the representable range). Both are deterministic
+ *    functions of the observed stream.
+ *
+ * Requantization back to f32 multiplies the i32 accumulator by
+ * weight_scale[ch] * act_scale (rt/quant_epilogue.h); because integer
+ * accumulation is exact, the whole quantized path is bit-identical
+ * across ISAs and blockings for free.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace patdnn {
+
+/** How ActivationCalibrator turns observed values into a scale. */
+enum class CalibrationMethod : uint32_t
+{
+    kAbsMax = 0,      ///< scale = max |x| / 127 (exact range).
+    kPercentile = 1,  ///< scale from a |x|-histogram percentile (clips tails).
+};
+
+/** Display name ("absmax" / "percentile"). */
+const char* calibrationMethodName(CalibrationMethod m);
+
+/** Symmetric scale for a range: absmax/127, or 1 when absmax is 0 (an
+ * all-zero tensor quantizes to zeros under any positive scale). */
+float symmetricScaleFor(float absmax);
+
+/** Round-to-nearest saturating quantization of one value at 1/scale:
+ * clamped to [-127, 127], ties away from zero (std::nearbyint in the
+ * default rounding mode is to-even; we use round-half-away so the
+ * mapping is symmetric in sign). 0.0f maps to 0 exactly. */
+int8_t quantizeValue(float v, float inv_scale);
+
+/** Per-output-channel symmetric quantization of a weight tensor. */
+struct QuantizedWeights
+{
+    std::vector<int8_t> data;   ///< Same element order as the source tensor.
+    std::vector<float> scales;  ///< One scale per dim-0 channel.
+
+    /** Elements per channel (source numel / channels). */
+    int64_t channel_elems = 0;
+};
+
+/**
+ * Quantize `w` ([cout, ...]) per dim-0 channel: channel scales are
+ * symmetricScaleFor(channel absmax), data is quantizeValue() applied
+ * element-wise. When `scales` is non-empty it overrides the derived
+ * scales (the artifact-restore path, where the stored scales are
+ * authoritative) and must have one entry per channel.
+ */
+QuantizedWeights quantizeWeightsPerChannel(
+    const Tensor& w, const std::vector<float>& scales = {});
+
+/** Dequantize back to f32 (q * scale per channel) into `shape`; the
+ * round-trip error of any element is bounded by scale/2. */
+Tensor dequantizeWeights(const QuantizedWeights& q, const Shape& shape);
+
+/**
+ * Streaming per-layer activation-range observer. Feed it every value of
+ * the calibration batch at this layer's *input*, then read scale().
+ * Deterministic: the scale is a pure function of the observed stream
+ * (kAbsMax trivially; kPercentile through a fixed 2048-bin histogram
+ * over [0, range) whose range doubles by folding pairs of bins, so no
+ * floating-point accumulation order is involved).
+ */
+class ActivationCalibrator
+{
+  public:
+    explicit ActivationCalibrator(
+        CalibrationMethod method = CalibrationMethod::kAbsMax,
+        double percentile = 99.9);
+
+    void observe(const float* x, int64_t n);
+    void observe(const Tensor& t);
+
+    /** Symmetric scale for the observed stream (1.0 before any data). */
+    float scale() const;
+
+    /** The effective absmax scale() is derived from: the true maximum
+     * for kAbsMax, the chosen percentile bin's upper edge otherwise. */
+    float effectiveAbsMax() const;
+
+    int64_t observedCount() const { return count_; }
+    CalibrationMethod method() const { return method_; }
+
+  private:
+    static constexpr int kBins = 2048;
+
+    void growRange(float needed);
+
+    CalibrationMethod method_;
+    double percentile_;
+    float max_ = 0.0f;
+    float range_ = 1.0f;  ///< Histogram covers |x| in [0, range_).
+    int64_t count_ = 0;
+    std::vector<int64_t> hist_;
+};
+
+}  // namespace patdnn

@@ -11,6 +11,9 @@
  */
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "nn/conv_desc.h"
 #include "rt/conv_ref.h"
 #include "rt/device.h"
@@ -31,6 +34,21 @@ class Im2colConv
     Im2colConv(ConvDesc desc, const Tensor* weight, DeviceSpec device,
                TuneParams tuning = {});
 
+    /**
+     * Build in int8 quantized mode: the filter matrix is quantized per
+     * output channel (prune/quant.h) and packed as k-pair i8 panels at
+     * construction. Each run quantizes the im2col patch matrix at
+     * `act_scale` (the calibrated input scale for this layer), runs the
+     * exact i8×i8→i32 packed GEMM (SimdOps::gemm_tile_i8), and
+     * requantizes to f32 with weight_scale[ch] * act_scale + bias
+     * (+ fused ReLU). Non-empty `weight_scales` override the derived
+     * per-channel scales (the artifact-restore path, where the stored
+     * scales are authoritative); size must be desc.cout.
+     */
+    Im2colConv(ConvDesc desc, const Tensor* weight, DeviceSpec device,
+               TuneParams tuning, float act_scale,
+               std::vector<float> weight_scales = {});
+
     void run(const Tensor& in, Tensor& out, const Epilogue& ep = {}) const;
 
     /**
@@ -48,14 +66,31 @@ class Im2colConv
     /** The cache-blocking factors in effect (heuristic or tuned). */
     const GemmBlocking& blocking() const { return blocking_; }
 
+    /** True when this engine runs the int8 GEMM path. */
+    bool quantized() const { return quantized_; }
+
+    /** Calibrated input scale (quantized mode; 0 otherwise). */
+    float actScale() const { return act_scale_; }
+
+    /** Per-output-channel weight scales (empty unless quantized). */
+    const std::vector<float>& weightScales() const { return wscales_; }
+
   private:
+    void runQuantized(const Tensor& in, Tensor& out, const Epilogue& ep) const;
+
     ConvDesc desc_;
     const Tensor* weight_;
     DeviceSpec device_;
     TuneParams tuning_;
     const SimdOps* ops_;   ///< Resolved kernel table (never null).
-    Tensor packed_w_;      ///< [groups][lhs-tile panels] packed filters.
+    Tensor packed_w_;      ///< [groups][lhs-tile panels] packed filters (f32).
     GemmBlocking blocking_;
+
+    // Int8 mode (see the quantized constructor).
+    bool quantized_ = false;
+    float act_scale_ = 0.0f;
+    std::vector<int16_t> packed_wq_;  ///< [groups][i16-widened k-pair panels].
+    std::vector<float> wscales_;     ///< Per-cout weight scales.
 };
 
 }  // namespace patdnn

@@ -26,12 +26,35 @@ frameworkName(FrameworkKind kind)
     return "unknown";
 }
 
+const char*
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::kF32: return "f32";
+      case Precision::kInt8: return "i8";
+    }
+    return "unknown";
+}
+
 namespace {
 
 bool
 isSparseKind(FrameworkKind kind)
 {
     return kind == FrameworkKind::kCsrSparse || kind == FrameworkKind::kPatDnn;
+}
+
+/** Conv layers the kInt8 knob applies to: ungrouped dense-GEMM layers
+ * of the packed-backend kinds. Pattern/CSR storage and grouped convs
+ * (naive engine) stay f32 — the precision knob targets the dense GEMM
+ * backend, not the sparse formats. */
+bool
+denseQuantEligible(FrameworkKind kind, bool has_fkw, const ConvDesc& conv)
+{
+    if (has_fkw || conv.groups != 1)
+        return false;
+    return kind == FrameworkKind::kTvmLike || kind == FrameworkKind::kMnnLike ||
+           kind == FrameworkKind::kPatDnnDense;
 }
 
 /** Joint-prune a conv weight copy per the compile options. */
@@ -293,6 +316,9 @@ struct CompiledModel::Executor
     std::unique_ptr<FkwLayer> fkw;
     TuneParams tuning;   ///< Pattern-engine tuned parameters.
     OptSwitches opts;    ///< Pattern-engine switches.
+    bool quantized = false;            ///< Run the int8 dense path.
+    float act_scale = 0.0f;            ///< Calibrated input scale.
+    std::vector<float> weight_scales;  ///< Restore-path override scales.
     std::unique_ptr<PatternConv> pattern;
     std::unique_ptr<NaiveConv> naive;
     std::unique_ptr<Im2colConv> im2col;
@@ -305,6 +331,7 @@ struct CompiledModel::Executor
     std::string label;             ///< "conv1_1" or "maxpool#4".
     const char* kind_name = "?";   ///< Engine actually executing.
     const char* isa_name = "-";    ///< Kernel-table ISA ("-": no table).
+    const char* prec_name = "f32"; ///< Numeric path ("i8" when quantized).
 };
 
 CompiledModel::~CompiledModel() = default;
@@ -328,6 +355,15 @@ CompiledModel::attachConvEngines(Executor& ex) const
     }
     if (kind_ == FrameworkKind::kCsrSparse && ex.conv.groups == 1) {
         ex.csr = std::make_unique<CsrConv>(ex.conv, buildCsr(ex.weight), device_);
+        return;
+    }
+    if (ex.quantized && denseQuantEligible(kind_, false, ex.conv)) {
+        // Int8 dense path: always the quantized im2col engine —
+        // Winograd's transform-domain arithmetic does not survive int8,
+        // so Winograd-eligible layers run quantized im2col too.
+        ex.im2col = std::make_unique<Im2colConv>(
+            ex.conv, &ex.weight, device_, ex.tuning, ex.act_scale,
+            ex.weight_scales);
         return;
     }
     switch (kind_) {
@@ -385,6 +421,8 @@ CompiledModel::labelExecutor(Executor& ex, size_t id) const
         // engine-internal scalar code.
         if (ex.pattern || ex.csr || ex.im2col || ex.winograd)
             ex.isa_name = isaName(resolveSimdOps(device_.simd_isa).isa);
+        if (ex.im2col && ex.im2col->quantized())
+            ex.prec_name = precisionName(Precision::kInt8);
         break;
       case OpKind::kBatchNorm:      ex.kind_name = "bn"; break;
       case OpKind::kReLU:           ex.kind_name = "relu"; break;
@@ -477,6 +515,9 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
         executors_[static_cast<size_t>(n.id)] = std::move(ex);
     }
 
+    if (opts.precision == Precision::kInt8)
+        quantizeDenseConvLayers();
+
     if (opts.enable_memory_plan) {
         std::vector<PlanNode> plan_nodes = planNodes();
         if (!plan_nodes.empty())
@@ -490,6 +531,56 @@ CompiledModel::CompiledModel(const Model& model, FrameworkKind kind, DeviceSpec 
         reg.gauge("memplan.reuse_x")
             .set(static_cast<double>(plan_.sumElemsPerSample()) /
                  static_cast<double>(plan_.arenaElemsPerSample()));
+    }
+}
+
+void
+CompiledModel::quantizeDenseConvLayers()
+{
+    const Executor* first_conv = nullptr;
+    bool any_eligible = false;
+    for (const auto& exp : executors_) {
+        if (!exp || exp->kind != OpKind::kConv)
+            continue;
+        if (first_conv == nullptr)
+            first_conv = exp.get();
+        if (denseQuantEligible(kind_, exp->fkw != nullptr, exp->conv))
+            any_eligible = true;
+    }
+    if (first_conv == nullptr || !any_eligible)
+        return;
+
+    // Synthetic calibration batch shaped for the input conv, run
+    // through the f32 engines with a per-layer workspace — per-layer
+    // slots keep every node's value after the run, so each conv's
+    // *input* distribution can be observed without new runtime hooks.
+    const CalibrationOptions& cal = compile_opts_.calibration;
+    int64_t samples = std::max(1, cal.samples);
+    Tensor calib(Shape{samples, first_conv->conv.cin, first_conv->conv.h,
+                       first_conv->conv.w});
+    Rng rng(cal.seed);
+    calib.fillUniform(rng, -1.0f, 1.0f);
+    Workspace ws;
+    runLayers(calib, ws, nullptr, nullptr);
+
+    for (size_t id = 0; id < executors_.size(); ++id) {
+        auto& exp = executors_[id];
+        if (!exp || exp->kind != OpKind::kConv)
+            continue;
+        Executor& ex = *exp;
+        if (!denseQuantEligible(kind_, ex.fkw != nullptr, ex.conv))
+            continue;
+        ActivationCalibrator calibrator(cal.method, cal.percentile);
+        int src = ex.inputs.empty() ? -1 : ex.inputs[0];
+        calibrator.observe(src < 0 ? calib
+                                   : ws.value(static_cast<size_t>(src)));
+        ex.quantized = true;
+        ex.act_scale = calibrator.scale();
+        ex.weight_scales.clear();  // Derived from the weights on attach.
+        ex.winograd.reset();
+        ex.im2col.reset();
+        attachConvEngines(ex);
+        labelExecutor(ex, id);
     }
 }
 
@@ -521,6 +612,9 @@ CompiledModel::CompiledModel(FrameworkKind kind, DeviceSpec device,
         ex->fkw = std::move(st.fkw);
         ex->tuning = st.tuning;
         ex->opts = st.opts;
+        ex->quantized = st.quantized;
+        ex->act_scale = st.act_scale;
+        ex->weight_scales = std::move(st.weight_scales);
         if (ex->kind == OpKind::kConv) {
             // Pattern layers ship without the dense view; rebuild it for
             // the nonzero/compression accounting. (A rank-0 Tensor is
@@ -629,6 +723,15 @@ CompiledModel::exportState() const
         st.bias = ex.bias;
         st.tuning = ex.tuning;
         st.opts = ex.opts;
+        if (ex.im2col && ex.im2col->quantized()) {
+            // Persist the calibrated scales, not the quantized bytes:
+            // the f32 weights below re-quantize deterministically on
+            // restore, so the artifact stays loadable as f32 by older
+            // readers.
+            st.quantized = true;
+            st.act_scale = ex.im2col->actScale();
+            st.weight_scales = ex.im2col->weightScales();
+        }
         if (ex.fkw)
             st.fkw = std::make_unique<FkwLayer>(*ex.fkw);  // FKW replaces dense.
         else
@@ -781,6 +884,7 @@ CompiledModel::runLayers(const Tensor& input, Workspace& ws, double* conv_ms,
                     e.name = ex.label;
                     e.kind = ex.kind_name;
                     e.isa = ex.isa_name;
+                    e.prec = ex.prec_name;
                 }
                 int64_t elems = x.numel() + ws.value(id).numel();
                 if (ex.weight.shape().rank() != 0)

@@ -29,6 +29,7 @@
 #include "nn/model.h"
 #include "nn/zoo.h"
 #include "obs/profile.h"
+#include "prune/quant.h"
 #include "rt/conv_csr.h"
 #include "rt/conv_im2col.h"
 #include "rt/conv_naive.h"
@@ -53,6 +54,29 @@ enum class FrameworkKind
 
 /** Display name used in bench output. */
 std::string frameworkName(FrameworkKind kind);
+
+/** Numeric precision of the dense conv executors. */
+enum class Precision : uint32_t
+{
+    kF32 = 0,   ///< f32 packed GEMM (the default).
+    kInt8 = 1,  ///< i8×i8→i32 packed GEMM with f32 requant epilogue.
+};
+
+/** Display name ("f32" / "i8"), as shown in RunProfile tables. */
+const char* precisionName(Precision p);
+
+/** Activation-scale calibration knobs for Precision::kInt8 compiles.
+ * Compilation first builds the f32 engines, runs a synthetic
+ * calibration batch through them observing every dense conv layer's
+ * *input*, then rebuilds those executors in quantized mode with the
+ * calibrated scales (recorded per layer; see prune/quant.h). */
+struct CalibrationOptions
+{
+    CalibrationMethod method = CalibrationMethod::kAbsMax;
+    double percentile = 99.9;  ///< Used by kPercentile only.
+    int samples = 2;           ///< Calibration batch size.
+    uint64_t seed = 1234;      ///< Synthetic calibration input seed.
+};
 
 /** Options controlling sparse compilation for the sparse engines. */
 struct CompileOptions
@@ -83,6 +107,17 @@ struct CompileOptions
      * artifacts.
      */
     std::function<bool(const ConvDesc&, TuneParams*)> tune_lookup;
+    /**
+     * Dense-executor precision knob. kInt8 quantizes every groups==1
+     * conv of the dense GEMM kinds (im2col and Winograd-eligible layers
+     * both run the quantized im2col path — Winograd's transform-domain
+     * arithmetic does not survive int8): weights per-output-channel
+     * symmetric, activations per-layer via `calibration`. The sparse
+     * engines (pattern / CSR) and grouped convs stay f32; layer
+     * interchange stays f32 throughout. Recorded in v6 artifacts.
+     */
+    Precision precision = Precision::kF32;
+    CalibrationOptions calibration;
 };
 
 /**
@@ -110,6 +145,12 @@ struct CompiledLayerState
     std::unique_ptr<FkwLayer> fkw; ///< Pattern-engine storage (kPatDnn convs).
     TuneParams tuning;             ///< Pattern-engine tuned parameters.
     OptSwitches opts;              ///< Pattern-engine switches.
+    /// Int8 quantization record (conv layers compiled at kInt8). The
+    /// weights stay f32 in `weight`; scales are stored so restore
+    /// re-quantizes deterministically to the same i8 values.
+    bool quantized = false;
+    float act_scale = 0.0f;           ///< Calibrated input scale.
+    std::vector<float> weight_scales; ///< Per-output-channel scales.
 };
 
 /**
@@ -306,6 +347,10 @@ class CompiledModel
     /** Instantiate engine objects for a conv executor whose state
      * fields (weight / fkw / tuning) are already populated. */
     void attachConvEngines(Executor& ex) const;
+    /** The kInt8 compile pass: run a synthetic calibration batch
+     * through the freshly built f32 engines, then rebuild every
+     * eligible dense conv executor in quantized mode. */
+    void quantizeDenseConvLayers();
     /** Fill the executor's display label / engine-kind / ISA strings
      * (profile + trace attribution), after engines are attached. */
     void labelExecutor(Executor& ex, size_t id) const;

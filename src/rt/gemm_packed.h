@@ -84,4 +84,50 @@ void packedGemmRowTiles(const SimdOps& ops, const float* packed_lhs,
                         int64_t n, float* c, int64_t ldc, int64_t tile_begin,
                         int64_t tile_end, const GemmBlocking& blocking);
 
+// ---------------------------------------------------------------------------
+// Int8 variant (i8 x i8 -> i32, SimdOps::gemm_tile_i8)
+// ---------------------------------------------------------------------------
+//
+// Same tile-panel scheme with two differences dictated by the i8 tile
+// kernel contract (dispatch.h): panels are K-PAIR interleaved
+// ([ceil(K/2)][MR|NR][2], odd-K tail zero-padded), and C accumulates in
+// i32. Integer accumulation is exact, so the cross-ISA/bit-neutral-
+// blocking property holds trivially; kc blocks are rounded to even so a
+// block boundary never splits a k pair.
+
+/** Blocking for the i8 path: same heuristic on the i8 tile footprint
+ * and 1-byte elements, kc rounded up to even. */
+GemmBlocking gemmBlockingForI8(const SimdOps& ops, int64_t k, int64_t n,
+                               int64_t tile_budget_kb, int64_t kc_override = 0,
+                               int64_t nc_override = 0);
+
+/** Packed-buffer extents in elements (LHS elements are i16 — the pack
+ * widens them — RHS elements are i8). */
+int64_t packedLhsElemsI8(int64_t m, int64_t k, int mr);
+int64_t packedRhsElemsI8(int64_t k, int64_t n, int nr);
+
+/** Pack row-major i8 A[M x K] (row stride `lda`) into MR-row k-pair
+ * panels, sign-extending each value to i16 so the kernels broadcast
+ * whole (k0, k1) pairs as aligned 32-bit memory units (dispatch.h);
+ * `dst` must hold packedLhsElemsI8(m, k, mr) i16 elements. */
+void packLhsTilesI8(const int8_t* a, int64_t m, int64_t k, int64_t lda, int mr,
+                    int16_t* dst);
+
+/** Pack row-major i8 B[K x N] (row stride `ldb`) into NR-column k-pair
+ * panels; `dst` must hold packedRhsElemsI8(k, n, nr) bytes. */
+void packRhsTilesI8(const int8_t* b, int64_t k, int64_t n, int64_t ldb, int nr,
+                    int8_t* dst);
+
+/**
+ * Blocked i8 GEMM over row tiles [tile_begin, tile_end) of the i32
+ * C[M x N] (row stride `ldc`): C (+)= A * B with C pre-initialized by
+ * the caller (normally zero; bias lands in the f32 requant epilogue).
+ * Parallelize exactly like packedGemmRowTiles.
+ */
+void packedGemmRowTilesI8(const SimdOps& ops, const int16_t* packed_lhs,
+                          const int8_t* packed_rhs, int64_t m, int64_t k,
+                          int64_t n, int32_t* c, int64_t ldc,
+                          int64_t tile_begin, int64_t tile_end,
+                          const GemmBlocking& blocking);
+
 }  // namespace patdnn

@@ -107,6 +107,55 @@ struct SimdOps
      */
     void (*gemm_tile)(const float* a_panel, const float* b_panel, float* c,
                       int64_t ldc, int64_t kc, int mr, int nr);
+
+    /// Full tile footprint of gemm_tile_i8: rows per LHS panel step.
+    int gemm_i8_mr = 1;
+    /// Full tile footprint of gemm_tile_i8: columns per RHS panel step.
+    int gemm_i8_nr = 1;
+
+    /**
+     * Int8 packed-GEMM tile micro-kernel: i8×i8 products accumulated in
+     * i32 (the quantized dense inner loop; rt/gemm_packed.h owns the
+     * packing and blocked outer loops). Panels are K-PAIR interleaved so
+     * the AVX2 kernel can feed `_mm256_madd_epi16`-style pairwise
+     * multiply-adds straight from memory:
+     *
+     *   a_panel: [ceil(kc/2)][gemm_i8_mr][2]  (row tile,   k pairs inner)
+     *   b_panel: [ceil(kc/2)][gemm_i8_nr][2]  (column tile, k pairs inner)
+     *
+     * i.e. logical element (k, m) lives at (k/2)*mr*2 + m*2 + (k%2).
+     * The LHS panel is widened to i16 at pack time (values still in
+     * [-127, 127]) so one (a0, a1) pair is a naturally aligned 4-byte
+     * unit the kernel can broadcast straight from memory (vpbroadcastd
+     * on AVX2) instead of sign-extending per tile visit; the RHS panel
+     * stays i8 since each row is loaded once per k-pair. When kc is odd
+     * the trailing k-lane of the last pair is zero in both panels (the
+     * packers guarantee this). `c` is the [mr x nr] i32 tile at row
+     * stride `ldc`, already holding accumulation state; mr/nr are live
+     * extents as in gemm_tile, and padded lanes are never stored.
+     *
+     * Numerics: every product of two values in [-127, 127] and every
+     * running sum fits i32 exactly for any practical kc (|a*b| <= 16129,
+     * so ~133k k-steps of headroom), so unlike the f32 tile there is no
+     * ordering contract to respect — integer accumulation is exact and
+     * every ISA is bit-identical by construction.
+     */
+    void (*gemm_tile_i8)(const int16_t* a_panel, const int8_t* b_panel,
+                         int32_t* c, int64_t ldc, int64_t kc, int mr, int nr);
+
+    /**
+     * Activation-side row quantization feeding gemm_tile_i8:
+     * out[i] = clamp(round(x[i] * inv_scale), -127, 127) with round
+     * half away from zero — prune/quant.h's quantizeValue contract.
+     * Every table performs the identical per-lane f32 sequence
+     * (multiply, clamp, add sign-matched 0.5, truncate toward zero),
+     * so results are bit-identical across ISAs for finite inputs.
+     * This runs over the whole im2col patch matrix once per quantized
+     * conv call, which makes it the second-hottest loop of the int8
+     * path after the GEMM itself.
+     */
+    void (*quantize_row_i8)(const float* x, int64_t n, float inv_scale,
+                            int8_t* out);
 };
 
 /** The portable reference table; always available. */

@@ -16,6 +16,8 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 namespace patdnn {
 namespace {
 
@@ -181,6 +183,118 @@ gemmTileAvx2(const float* a_panel, const float* b_panel, float* c, int64_t ldc,
             c[m * ldc + n] = acc[m][n];
 }
 
+// Int8 tile: 4 LHS rows x 16 RHS columns. One k-PAIR per step: the
+// 32-byte RHS pair row sign-extends into two ymm of interleaved
+// (k0, k1) i16 column pairs, the LHS (a0, a1) i16 pair broadcasts as
+// one 32-bit lane straight from the pre-widened panel (vpbroadcastd
+// from memory — no per-visit sign-extension), and _mm256_madd_epi16
+// does the pairwise i16 multiply + i32 add — two multiply-adds per k.
+// Products fit i16 (127*127 = 16129 < 32767) and the pair sum fits
+// i32, so this is exact (dispatch.h).
+constexpr int kGemmI8MrAvx2 = 4;
+constexpr int kGemmI8NrAvx2 = 16;
+
+void
+gemmTileI8Avx2(const int16_t* a_panel, const int8_t* b_panel, int32_t* c,
+               int64_t ldc, int64_t kc, int mr, int nr)
+{
+    const int64_t kp = (kc + 1) / 2;  // Panels are k-pair interleaved.
+    if (mr == kGemmI8MrAvx2 && nr == kGemmI8NrAvx2) {
+        __m256i acc[kGemmI8MrAvx2][2];
+        for (int m = 0; m < kGemmI8MrAvx2; ++m) {
+            acc[m][0] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c + m * ldc));
+            acc[m][1] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c + m * ldc + 8));
+        }
+        for (int64_t k = 0; k < kp; ++k) {
+            const __m256i braw = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(b_panel +
+                                                 k * kGemmI8NrAvx2 * 2));
+            // Columns 0-7 / 8-15 as interleaved (k0, k1) i16 pairs.
+            const __m256i b_lo =
+                _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+            const __m256i b_hi =
+                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(braw, 1));
+            const int16_t* a = a_panel + k * kGemmI8MrAvx2 * 2;
+            for (int m = 0; m < kGemmI8MrAvx2; ++m) {
+                int32_t pair;
+                std::memcpy(&pair, a + m * 2, sizeof(pair));
+                const __m256i av = _mm256_set1_epi32(pair);
+                acc[m][0] = _mm256_add_epi32(acc[m][0],
+                                             _mm256_madd_epi16(b_lo, av));
+                acc[m][1] = _mm256_add_epi32(acc[m][1],
+                                             _mm256_madd_epi16(b_hi, av));
+            }
+        }
+        for (int m = 0; m < kGemmI8MrAvx2; ++m) {
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + m * ldc),
+                                acc[m][0]);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + m * ldc + 8),
+                                acc[m][1]);
+        }
+        return;
+    }
+    // Edge tiles: scalar lanes over the same pair layout.
+    int32_t acc[kGemmI8MrAvx2][kGemmI8NrAvx2];
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            acc[m][n] = c[m * ldc + n];
+    for (int64_t k = 0; k < kp; ++k) {
+        const int16_t* a = a_panel + k * kGemmI8MrAvx2 * 2;
+        const int8_t* b = b_panel + k * kGemmI8NrAvx2 * 2;
+        for (int m = 0; m < mr; ++m) {
+            int32_t a0 = a[m * 2];
+            int32_t a1 = a[m * 2 + 1];
+            for (int n = 0; n < nr; ++n)
+                acc[m][n] += a0 * b[n * 2] + a1 * b[n * 2 + 1];
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            c[m * ldc + n] = acc[m][n];
+}
+
+// f32 -> i8 row quantization, 32 elements per step. Each ymm lane runs
+// the scalar contract verbatim (mul, clamp, sign-matched +0.5,
+// truncate via cvttps2dq), then two saturating narrows squeeze the
+// four i32 vectors to i8 — values are already inside [-127, 127], so
+// the saturation never engages; it is only the narrowing shape — and
+// one cross-lane permute undoes the 128-bit interleave of vpackss.
+void
+quantizeRowI8Avx2(const float* x, int64_t n, float inv_scale, int8_t* out)
+{
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    const __m256 vhi = _mm256_set1_ps(127.0f);
+    const __m256 vlo = _mm256_set1_ps(-127.0f);
+    const __m256 vhalf = _mm256_set1_ps(0.5f);
+    const __m256 vsign = _mm256_set1_ps(-0.0f);
+    const __m256i order = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    auto lane = [&](const float* p) {
+        __m256 s = _mm256_mul_ps(_mm256_loadu_ps(p), vinv);
+        s = _mm256_min_ps(s, vhi);
+        s = _mm256_max_ps(s, vlo);
+        const __m256 half = _mm256_or_ps(_mm256_and_ps(s, vsign), vhalf);
+        return _mm256_cvttps_epi32(_mm256_add_ps(s, half));
+    };
+    int64_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i q01 = _mm256_packs_epi32(lane(x + i), lane(x + i + 8));
+        const __m256i q23 =
+            _mm256_packs_epi32(lane(x + i + 16), lane(x + i + 24));
+        const __m256i q = _mm256_permutevar8x32_epi32(
+            _mm256_packs_epi16(q01, q23), order);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), q);
+    }
+    for (; i < n; ++i) {
+        float s = x[i] * inv_scale;
+        s = s > 127.0f ? 127.0f : s;
+        s = s < -127.0f ? -127.0f : s;
+        s += s >= 0.0f ? 0.5f : -0.5f;
+        out[i] = static_cast<int8_t>(static_cast<int32_t>(s));
+    }
+}
+
 }  // namespace
 
 const SimdOps&
@@ -189,7 +303,9 @@ avx2SimdOps()
     static const SimdOps ops = {SimdIsa::kAvx2, "avx2", 8,
                                 accumRowsAvx2, accumRowsMultiAvx2,
                                 axpyAvx2, reluAvx2,
-                                kGemmMrAvx2, kGemmNrAvx2, gemmTileAvx2};
+                                kGemmMrAvx2, kGemmNrAvx2, gemmTileAvx2,
+                                kGemmI8MrAvx2, kGemmI8NrAvx2, gemmTileI8Avx2,
+                                quantizeRowI8Avx2};
     return ops;
 }
 

@@ -13,6 +13,8 @@
 
 #include <arm_neon.h>
 
+#include <cstring>
+
 namespace patdnn {
 namespace {
 
@@ -163,6 +165,108 @@ gemmTileNeon(const float* a_panel, const float* b_panel, float* c, int64_t ldc,
             c[m * ldc + n] = acc[m][n];
 }
 
+// Int8 tile: 4 LHS rows x 8 RHS columns, one k-PAIR per step (the
+// sdot-style shape without requiring the dotprod extension, which is
+// not baseline armv8-a): the 16-byte RHS pair row widens to two i16x8
+// vectors of interleaved (k0, k1) column pairs, the LHS pair broadcasts
+// as one 32-bit lane, vmulq_s16 is exact (127*127 < 32767) and
+// vpadalq_s16 does the pairwise i16 -> i32 add-accumulate. The LHS
+// panel arrives pre-widened to i16, so the (a0, a1) pair is one
+// naturally aligned 32-bit memory unit dup-loaded directly. Integer
+// accumulation is exact, so no ordering contract applies (dispatch.h).
+constexpr int kGemmI8MrNeon = 4;
+constexpr int kGemmI8NrNeon = 8;
+
+void
+gemmTileI8Neon(const int16_t* a_panel, const int8_t* b_panel, int32_t* c,
+               int64_t ldc, int64_t kc, int mr, int nr)
+{
+    const int64_t kp = (kc + 1) / 2;  // Panels are k-pair interleaved.
+    if (mr == kGemmI8MrNeon && nr == kGemmI8NrNeon) {
+        int32x4_t acc[kGemmI8MrNeon][2];
+        for (int m = 0; m < kGemmI8MrNeon; ++m) {
+            acc[m][0] = vld1q_s32(c + m * ldc);
+            acc[m][1] = vld1q_s32(c + m * ldc + 4);
+        }
+        for (int64_t k = 0; k < kp; ++k) {
+            const int8x16_t braw = vld1q_s8(b_panel + k * kGemmI8NrNeon * 2);
+            // Columns 0-3 / 4-7 as interleaved (k0, k1) i16 pairs.
+            const int16x8_t b_lo = vmovl_s8(vget_low_s8(braw));
+            const int16x8_t b_hi = vmovl_s8(vget_high_s8(braw));
+            const int16_t* a = a_panel + k * kGemmI8MrNeon * 2;
+            for (int m = 0; m < kGemmI8MrNeon; ++m) {
+                int32_t pair;
+                std::memcpy(&pair, a + m * 2, sizeof(pair));
+                const int16x8_t av =
+                    vreinterpretq_s16_s32(vdupq_n_s32(pair));
+                acc[m][0] = vpadalq_s16(acc[m][0], vmulq_s16(av, b_lo));
+                acc[m][1] = vpadalq_s16(acc[m][1], vmulq_s16(av, b_hi));
+            }
+        }
+        for (int m = 0; m < kGemmI8MrNeon; ++m) {
+            vst1q_s32(c + m * ldc, acc[m][0]);
+            vst1q_s32(c + m * ldc + 4, acc[m][1]);
+        }
+        return;
+    }
+    // Edge tiles: scalar lanes over the same pair layout.
+    int32_t acc[kGemmI8MrNeon][kGemmI8NrNeon];
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            acc[m][n] = c[m * ldc + n];
+    for (int64_t k = 0; k < kp; ++k) {
+        const int16_t* a = a_panel + k * kGemmI8MrNeon * 2;
+        const int8_t* b = b_panel + k * kGemmI8NrNeon * 2;
+        for (int m = 0; m < mr; ++m) {
+            int32_t a0 = a[m * 2];
+            int32_t a1 = a[m * 2 + 1];
+            for (int n = 0; n < nr; ++n)
+                acc[m][n] += a0 * b[n * 2] + a1 * b[n * 2 + 1];
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            c[m * ldc + n] = acc[m][n];
+}
+
+// f32 -> i8 row quantization, 16 elements per step: each q-register
+// lane runs the scalar contract verbatim (mul, clamp, sign-matched
+// +0.5, truncate via vcvtq_s32_f32), then saturating narrows squeeze
+// the four i32 vectors to i8 — values are already inside [-127, 127],
+// so the saturation never engages; it is only the narrowing shape.
+void
+quantizeRowI8Neon(const float* x, int64_t n, float inv_scale, int8_t* out)
+{
+    const float32x4_t vinv = vdupq_n_f32(inv_scale);
+    const float32x4_t vhi = vdupq_n_f32(127.0f);
+    const float32x4_t vlo = vdupq_n_f32(-127.0f);
+    const uint32x4_t vhalf = vreinterpretq_u32_f32(vdupq_n_f32(0.5f));
+    const uint32x4_t vsign = vdupq_n_u32(0x80000000u);
+    auto lane = [&](const float* p) {
+        float32x4_t s = vmulq_f32(vld1q_f32(p), vinv);
+        s = vminq_f32(s, vhi);
+        s = vmaxq_f32(s, vlo);
+        const float32x4_t half = vreinterpretq_f32_u32(
+            vorrq_u32(vandq_u32(vreinterpretq_u32_f32(s), vsign), vhalf));
+        return vcvtq_s32_f32(vaddq_f32(s, half));
+    };
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const int16x8_t q01 = vcombine_s16(vqmovn_s32(lane(x + i)),
+                                           vqmovn_s32(lane(x + i + 4)));
+        const int16x8_t q23 = vcombine_s16(vqmovn_s32(lane(x + i + 8)),
+                                           vqmovn_s32(lane(x + i + 12)));
+        vst1q_s8(out + i, vcombine_s8(vqmovn_s16(q01), vqmovn_s16(q23)));
+    }
+    for (; i < n; ++i) {
+        float s = x[i] * inv_scale;
+        s = s > 127.0f ? 127.0f : s;
+        s = s < -127.0f ? -127.0f : s;
+        s += s >= 0.0f ? 0.5f : -0.5f;
+        out[i] = static_cast<int8_t>(static_cast<int32_t>(s));
+    }
+}
+
 }  // namespace
 
 const SimdOps&
@@ -171,7 +275,9 @@ neonSimdOps()
     static const SimdOps ops = {SimdIsa::kNeon, "neon", 4,
                                 accumRowsNeon, accumRowsMultiNeon,
                                 axpyNeon, reluNeon,
-                                kGemmMrNeon, kGemmNrNeon, gemmTileNeon};
+                                kGemmMrNeon, kGemmNrNeon, gemmTileNeon,
+                                kGemmI8MrNeon, kGemmI8NrNeon, gemmTileI8Neon,
+                                quantizeRowI8Neon};
     return ops;
 }
 

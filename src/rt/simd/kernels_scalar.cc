@@ -102,6 +102,52 @@ gemmTileScalar(const float* a_panel, const float* b_panel, float* c,
             c[m * ldc + n] = acc[m][n];
 }
 
+// Int8 tile footprint: small and square — the scalar table is the
+// conformance reference, not a speed play (see dispatch.h: integer
+// accumulation is exact, so any footprint gives identical results).
+constexpr int kGemmI8MrScalar = 4;
+constexpr int kGemmI8NrScalar = 4;
+
+void
+gemmTileI8Scalar(const int16_t* a_panel, const int8_t* b_panel, int32_t* c,
+                 int64_t ldc, int64_t kc, int mr, int nr)
+{
+    int32_t acc[kGemmI8MrScalar][kGemmI8NrScalar];
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            acc[m][n] = c[m * ldc + n];
+    int64_t kp = (kc + 1) / 2;  // Panels are k-pair interleaved.
+    for (int64_t k = 0; k < kp; ++k) {
+        const int16_t* a = a_panel + k * kGemmI8MrScalar * 2;
+        const int8_t* b = b_panel + k * kGemmI8NrScalar * 2;
+        for (int m = 0; m < mr; ++m) {
+            int32_t a0 = a[m * 2];
+            int32_t a1 = a[m * 2 + 1];
+            for (int n = 0; n < nr; ++n)
+                acc[m][n] += a0 * b[n * 2] + a1 * b[n * 2 + 1];
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            c[m * ldc + n] = acc[m][n];
+}
+
+// The quantize_row_i8 reference: clamp-then-round restated branch-free
+// so adding the sign-matched 0.5 and truncating toward zero is exactly
+// round half away from zero (dispatch.h) — and so the compiler can
+// vectorize the flat loop even at the baseline ISA.
+void
+quantizeRowI8Scalar(const float* x, int64_t n, float inv_scale, int8_t* out)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        float s = x[i] * inv_scale;
+        s = s > 127.0f ? 127.0f : s;
+        s = s < -127.0f ? -127.0f : s;
+        s += s >= 0.0f ? 0.5f : -0.5f;
+        out[i] = static_cast<int8_t>(static_cast<int32_t>(s));
+    }
+}
+
 }  // namespace
 
 const SimdOps&
@@ -110,7 +156,9 @@ scalarSimdOps()
     static const SimdOps ops = {SimdIsa::kScalar, "scalar", 1,
                                 accumRowsScalar, accumRowsMultiScalar,
                                 axpyScalar, reluScalar,
-                                kGemmMrScalar, kGemmNrScalar, gemmTileScalar};
+                                kGemmMrScalar, kGemmNrScalar, gemmTileScalar,
+                                kGemmI8MrScalar, kGemmI8NrScalar,
+                                gemmTileI8Scalar, quantizeRowI8Scalar};
     return ops;
 }
 

@@ -1,5 +1,6 @@
 #include "serve/artifact.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -222,6 +223,15 @@ emitPayload(const CompiledModel& model, uint32_t version, const Emit& emit)
         putU64(buf, co.seed);
         if (version >= 4)
             buf.push_back(co.enable_memory_plan ? 1 : 0);
+        if (version >= 6) {
+            // Quantization provenance: the precision knob and the
+            // calibration settings the activation scales came from.
+            buf.push_back(static_cast<uint8_t>(co.precision));
+            buf.push_back(static_cast<uint8_t>(co.calibration.method));
+            putF64(buf, co.calibration.percentile);
+            putU32(buf, static_cast<uint32_t>(co.calibration.samples));
+            putU64(buf, co.calibration.seed);
+        }
     }
     putU32(buf, static_cast<uint32_t>(model.outputNode()));
     putU32(buf, static_cast<uint32_t>(layers.size()));
@@ -244,6 +254,19 @@ emitPayload(const CompiledModel& model, uint32_t version, const Emit& emit)
             buf.push_back(st.opts.reorder ? 1 : 0);
             buf.push_back(st.opts.lre ? 1 : 0);
             buf.push_back(st.opts.tuned ? 1 : 0);
+            if (version >= 6) {
+                // Quant record: scales only. The weight tensor below
+                // stays f32 and is re-quantized deterministically on
+                // load, so pre-v6 serializations (which drop this
+                // record) load as plain f32.
+                buf.push_back(st.quantized ? 1 : 0);
+                if (st.quantized) {
+                    putF64(buf, st.act_scale);
+                    putU32(buf, static_cast<uint32_t>(st.weight_scales.size()));
+                    for (float s : st.weight_scales)
+                        putF64(buf, s);
+                }
+            }
             putTensor(buf, st.weight);
             putTensor(buf, st.bias);
             buf.push_back(st.fkw ? 1 : 0);
@@ -353,12 +376,33 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         compile_opts.seed = r.u64();
         if (version >= 4)
             compile_opts.enable_memory_plan = r.u8() != 0;
+        uint8_t precision_raw = 0;
+        uint8_t calib_method_raw = 0;
+        if (version >= 6) {
+            precision_raw = r.u8();
+            calib_method_raw = r.u8();
+            compile_opts.calibration.percentile = r.f64();
+            compile_opts.calibration.samples = static_cast<int>(r.u32());
+            compile_opts.calibration.seed = r.u64();
+        }
         if (!r.ok)
             return fail("artifact: truncated provenance record");
         if (pool_width < 1 || pool_width > 4096 ||
             compile_opts.pattern_count < 0 ||
             compile_opts.pattern_count > (1 << 16))
             return fail("artifact: implausible provenance record");
+        if (version >= 6) {
+            if (precision_raw > static_cast<uint8_t>(Precision::kInt8) ||
+                calib_method_raw >
+                    static_cast<uint8_t>(CalibrationMethod::kPercentile) ||
+                !(compile_opts.calibration.percentile > 0.0 &&
+                  compile_opts.calibration.percentile <= 100.0) ||
+                compile_opts.calibration.samples < 1)
+                return fail("artifact: implausible quantization options");
+            compile_opts.precision = static_cast<Precision>(precision_raw);
+            compile_opts.calibration.method =
+                static_cast<CalibrationMethod>(calib_method_raw);
+        }
         if (info != nullptr) {
             info->has_fingerprint = true;
             info->pool_width = pool_width;
@@ -440,6 +484,45 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
         st.opts.reorder = r.u8() != 0;
         st.opts.lre = r.u8() != 0;
         st.opts.tuned = r.u8() != 0;
+        if (version >= 6) {
+            auto fail_quant = [](std::string msg) {
+                return Status(ErrorCode::kDataLoss, std::move(msg),
+                              artifact_detail::kBadQuantRecord);
+            };
+            st.quantized = r.u8() != 0;
+            if (st.quantized) {
+                st.act_scale = static_cast<float>(r.f64());
+                uint32_t n_scales = r.u32();
+                if (!r.ok || n_scales > 1u << 20)
+                    return fail_quant("artifact: truncated quant record");
+                st.weight_scales.resize(n_scales);
+                for (uint32_t i = 0; i < n_scales; ++i)
+                    st.weight_scales[i] = static_cast<float>(r.f64());
+                if (!r.ok)
+                    return fail_quant("artifact: truncated quant record");
+                // The scales drive the load-time re-quantization, so a
+                // corrupted-but-well-framed record must be refused here:
+                // only a groups==1 dense conv can carry one, the scale
+                // count must match the layer's output channels, and
+                // every scale must be finite and positive.
+                if (st.kind != OpKind::kConv || st.conv.groups != 1)
+                    return fail_quant(
+                        "artifact: quant record on an unquantizable layer");
+                if (static_cast<int64_t>(n_scales) != st.conv.cout)
+                    return fail_quant(
+                        "artifact: quant record scale count disagrees with "
+                        "layer output channels");
+                if (!(std::isfinite(st.act_scale) && st.act_scale > 0.0f))
+                    return fail_quant(
+                        "artifact: quant record activation scale is not "
+                        "finite and positive");
+                for (float s : st.weight_scales)
+                    if (!(std::isfinite(s) && s > 0.0f))
+                        return fail_quant(
+                            "artifact: quant record weight scale is not "
+                            "finite and positive");
+            }
+        }
         if (!r.tensor(st.weight) || !r.tensor(st.bias))
             return fail("artifact: truncated tensor");
         bool has_fkw = r.u8() != 0;
@@ -459,6 +542,15 @@ deserializePayload(const uint8_t* payload, size_t payload_size, uint32_t version
                             invariants.message());
             st.fkw = std::move(fkw);
         }
+        if (st.quantized && st.fkw)
+            return Status(ErrorCode::kDataLoss,
+                          "artifact: quant record on an FKW (pattern) layer",
+                          artifact_detail::kBadQuantRecord);
+        if (st.quantized && st.weight.shape().rank() == 0)
+            return Status(ErrorCode::kDataLoss,
+                          "artifact: quant record without a dense weight "
+                          "tensor to re-quantize",
+                          artifact_detail::kBadQuantRecord);
         if (!r.ok)
             return fail("artifact: truncated layer record");
         if (!plausibleLayer(st))

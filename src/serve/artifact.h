@@ -21,6 +21,18 @@
  * FKW storage via sparse/fkw.h's byte-level serializer and are
  * re-validated with validateFkw() on load.
  *
+ * Version 6 quantization: the compile-option record gains the
+ * precision knob and calibration settings (method, percentile, sample
+ * count, seed), and each quantized conv layer carries a quant record —
+ * the calibrated activation scale and the per-output-channel weight
+ * scales. Weights are still stored as f32 (the quantized bytes are
+ * re-derived deterministically from tensor + scales on load), so a v5
+ * serialization of a quantized model simply drops the record and loads
+ * as plain f32. A quant record that is malformed — a scale that is not
+ * finite and positive, a scale count that disagrees with the layer's
+ * cout, or a record on a non-conv / FKW layer — is kDataLoss with the
+ * kBadQuantRecord slug.
+ *
  * Version 4 memory plan: the payload ends with the model's activation
  * MemoryPlan (rt/memplan.h) — per-slot arena offsets/sizes/lifetimes in
  * per-sample float elements — so a serving host gets the planned-arena
@@ -74,16 +86,19 @@ inline constexpr char kChecksumMismatch[] = "artifact/checksum-mismatch";
 inline constexpr char kMalformedPayload[] = "artifact/malformed-payload";
 inline constexpr char kFingerprintMismatch[] = "artifact/fingerprint-mismatch";
 inline constexpr char kBadMemoryPlan[] = "artifact/bad-memory-plan";
+inline constexpr char kBadQuantRecord[] = "artifact/bad-quant-record";
 }  // namespace artifact_detail
 
 /** Artifact format version written by serializeModel. Version 2 added
  * the tuned-ISA field; version 3 the device fingerprint and compile
  * option record; version 4 the activation memory plan; version 5 the
  * dense packed-GEMM cache-blocking fields (gemm_kc / gemm_nc) in each
- * layer's tuning record. v1–v4 artifacts still load (plan-less pre-v4;
- * with a provenance warning pre-v3, ISA assumed scalar for v1;
- * blocking re-derived from the device budget pre-v5). */
-constexpr uint32_t kModelArtifactVersion = 5;
+ * layer's tuning record; version 6 the precision/calibration options
+ * and per-layer quantization records (activation + weight scales).
+ * v1–v5 artifacts still load (as f32 pre-v6; plan-less pre-v4; with a
+ * provenance warning pre-v3, ISA assumed scalar for v1; blocking
+ * re-derived from the device budget pre-v5). */
+constexpr uint32_t kModelArtifactVersion = 6;
 
 /** Load-time strictness knobs. */
 struct ArtifactLoadOptions

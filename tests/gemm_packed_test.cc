@@ -91,6 +91,130 @@ TEST(GemmPack, RhsTilePanelsHoldColumnsRowMajorWithZeroPad)
             }
 }
 
+TEST(GemmPack, I8LhsPanelsAreKPairInterleavedWithZeroPad)
+{
+    const int64_t m = 6, k = 5;  // Odd k: the tail pair is zero-padded.
+    const int mr = 4;
+    Rng rng(41);
+    std::vector<int8_t> a(static_cast<size_t>(m * k));
+    for (auto& v : a)
+        v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+    std::vector<int16_t> packed(
+        static_cast<size_t>(packedLhsElemsI8(m, k, mr)), -1);
+    packLhsTilesI8(a.data(), m, k, /*lda=*/k, mr, packed.data());
+
+    const int64_t tiles = (m + mr - 1) / mr;
+    const int64_t kp = (k + 1) / 2;
+    ASSERT_EQ(static_cast<int64_t>(packed.size()), tiles * kp * mr * 2);
+    // Tile i, pair p, lane r, slot s holds A[i*mr + r][2p + s]; lanes
+    // past M and the odd-k tail slot hold 0.
+    for (int64_t i = 0; i < tiles; ++i)
+        for (int64_t p = 0; p < kp; ++p)
+            for (int r = 0; r < mr; ++r)
+                for (int s = 0; s < 2; ++s) {
+                    int64_t row = i * mr + r;
+                    int64_t kk = 2 * p + s;
+                    // The pack widens i8 values to i16 verbatim.
+                    int16_t want =
+                        (row < m && kk < k)
+                            ? static_cast<int16_t>(
+                                  a[static_cast<size_t>(row * k + kk)])
+                            : static_cast<int16_t>(0);
+                    EXPECT_EQ(packed[static_cast<size_t>(
+                                  ((i * kp + p) * mr + r) * 2 + s)],
+                              want)
+                        << "tile " << i << " pair " << p << " lane " << r
+                        << " slot " << s;
+                }
+}
+
+TEST(GemmPack, I8RhsPanelsAreKPairInterleavedWithZeroPad)
+{
+    const int64_t k = 7, n = 10;
+    const int nr = 8;
+    Rng rng(42);
+    std::vector<int8_t> b(static_cast<size_t>(k * n));
+    for (auto& v : b)
+        v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+    std::vector<int8_t> packed(
+        static_cast<size_t>(packedRhsElemsI8(k, n, nr)), -1);
+    packRhsTilesI8(b.data(), k, n, /*ldb=*/n, nr, packed.data());
+
+    const int64_t tiles = (n + nr - 1) / nr;
+    const int64_t kp = (k + 1) / 2;
+    ASSERT_EQ(static_cast<int64_t>(packed.size()), tiles * kp * nr * 2);
+    for (int64_t j = 0; j < tiles; ++j)
+        for (int64_t p = 0; p < kp; ++p)
+            for (int c = 0; c < nr; ++c)
+                for (int s = 0; s < 2; ++s) {
+                    int64_t col = j * nr + c;
+                    int64_t kk = 2 * p + s;
+                    int8_t want =
+                        (col < n && kk < k)
+                            ? b[static_cast<size_t>(kk * n + col)]
+                            : static_cast<int8_t>(0);
+                    EXPECT_EQ(packed[static_cast<size_t>(
+                                  ((j * kp + p) * nr + c) * 2 + s)],
+                              want)
+                        << "tile " << j << " pair " << p << " lane " << c
+                        << " slot " << s;
+                }
+}
+
+/** The i8 packed GEMM agrees exactly with a naive i32 loop on every
+ * available ISA and under every blocking choice — integer accumulation
+ * is exact, so this is plain equality, not a chain-matching argument. */
+TEST(GemmPacked, I8ExactAgainstNaiveOnEveryIsaAndBlocking)
+{
+    const int64_t m = 13, k = 37, n = 29;  // Odd: ragged edges everywhere.
+    Rng rng(43);
+    std::vector<int8_t> a(static_cast<size_t>(m * k));
+    std::vector<int8_t> b(static_cast<size_t>(k * n));
+    for (auto& v : a)
+        v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+    for (auto& v : b)
+        v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+
+    std::vector<int32_t> want(static_cast<size_t>(m * n), 0);
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += static_cast<int32_t>(a[static_cast<size_t>(i * k + kk)]) *
+                       static_cast<int32_t>(b[static_cast<size_t>(kk * n + j)]);
+            want[static_cast<size_t>(i * n + j)] = acc;
+        }
+
+    for (SimdIsa isa : availableSimdIsas()) {
+        const SimdOps& ops = resolveSimdOps(isa);
+        std::vector<int16_t> lhs(
+            static_cast<size_t>(packedLhsElemsI8(m, k, ops.gemm_i8_mr)));
+        std::vector<int8_t> rhs(
+            static_cast<size_t>(packedRhsElemsI8(k, n, ops.gemm_i8_nr)));
+        packLhsTilesI8(a.data(), m, k, k, ops.gemm_i8_mr, lhs.data());
+        packRhsTilesI8(b.data(), k, n, n, ops.gemm_i8_nr, rhs.data());
+        int64_t tiles = (m + ops.gemm_i8_mr - 1) / ops.gemm_i8_mr;
+
+        for (auto [kc, nc] : std::vector<std::pair<int64_t, int64_t>>{
+                 {0, 0},
+                 {16, ops.gemm_i8_nr},
+                 {17, 2 * ops.gemm_i8_nr},  // Odd kc: rounded to even inside.
+                 {64, 1024}}) {
+            GemmBlocking blocking = gemmBlockingForI8(ops, k, n, 32, kc, nc);
+            EXPECT_EQ(blocking.kc % 2, 0)
+                << ops.name << ": kc blocks must never split a k pair";
+            std::vector<int32_t> got(static_cast<size_t>(m * n), 0);
+            packedGemmRowTilesI8(ops, lhs.data(), rhs.data(), m, k, n,
+                                 got.data(), n, 0, tiles, blocking);
+            EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                                  got.size() * sizeof(int32_t)),
+                      0)
+                << "ISA " << ops.name << " kc=" << kc << " nc=" << nc
+                << " diverges from the naive i32 loop";
+        }
+    }
+}
+
 /** Every available ISA's packed GEMM is bit-identical to the reference
  * accumulation chain, including ragged edges and non-trivial bias-like
  * C pre-initialization. */

@@ -536,8 +536,8 @@ TEST(RunProfile, ResetKeepsLabelsAndMergeAccumulates)
 {
     RunProfile p;
     p.prepare(2);
-    p.entries[0] = {"conv1", "pattern", "avx2", 100, 1, 1000, 1000};
-    p.entries[1] = {"fc", "fc", "-", 50, 1, 500, 500};
+    p.entries[0] = {"conv1", "pattern", "avx2", "f32", 100, 1, 1000, 1000};
+    p.entries[1] = {"fc", "fc", "-", "f32", 50, 1, 500, 500};
     p.runs = 1;
     p.wall_ns = 1600;
     EXPECT_EQ(p.totalNs(), 1500);

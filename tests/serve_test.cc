@@ -1057,6 +1057,149 @@ TEST(Artifact, V5RoundTripRestoresGemmBlocking)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Artifact v6: quantization records
+// ---------------------------------------------------------------------------
+
+TEST(Artifact, V6RoundTripRestoresQuantizationBitExactly)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompileOptions opts;
+    opts.precision = Precision::kInt8;
+    opts.calibration.method = CalibrationMethod::kPercentile;
+    opts.calibration.percentile = 99.5;
+    opts.calibration.samples = 3;
+    opts.calibration.seed = 777;
+    CompiledModel compiled(m, FrameworkKind::kPatDnnDense, dev, opts);
+
+    ArtifactInfo info;
+    auto loaded = deserializeModel(serializeModel(compiled), dev,
+                                   ArtifactLoadOptions{}, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(info.version, kModelArtifactVersion);
+    // Quantization provenance survives the header round trip.
+    EXPECT_EQ(info.compile_opts.precision, Precision::kInt8);
+    EXPECT_EQ(info.compile_opts.calibration.method,
+              CalibrationMethod::kPercentile);
+    EXPECT_EQ(info.compile_opts.calibration.percentile, 99.5);
+    EXPECT_EQ(info.compile_opts.calibration.samples, 3);
+    EXPECT_EQ(info.compile_opts.calibration.seed, 777u);
+
+    // Per-layer scales restore exactly: the stored f32 weights are
+    // re-quantized against them, so restored execution is bit-exact.
+    std::vector<CompiledLayerState> want = compiled.exportState();
+    std::vector<CompiledLayerState> got = loaded.value()->exportState();
+    ASSERT_EQ(want.size(), got.size());
+    int quantized = 0;
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].quantized, want[i].quantized) << i;
+        EXPECT_EQ(got[i].act_scale, want[i].act_scale) << i;
+        EXPECT_EQ(got[i].weight_scales, want[i].weight_scales) << i;
+        quantized += got[i].quantized ? 1 : 0;
+    }
+    EXPECT_EQ(quantized, 3) << "all three tiny-model convs quantize";
+
+    Tensor in = makeInput(51, 2);
+    Tensor expect = compiled.run(in);
+    Tensor out = loaded.value()->run(in);
+    ASSERT_EQ(out.shape(), expect.shape());
+    EXPECT_EQ(std::memcmp(out.data(), expect.data(),
+                          static_cast<size_t>(out.numel()) * sizeof(float)),
+              0)
+        << "restored quantized model diverges from the in-memory compile";
+}
+
+TEST(Artifact, V5SerializationOfQuantizedModelLoadsAsF32)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompileOptions i8_opts;
+    i8_opts.precision = Precision::kInt8;
+    CompiledModel quantized(m, FrameworkKind::kPatDnnDense, dev, i8_opts);
+    CompiledModel f32(m, FrameworkKind::kPatDnnDense, dev);
+
+    // Pre-v6 layouts have no quant-record slot, and the weights are
+    // stored as f32 either way — so an old reader (simulated by an old
+    // serialization) gets exactly the plain f32 model.
+    auto loaded = deserializeModel(serializeModel(quantized, 5), dev);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    for (const CompiledLayerState& st : loaded.value()->exportState())
+        EXPECT_FALSE(st.quantized);
+    EXPECT_EQ(loaded.value()->compileOptions().precision, Precision::kF32);
+
+    Tensor in = makeInput(52);
+    Tensor expect = f32.run(in);
+    Tensor out = loaded.value()->run(in);
+    EXPECT_EQ(std::memcmp(out.data(), expect.data(),
+                          static_cast<size_t>(out.numel()) * sizeof(float)),
+              0)
+        << "v5 load of a quantized model must run as the plain f32 compile";
+}
+
+TEST(Artifact, CorruptQuantRecordIsDataLossWithQuantSlug)
+{
+    Model m = tinyModel();
+    DeviceSpec dev = makeFixedWidthCpuDevice(2);
+    CompileOptions opts;
+    opts.precision = Precision::kInt8;
+    CompiledModel compiled(m, FrameworkKind::kPatDnnDense, dev, opts);
+    std::vector<uint8_t> bytes = serializeModel(compiled);
+
+    // Locate the first quantized layer's act_scale by its f64 byte
+    // pattern (unique in the payload with overwhelming probability);
+    // the scale count and scale list follow it by the format contract.
+    float act_scale = 0.0f;
+    for (const CompiledLayerState& st : compiled.exportState())
+        if (st.quantized) {
+            act_scale = st.act_scale;
+            break;
+        }
+    ASSERT_GT(act_scale, 0.0f);
+    double as64 = static_cast<double>(act_scale);
+    uint8_t pat[8];
+    std::memcpy(pat, &as64, 8);
+    size_t at = 0;
+    for (at = 16; at + 8 < bytes.size(); ++at)
+        if (std::memcmp(bytes.data() + at, pat, 8) == 0)
+            break;
+    ASSERT_LT(at + 8, bytes.size()) << "act_scale bytes not found";
+
+    auto expect_quant_slug = [&](std::vector<uint8_t> bad, const char* what) {
+        auto r = deserializeModel(resealArtifact(std::move(bad)), dev);
+        ASSERT_FALSE(r.ok()) << what;
+        EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss) << what;
+        EXPECT_STREQ(r.status().detail(), artifact_detail::kBadQuantRecord)
+            << what;
+    };
+    {
+        // Negative activation scale: sign bit of the f64.
+        std::vector<uint8_t> bad = bytes;
+        bad[at + 7] |= 0x80;
+        expect_quant_slug(std::move(bad), "negative act_scale");
+    }
+    {
+        // Zero activation scale.
+        std::vector<uint8_t> bad = bytes;
+        std::memset(bad.data() + at, 0, 8);
+        expect_quant_slug(std::move(bad), "zero act_scale");
+    }
+    {
+        // Implausible scale count (the u32 right after act_scale):
+        // parses as a truncated quant record.
+        std::vector<uint8_t> bad = bytes;
+        std::memset(bad.data() + at + 8, 0xFF, 4);
+        expect_quant_slug(std::move(bad), "huge scale count");
+    }
+    {
+        // Negative per-channel weight scale (first scale follows the
+        // count u32).
+        std::vector<uint8_t> bad = bytes;
+        bad[at + 8 + 4 + 7] |= 0x80;
+        expect_quant_slug(std::move(bad), "negative weight scale");
+    }
+}
+
 TEST(Artifact, CorruptMemoryPlanIsDataLossWithPlanSlug)
 {
     Model m = tinyModel();

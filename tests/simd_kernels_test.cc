@@ -257,6 +257,137 @@ TEST(SimdKernels, GemmTileMatchesDocumentedChain)
     }
 }
 
+TEST(SimdKernels, GemmTileI8MatchesScalarReferenceExactly)
+{
+    // The gemm_tile_i8 contract (dispatch.h): k-pair interleaved
+    // panels (LHS pre-widened to i16 by the pack, RHS i8), i32
+    // accumulation starting from C. Integer accumulation is
+    // exact, so every table must agree with a plain reference loop to
+    // the bit, with no ordering caveat — stronger than the f32 chain.
+    Rng rng(15);
+    for (const SimdOps* ops : allTables()) {
+        const int mr = ops->gemm_i8_mr;
+        const int nr = ops->gemm_i8_nr;
+        ASSERT_GE(mr, 1) << ops->name;
+        ASSERT_GE(nr, 1) << ops->name;
+        ASSERT_NE(ops->gemm_tile_i8, nullptr) << ops->name;
+        for (int64_t kc : {1, 2, 3, 7, 16, 33, 64}) {
+            const int64_t kp = (kc + 1) / 2;
+            std::vector<int16_t> a(static_cast<size_t>(kp * mr * 2));
+            std::vector<int8_t> b(static_cast<size_t>(kp * nr * 2));
+            for (auto& v : a)
+                v = static_cast<int16_t>(rng.uniformInt(-127, 127));
+            for (auto& v : b)
+                v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+            if (kc % 2 != 0) {
+                // The pack layer zero-pads the odd tail pair; mirror it
+                // so saturating-madd ISAs see what they see in vivo.
+                for (int m = 0; m < mr; ++m)
+                    a[static_cast<size_t>((kp - 1) * mr * 2 + m * 2 + 1)] = 0;
+                for (int n = 0; n < nr; ++n)
+                    b[static_cast<size_t>((kp - 1) * nr * 2 + n * 2 + 1)] = 0;
+            }
+            for (int live_m : {1, mr / 2 > 0 ? mr / 2 : 1, mr}) {
+                for (int live_n : {1, nr / 2 > 0 ? nr / 2 : 1, nr}) {
+                    const int64_t ldc = nr + 3;  // sub-row stores only
+                    std::vector<int32_t> c0(static_cast<size_t>(mr * ldc));
+                    for (auto& v : c0)
+                        v = static_cast<int32_t>(rng.uniformInt(-1000, 1000));
+                    std::vector<int32_t> want = c0, got = c0;
+                    for (int m = 0; m < live_m; ++m)
+                        for (int n = 0; n < live_n; ++n) {
+                            int32_t acc = want[static_cast<size_t>(m * ldc + n)];
+                            for (int64_t p = 0; p < kp; ++p) {
+                                int32_t a0 = a[static_cast<size_t>(
+                                    p * mr * 2 + m * 2)];
+                                int32_t a1 = a[static_cast<size_t>(
+                                    p * mr * 2 + m * 2 + 1)];
+                                int32_t b0 = b[static_cast<size_t>(
+                                    p * nr * 2 + n * 2)];
+                                int32_t b1 = b[static_cast<size_t>(
+                                    p * nr * 2 + n * 2 + 1)];
+                                acc += a0 * b0 + a1 * b1;
+                            }
+                            want[static_cast<size_t>(m * ldc + n)] = acc;
+                        }
+                    ops->gemm_tile_i8(a.data(), b.data(), got.data(), ldc, kc,
+                                      live_m, live_n);
+                    // Exact agreement on live lanes AND untouched bytes
+                    // everywhere else (no out-of-tile stores).
+                    EXPECT_TRUE(std::memcmp(got.data(), want.data(),
+                                            static_cast<size_t>(mr * ldc) *
+                                                sizeof(int32_t)) == 0)
+                        << ops->name << " kc=" << kc << " m=" << live_m
+                        << " n=" << live_n;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, GemmTileI8SaturationStress)
+{
+    // Worst-case magnitudes: every product is 127*127 and signs align
+    // within each k-pair, the adversarial input for any ISA that pairs
+    // products in 16-bit lanes before widening. The scalar reference
+    // accumulates in i32, so agreement proves no intermediate overflow.
+    for (const SimdOps* ops : allTables()) {
+        const int mr = ops->gemm_i8_mr;
+        const int nr = ops->gemm_i8_nr;
+        const int64_t kc = 64;
+        const int64_t kp = (kc + 1) / 2;
+        std::vector<int16_t> a(static_cast<size_t>(kp * mr * 2), 127);
+        std::vector<int8_t> b(static_cast<size_t>(kp * nr * 2), -127);
+        const int64_t ldc = nr;
+        std::vector<int32_t> got(static_cast<size_t>(mr * ldc), 0);
+        ops->gemm_tile_i8(a.data(), b.data(), got.data(), ldc, kc, mr, nr);
+        for (int32_t v : got)
+            EXPECT_EQ(v, static_cast<int32_t>(kc) * 127 * -127) << ops->name;
+    }
+}
+
+TEST(SimdKernels, QuantizeRowI8MatchesScalarReferenceExactly)
+{
+    // quantize_row_i8 is bit-identical across tables (dispatch.h): same
+    // f32 multiply, clamp and sign-matched rounding in every lane. Mix
+    // in-range values, saturating magnitudes, exact half-steps and
+    // signed zeros, and every vector-body/scalar-tail split.
+    Rng rng(23);
+    const SimdOps& ref = scalarSimdOps();
+    for (const SimdOps* ops : allTables()) {
+        ASSERT_NE(ops->quantize_row_i8, nullptr) << ops->name;
+        for (int64_t n : {0, 1, 7, 16, 31, 32, 33, 64, 100, 257}) {
+            std::vector<float> x(static_cast<size_t>(n));
+            for (int64_t i = 0; i < n; ++i) {
+                switch (i % 6) {
+                  case 0: x[static_cast<size_t>(i)] = rng.uniform(-2.f, 2.f); break;
+                  case 1: x[static_cast<size_t>(i)] = rng.uniform(-500.f, 500.f); break;
+                  case 2: x[static_cast<size_t>(i)] = 0.25f * static_cast<float>(rng.uniformInt(-520, 520)); break;  // exact +-k/4 incl. half-steps
+                  case 3: x[static_cast<size_t>(i)] = -0.0f; break;
+                  case 4: x[static_cast<size_t>(i)] = 0.0f; break;
+                  case 5: x[static_cast<size_t>(i)] = rng.uniform(-1e-3f, 1e-3f); break;
+                }
+            }
+            for (float inv_scale : {0.5f, 1.0f, 64.0f, 0.0f}) {
+                std::vector<int8_t> want(static_cast<size_t>(n) + 1, 99);
+                std::vector<int8_t> got = want;
+                ref.quantize_row_i8(x.data(), n, inv_scale, want.data());
+                ops->quantize_row_i8(x.data(), n, inv_scale, got.data());
+                EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size()), 0)
+                    << ops->name << " n=" << n << " inv=" << inv_scale;
+                // And the reference itself matches quantizeValue.
+                for (int64_t i = 0; i < n; ++i)
+                    EXPECT_EQ(want[static_cast<size_t>(i)],
+                              quantizeValue(x[static_cast<size_t>(i)],
+                                            inv_scale))
+                        << "x=" << x[static_cast<size_t>(i)];
+                EXPECT_EQ(got[static_cast<size_t>(n)], 99)
+                    << ops->name << ": wrote past n";
+            }
+        }
+    }
+}
+
 TEST(SimdKernels, ReluMatchesScalarIncludingSpecials)
 {
     const SimdOps& ref = scalarSimdOps();
