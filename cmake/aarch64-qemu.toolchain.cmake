@@ -1,0 +1,29 @@
+# Cross-compile for aarch64-linux-gnu and run binaries under qemu-user
+# (the ci neon-cross job): CMAKE_SYSTEM_PROCESSOR=aarch64 selects the
+# NEON kernel table in src/rt/CMakeLists.txt, and the emulator line
+# makes every ctest entry execute through qemu-aarch64 transparently —
+# so kernels_neon.cc is compiled AND its bit-exactness suites actually
+# run on every push, with no ARM hardware in the loop.
+#
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/aarch64-qemu.toolchain.cmake
+#
+# Needs: g++-aarch64-linux-gnu, qemu-user (Debian/Ubuntu package names).
+# GoogleTest is built from /usr/src/googletest sources with this same
+# toolchain (cmake/PatdnnGTest.cmake), so no cross-built gtest package
+# is required.
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# -L: qemu's guest sysroot, where the target ld.so and libs live.
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")
+
+# Resolve headers/libs in the target sysroot only; host tools stay host.
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)

@@ -8,6 +8,13 @@
  * coalescing the sparse tail of the request stream, and a deadline on
  * every request so backlogged work is shed, not computed.
  *
+ * The final act is the horizontal-scale tier: a ShardRouter spreads
+ * one model's traffic across two replica servers with consistent-hash
+ * affinity, a replica outage turns into ejection + transparent
+ * failover (no client-visible error), and a shared AdmissionController
+ * with a deliberately tiny budget shows overload shedding with a
+ * machine-readable admission slug.
+ *
  * Build & run:   cmake -B build && cmake --build build -j
  *                ./build/examples/serve_model
  */
@@ -136,8 +143,100 @@ main()
     }
     table.print();
     std::printf("client view: %d completed, %d deadline-shed\n", completed, shed);
-
     registry->shutdownAll();
+
+    // --- Horizontal scale: ShardRouter over two replicas. -----------
+    // Each replica is its own InferenceServer (queue + workers +
+    // sessions) over the same compiled artifact; the router gives
+    // clients one front door with key affinity, health ejection and
+    // transparent failover. Both replicas charge one deliberately
+    // tiny admission budget so the overload path is visible too.
+    std::printf("\nrouting across 2 replicas (consistent hash, shared "
+                "admission budget)...\n");
+    auto admission = std::make_shared<AdmissionController>(
+        AdmissionOptions{/*max_queued_samples=*/8, /*max_queued_bytes=*/0,
+                         /*fair_share_pressure=*/0.5});
+    RouterOptions router_opts;
+    router_opts.eject_after_failures = 2;
+    ShardRouter router(router_opts);
+    std::vector<std::shared_ptr<InferenceServer>> replicas;
+    for (int i = 0; i < 2; ++i) {
+        ServerOptions sopts;
+        sopts.workers = 2;
+        sopts.max_batch = 8;
+        sopts.admission = admission;
+        sopts.admission_name = "vgg16-dense";
+        replicas.push_back(
+            std::make_shared<InferenceServer>(dense.value(), sopts));
+        router.addReplica("vgg16-dense", std::make_shared<LocalReplica>(replicas[i]));
+    }
+
+    auto routeBurst = [&](int requests, const char* label) {
+        int ok = 0, admission_shed = 0;
+        Rng burst_rng(7);
+        std::vector<std::future<Tensor>> fs;
+        for (int i = 0; i < requests; ++i) {
+            Tensor in(Shape{1, 3, 32, 32});
+            in.fillUniform(burst_rng, -1.0f, 1.0f);
+            std::future<Tensor> f;
+            // The request key (a user/session id in a real frontend)
+            // pins each client to a replica via the hash ring.
+            Result<RequestId> r =
+                router.trySubmit("vgg16-dense", /*key=*/i, std::move(in), &f);
+            if (r.ok()) {
+                fs.push_back(std::move(f));
+            } else {
+                // Every replica refused: an admission refusal keeps
+                // its machine-readable slug through the failover.
+                ++admission_shed;
+                if (admission_shed == 1)
+                    std::printf("  %s: first shed [%s] detail=%s\n", label,
+                                errorCodeName(r.status().code()),
+                                r.status().detail());
+            }
+        }
+        for (auto& f : fs) {
+            f.get();
+            ++ok;
+        }
+        // Quiesce: a fulfilled future precedes the worker returning
+        // the admission charge by a hair, so wait for the replicas to
+        // go idle before the next act measures the budget.
+        router.drainAll();
+        RouterStats rs = router.stats("vgg16-dense");
+        std::printf("  %s: %d served, %d shed | routed %lld, failovers %lld "
+                    "| replica0 %s, replica1 %s\n",
+                    label, ok, admission_shed,
+                    static_cast<long long>(rs.routed),
+                    static_cast<long long>(rs.failovers),
+                    rs.replicas[0].ejected ? "EJECTED" : "healthy",
+                    rs.replicas[1].ejected ? "EJECTED" : "healthy");
+    };
+
+    // Act 1 — healthy: 8 requests fit the admission budget; the keys
+    // spread across both replicas, no failovers, no shedding.
+    routeBurst(8, "both replicas up");
+
+    // Act 2 — outage: shut replica 0 down. Its refusals eject it after
+    // eject_after_failures and every request transparently fails over
+    // to the survivor — same keys, zero client-visible errors.
+    replicas[0]->shutdown();
+    routeBurst(8, "replica 0 down  ");
+
+    // Act 3 — overload: a burst past the 8-sample budget. The excess
+    // is shed at the front door with a typed kResourceExhausted and an
+    // admission_detail slug (cheap and retryable) instead of queueing
+    // unboundedly; sustained refusals then eject the survivor too — a
+    // replica that only ever refuses is down as far as routing cares.
+    routeBurst(24, "overload burst  ");
+    AdmissionStats as = admission->stats();
+    std::printf("  admission totals: %lld admitted, %lld shed over fair "
+                "share, %lld shed on global budget\n",
+                static_cast<long long>(as.admitted),
+                static_cast<long long>(as.shed_over_fair_share),
+                static_cast<long long>(as.shed_global_budget));
+
+    router.shutdownAll();
     std::remove(path.c_str());
     return 0;
 }

@@ -21,7 +21,13 @@
  * stands up an async batched InferenceServer — per-request deadlines,
  * cancellation, and a linger window that coalesces sparse request
  * streams — and ModelRegistry serves several named artifacts from one
- * process over one shared compute pool (src/serve/).
+ * process over one shared compute pool (src/serve/). Above the
+ * registry sits the horizontal-scale tier: AdmissionController
+ * (serve/admission.h) holds the process-wide queued-work budget with
+ * weighted fair-share shedding, and ShardRouter (serve/router.h)
+ * spreads a model's traffic across N server replicas with
+ * consistent-hash or least-loaded routing, per-replica health
+ * ejection, and transparent failover.
  *
  * The v1 error contract (src/util/status.h): every facade call that
  * can fail for a caller-visible reason returns Status or Result<T>
@@ -48,8 +54,10 @@
 #include "rt/framework.h"
 #include "rt/load_analysis.h"
 #include "rt/tuner.h"
+#include "serve/admission.h"
 #include "serve/artifact.h"
 #include "serve/registry.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "sparse/csr.h"

@@ -1,0 +1,216 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace patdnn {
+
+namespace {
+
+/** Process-global admission metrics (stable references; see
+ * obs/metrics.h registry contract). Multiple controllers in one
+ * process share these — they describe the process, not one pool. */
+struct AdmissionMetrics
+{
+    Counter& admitted =
+        MetricsRegistry::global().counter("serve.admission.admitted");
+    Counter& shed_fair =
+        MetricsRegistry::global().counter("serve.admission.shed_over_fair_share");
+    Counter& shed_global =
+        MetricsRegistry::global().counter("serve.admission.shed_global_budget");
+    Gauge& queued_samples =
+        MetricsRegistry::global().gauge("serve.admission.queued_samples");
+    Gauge& queued_bytes =
+        MetricsRegistry::global().gauge("serve.admission.queued_bytes");
+};
+
+AdmissionMetrics&
+metrics()
+{
+    static AdmissionMetrics m;
+    return m;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions opts) : opts_(opts)
+{
+    opts_.max_queued_samples = std::max<int64_t>(0, opts_.max_queued_samples);
+    opts_.max_queued_bytes = std::max<int64_t>(0, opts_.max_queued_bytes);
+    opts_.fair_share_pressure =
+        std::clamp(opts_.fair_share_pressure, 0.0, 1.0);
+}
+
+bool
+AdmissionController::enabled() const
+{
+    return opts_.max_queued_samples > 0 || opts_.max_queued_bytes > 0;
+}
+
+void
+AdmissionController::registerModel(const std::string& name, double weight)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    ModelEntry& entry = models_[name];
+    entry.registered = true;
+    entry.stats.weight = weight > 0.0 ? weight : 1.0;
+}
+
+void
+AdmissionController::deregisterModel(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end())
+        return;
+    // Keep the entry while charges are outstanding (release() still
+    // needs the bookkeeping); just stop counting its weight.
+    it->second.registered = false;
+    if (it->second.stats.queued_samples == 0 &&
+        it->second.stats.queued_bytes == 0)
+        models_.erase(it);
+}
+
+double
+AdmissionController::totalWeightLocked() const
+{
+    double total = 0.0;
+    for (const auto& [name, entry] : models_)
+        if (entry.registered)
+            total += entry.stats.weight;
+    return total;
+}
+
+Status
+AdmissionController::checkDimLocked(const ModelEntry& entry, int64_t model_queued,
+                                    int64_t total_queued, int64_t request,
+                                    int64_t budget, const char* what) const
+{
+    if (budget <= 0)
+        return Status::OK();  // Dimension unlimited.
+    const int64_t total_after = total_queued + request;
+    const int64_t model_after = model_queued + request;
+    const double total_weight = totalWeightLocked();
+    const double share =
+        total_weight > 0.0
+            ? entry.stats.weight / total_weight * static_cast<double>(budget)
+            : static_cast<double>(budget);
+    const bool over_share = static_cast<double>(model_after) > share;
+    if (total_after > budget) {
+        // Pool full. Attribute the refusal: a model over its weighted
+        // share is the one being shed by policy; a model under it met
+        // a genuinely exhausted budget.
+        if (over_share)
+            return Status(ErrorCode::kResourceExhausted,
+                          std::string("admission: model over weighted fair "
+                                      "share of queued ") +
+                              what + " budget",
+                          admission_detail::kOverFairShare);
+        return Status(ErrorCode::kResourceExhausted,
+                      std::string("admission: global queued ") + what +
+                          " budget exhausted",
+                      admission_detail::kGlobalBudget);
+    }
+    const double pressure_line =
+        opts_.fair_share_pressure * static_cast<double>(budget);
+    if (over_share && static_cast<double>(total_after) > pressure_line)
+        return Status(ErrorCode::kResourceExhausted,
+                      std::string("admission: model over weighted fair share "
+                                  "of queued ") +
+                          what + " budget under pressure",
+                      admission_detail::kOverFairShare);
+    return Status::OK();
+}
+
+Status
+AdmissionController::tryAdmit(const std::string& name, int64_t samples,
+                              int64_t bytes)
+{
+    PATDNN_CHECK(samples >= 0 && bytes >= 0,
+                 "admission charge must be non-negative");
+    std::lock_guard<std::mutex> lk(mutex_);
+    ModelEntry& entry = models_[name];
+    if (!entry.registered) {
+        entry.registered = true;
+        if (entry.stats.weight <= 0.0)
+            entry.stats.weight = 1.0;
+    }
+    if (enabled()) {
+        Status st = checkDimLocked(entry, entry.stats.queued_samples,
+                                   queued_samples_, samples,
+                                   opts_.max_queued_samples, "samples");
+        if (st.ok())
+            st = checkDimLocked(entry, entry.stats.queued_bytes, queued_bytes_,
+                                bytes, opts_.max_queued_bytes, "bytes");
+        if (!st.ok()) {
+            if (st.detail() == admission_detail::kOverFairShare) {
+                ++entry.stats.shed_over_fair_share;
+                ++shed_over_fair_share_;
+                metrics().shed_fair.inc();
+            } else {
+                ++entry.stats.shed_global_budget;
+                ++shed_global_budget_;
+                metrics().shed_global.inc();
+            }
+            return st;
+        }
+    }
+    entry.stats.queued_samples += samples;
+    entry.stats.queued_bytes += bytes;
+    ++entry.stats.admitted;
+    queued_samples_ += samples;
+    queued_bytes_ += bytes;
+    ++admitted_;
+    metrics().admitted.inc();
+    exportGaugesLocked();
+    return Status::OK();
+}
+
+void
+AdmissionController::release(const std::string& name, int64_t samples,
+                             int64_t bytes)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = models_.find(name);
+    PATDNN_CHECK(it != models_.end(),
+                 "admission release for unknown model '" << name << "'");
+    ModelEntry& entry = it->second;
+    PATDNN_CHECK(entry.stats.queued_samples >= samples &&
+                     entry.stats.queued_bytes >= bytes,
+                 "admission release exceeds outstanding charge for '"
+                     << name << "'");
+    entry.stats.queued_samples -= samples;
+    entry.stats.queued_bytes -= bytes;
+    queued_samples_ -= samples;
+    queued_bytes_ -= bytes;
+    if (!entry.registered && entry.stats.queued_samples == 0 &&
+        entry.stats.queued_bytes == 0)
+        models_.erase(it);
+    exportGaugesLocked();
+}
+
+void
+AdmissionController::exportGaugesLocked() const
+{
+    metrics().queued_samples.set(static_cast<double>(queued_samples_));
+    metrics().queued_bytes.set(static_cast<double>(queued_bytes_));
+}
+
+AdmissionStats
+AdmissionController::stats() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    AdmissionStats s;
+    s.queued_samples = queued_samples_;
+    s.queued_bytes = queued_bytes_;
+    s.admitted = admitted_;
+    s.shed_over_fair_share = shed_over_fair_share_;
+    s.shed_global_budget = shed_global_budget_;
+    for (const auto& [name, entry] : models_)
+        s.models[name] = entry.stats;
+    return s;
+}
+
+}  // namespace patdnn

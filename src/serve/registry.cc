@@ -15,6 +15,9 @@ ModelRegistry::ModelRegistry(RegistryOptions opts)
     // this same lazily created util::ThreadPool.
     opts_.device.pool();
     opts_.server.clock = clock_;
+    if (opts_.admission.max_queued_samples > 0 ||
+        opts_.admission.max_queued_bytes > 0)
+        admission_ = std::make_shared<AdmissionController>(opts_.admission);
 }
 
 ModelRegistry::~ModelRegistry()
@@ -66,6 +69,12 @@ ModelRegistry::add(const std::string& name,
     ServerOptions opts = server_opts;
     if (!opts.clock)
         opts.clock = clock_;
+    if (admission_ && !opts.admission) {
+        // Every registry-fronted server charges the shared budget under
+        // its registered name (the server registers name + weight).
+        opts.admission = admission_;
+        opts.admission_name = name;
+    }
     Entry entry;
     entry.model = std::move(model);
     entry.server = std::make_shared<InferenceServer>(entry.model, opts);
@@ -97,6 +106,8 @@ ModelRegistry::evict(const std::string& name)
     // Outside the lock: shutdown drains and joins, which must not block
     // other models' routing.
     victim.server->shutdown();
+    if (admission_)
+        admission_->deregisterModel(name);
     return true;
 }
 
@@ -150,6 +161,17 @@ ModelRegistry::submit(const std::string& name, Tensor input, SubmitOptions sopts
         return p.get_future();
     }
     return server->submit(std::move(input), sopts, id);
+}
+
+Result<RequestId>
+ModelRegistry::trySubmit(const std::string& name, Tensor input,
+                         std::future<Tensor>* result, SubmitOptions sopts)
+{
+    std::shared_ptr<InferenceServer> server = serverFor(name);
+    if (!server)
+        return Status(ErrorCode::kNotFound,
+                      "registry: no model named '" + name + "'");
+    return server->trySubmit(std::move(input), result, sopts);
 }
 
 bool

@@ -47,6 +47,14 @@ struct RegistryOptions
     /// clock, linger window, batch and queue bounds are per-registry
     /// policy; per-model overrides go through add()).
     ServerOptions server;
+    /// Process-wide queued-work budget (serve/admission.h). With any
+    /// limit set, the registry owns one AdmissionController shared by
+    /// every server it fronts: each model charges under its registered
+    /// name with ServerOptions::admission_weight as its fair-share
+    /// weight, so one hot model sheds (kResourceExhausted +
+    /// admission_detail slug) instead of starving the pool. Both
+    /// limits 0 (the default) = no admission control.
+    AdmissionOptions admission;
 };
 
 /**
@@ -101,6 +109,14 @@ class ModelRegistry
     std::future<Tensor> submit(const std::string& name, Tensor input,
                                SubmitOptions sopts = {}, RequestId* id = nullptr);
 
+    /** Non-throwing, non-blocking admission path to `name`'s server
+     * (InferenceServer::trySubmit semantics — admission-control
+     * refusals surface here as kResourceExhausted with their
+     * admission_detail slug); kNotFound for an unknown name. */
+    Result<RequestId> trySubmit(const std::string& name, Tensor input,
+                                std::future<Tensor>* result,
+                                SubmitOptions sopts = {});
+
     /** Cancel a queued request on `name`'s server. */
     bool cancel(const std::string& name, RequestId id);
 
@@ -119,6 +135,13 @@ class ModelRegistry
     /** The shared execution device (and compute pool). */
     const DeviceSpec& device() const { return opts_.device; }
 
+    /** The registry-owned admission controller; null when
+     * RegistryOptions::admission set no budget. */
+    const std::shared_ptr<AdmissionController>& admission() const
+    {
+        return admission_;
+    }
+
   private:
     struct Entry
     {
@@ -130,6 +153,7 @@ class ModelRegistry
 
     RegistryOptions opts_;
     std::shared_ptr<ServeClock> clock_;
+    std::shared_ptr<AdmissionController> admission_;  ///< Null = disabled.
     mutable std::mutex mutex_;
     std::map<std::string, Entry> entries_;
 };

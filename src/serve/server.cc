@@ -66,6 +66,12 @@ InferenceServer::InferenceServer(std::shared_ptr<const CompiledModel> model,
     opts_.max_batch = std::max<int64_t>(1, opts_.max_batch);
     opts_.max_queue = std::max<size_t>(1, opts_.max_queue);
     opts_.max_linger_ms = std::max(0.0, opts_.max_linger_ms);
+    if (opts_.admission) {
+        if (opts_.admission_name.empty())
+            opts_.admission_name = "default";
+        opts_.admission->registerModel(opts_.admission_name,
+                                       opts_.admission_weight);
+    }
     if (!opts_.start_paused)
         start();
 }
@@ -90,6 +96,28 @@ InferenceServer::start()
     launcher_ = std::thread([this] {
         pool_.parallelFor(opts_.workers, [this](int64_t) { workerLoop(); });
     });
+}
+
+Status
+InferenceServer::admitRequest(Request& req)
+{
+    if (!opts_.admission)
+        return Status::OK();
+    const int64_t samples = req.input.shape().dim(0);
+    const int64_t bytes =
+        req.input.numel() * static_cast<int64_t>(sizeof(float));
+    PATDNN_RETURN_IF_ERROR(
+        opts_.admission->tryAdmit(opts_.admission_name, samples, bytes));
+    req.samples = samples;
+    req.bytes = bytes;
+    return Status::OK();
+}
+
+void
+InferenceServer::releaseAdmission(const Request& req)
+{
+    if (opts_.admission && (req.samples > 0 || req.bytes > 0))
+        opts_.admission->release(opts_.admission_name, req.samples, req.bytes);
 }
 
 RequestId
@@ -127,6 +155,17 @@ InferenceServer::submit(Tensor input, SubmitOptions sopts, RequestId* id)
         if (stopping_) {
             req.promise.set_exception(std::make_exception_ptr(ServeError(
                 ErrorCode::kUnavailable, "inference server is shut down")));
+            return result;
+        }
+        // The queue has room, but the process-wide budget may still
+        // refuse: a shed here is this model's backpressure, not a full
+        // queue, so it fails fast instead of blocking the producer.
+        Status admitted = admitRequest(req);
+        if (!admitted.ok()) {
+            ++rejected_;
+            req.promise.set_exception(std::make_exception_ptr(
+                ServeError(admitted.code(), admitted.message(),
+                           admitted.detail())));
             return result;
         }
         RequestId assigned = enqueueLocked(req);
@@ -170,6 +209,11 @@ InferenceServer::trySubmit(Tensor input, std::future<Tensor>* result,
                           "inference queue is full (" +
                               std::to_string(opts_.max_queue) + " pending)");
         }
+        Status admitted = admitRequest(req);
+        if (!admitted.ok()) {
+            ++rejected_;
+            return admitted;  // kResourceExhausted + admission_detail slug.
+        }
         if (result != nullptr)
             *result = req.promise.get_future();
         assigned = enqueueLocked(req);
@@ -200,6 +244,7 @@ InferenceServer::cancel(RequestId id)
             cv_idle_.notify_all();
     }
     cv_space_.notify_all();
+    releaseAdmission(victim);
     victim.promise.set_exception(std::make_exception_ptr(
         ServeError(ErrorCode::kCancelled,
                    "inference request cancelled before dispatch")));
@@ -209,6 +254,7 @@ InferenceServer::cancel(RequestId id)
 void
 InferenceServer::expireLocked(Request& req)
 {
+    releaseAdmission(req);
     req.promise.set_exception(std::make_exception_ptr(
         ServeError(ErrorCode::kDeadlineExceeded,
                    "inference request deadline exceeded before dispatch")));
@@ -392,6 +438,8 @@ InferenceServer::workerLoop()
             Tracer::emitSpan("epilogue", "serve", epilogue_ns,
                              nsOf(clock_->now()) - epilogue_ns);
 
+        for (const Request& r : batch)
+            releaseAdmission(r);
         for (double ms : lat)
             latency_hist_.record(ms);  // Lock-free; no mutex_ needed.
         {
@@ -427,7 +475,12 @@ InferenceServer::shutdown()
     if (launcher_.joinable())
         launcher_.join();
     // Never-started servers may still hold staged requests; dropping
-    // them breaks their promises, which is the documented contract.
+    // them breaks their promises, which is the documented contract —
+    // but their admission charges must still flow back to the budget.
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const Request& r : queue_)
+        releaseAdmission(r);
+    queue_.clear();
 }
 
 ServerStats

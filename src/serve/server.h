@@ -13,7 +13,7 @@
  * per-layer execution, epilogue — emits spans (obs/trace.h) stamped
  * from the server's injectable clock.
  *
- * Three behaviours make the server production-shaped rather than a
+ * Four behaviours make the server production-shaped rather than a
  * queue demo:
  *
  *  - Deadlines: a request may carry an absolute deadline (SubmitOptions,
@@ -25,6 +25,14 @@
  *    waiting for.
  *  - Cancellation: submit hands back a RequestId; cancel() removes a
  *    still-queued request (future fails with ServeError(kCancelled)).
+ *  - Admission control: a server wired to a shared AdmissionController
+ *    (serve/admission.h) charges every accepted request against the
+ *    process-wide queued-samples/queued-bytes budget under its model
+ *    name, and sheds with kResourceExhausted (admission_detail slug)
+ *    when the weighted fair-share policy refuses — so one hot model
+ *    backs off at its own front door instead of starving the pool.
+ *    Charges are released when a request leaves the queue for any
+ *    reason (completion, deadline shed, cancel, shutdown drop).
  *  - Linger batching: with max_linger_ms > 0 a worker that popped a
  *    partial batch waits up to the linger window for more compatible
  *    requests instead of dispatching immediately, so a *sparse* request
@@ -47,6 +55,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "serve/admission.h"
 #include "serve/clock.h"
 #include "serve/session.h"
 #include "util/stats.h"
@@ -67,15 +76,22 @@ namespace patdnn {
 class ServeError : public std::runtime_error
 {
   public:
-    ServeError(ErrorCode code, const std::string& what)
-        : std::runtime_error(what), code_(code)
+    /** `detail`, when given, must be a stable slug constant (same
+     * contract as Status::detail) — e.g. the admission_detail slugs on
+     * kResourceExhausted refusals surfaced through futures. */
+    ServeError(ErrorCode code, const std::string& what, const char* detail = "")
+        : std::runtime_error(what), code_(code), detail_(detail)
     {
     }
 
     ErrorCode code() const { return code_; }
 
+    /** Stable machine-readable slug ("" when none was attached). */
+    const char* detail() const { return detail_; }
+
   private:
     ErrorCode code_;
+    const char* detail_;
 };
 
 /** Serving knobs. */
@@ -98,6 +114,18 @@ struct ServerOptions
     /// Time source for deadlines and the linger window; null = the
     /// process steady clock. Tests inject a FakeClock here.
     std::shared_ptr<ServeClock> clock;
+    /// Process-wide queued-work budget (serve/admission.h) this server
+    /// charges against; null = no admission control beyond max_queue.
+    /// Admission refusals are kResourceExhausted with an
+    /// admission_detail slug — from trySubmit as a typed Status, from
+    /// submit via the request's future (ServeError carries the slug).
+    std::shared_ptr<AdmissionController> admission;
+    /// Name this server charges the budget under (its fair-share
+    /// identity; the registry sets it to the model's registered name).
+    /// Empty with `admission` set charges under "default".
+    std::string admission_name;
+    /// Fair-share weight registered for admission_name at construction.
+    double admission_weight = 1.0;
 };
 
 /** Identifies an accepted request for cancel(); 0 = invalid/none. */
@@ -211,6 +239,8 @@ class InferenceServer
         ServeClock::TimePoint deadline = ServeClock::TimePoint::max();
         RequestId id = 0;
         int64_t submit_ns = 0;  ///< clock_ ns at admission (queue_wait span).
+        int64_t samples = 0;    ///< Admission charge (released on exit).
+        int64_t bytes = 0;
     };
 
     void workerLoop();
@@ -222,11 +252,17 @@ class InferenceServer
      * set_exception only stores state, no user code runs under the
      * lock). Returns how many were shed. */
     size_t shedExpiredLocked();
-    /** Fail one request as deadline-exceeded (mutex_ held). */
+    /** Fail one request as deadline-exceeded and release its admission
+     * charge (mutex_ held; the controller only takes its own lock). */
     void expireLocked(Request& req);
     /** Assign an id and queue the request (mutex_ held); returns the
      * assigned id. */
     RequestId enqueueLocked(Request& req);
+    /** Charge the admission budget for `req` (no-op without a
+     * controller). OK = charge recorded in req.samples/req.bytes. */
+    Status admitRequest(Request& req);
+    /** Return `req`'s admission charge (no-op when never charged). */
+    void releaseAdmission(const Request& req);
 
     std::shared_ptr<const CompiledModel> model_;
     ServerOptions opts_;

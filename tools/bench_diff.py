@@ -12,12 +12,16 @@ this tool compares two captured bench outputs structurally:
 
 Checks, in decreasing severity:
 
-  1. ORDER FLIP — within one (table, column) the ranking of rows
-     changed between baseline and current. Orderings are what the
-     figures claim, so flips are the strongest signal.
-  2. REGRESSION — a time-like metric (ns/ms/time columns, all
-     google-benchmark times) grew by more than --threshold (default
-     20%).
+  1. ORDER FLIP — within one (table, column) a pair of rows separated
+     by more than --threshold in BOTH runs swapped order between
+     baseline and current. Orderings are what the figures claim, so
+     flips are the strongest signal; requiring a significant margin on
+     both sides keeps near-ties (e.g. two routing policies at equal
+     throughput) from flapping run to run.
+  2. REGRESSION — a time-like metric (ns/ms/time/latency columns, all
+     google-benchmark times) grew, or a throughput-like metric
+     (qps/rps/throughput columns, e.g. the serve-load generator's
+     QPS-at-SLO) shrank, by more than --threshold (default 20%).
   3. CHANGE — any other numeric cell moved by more than --threshold
      (informational; GFLOPS-style metrics shrink on regression).
 
@@ -102,40 +106,58 @@ def parse(text):
 
 
 _TIME_TOKENS = {"ns", "us", "ms", "s", "time", "latency"}
+_THROUGHPUT_TOKENS = {"qps", "rps", "throughput"}
+
+
+def _tokens(key):
+    """Whole-word tokens of a column header: a substring test would
+    classify 'Dense'/'Patterns' columns (GFLOPS / counts) as time-like
+    via the embedded 'ns'."""
+    return re.findall(r"[a-z]+", key[2].lower())
 
 
 def _time_like(key):
-    """Whether higher values of this metric are worse. Matches whole
-    tokens only: a substring test would classify 'Dense'/'Patterns'
-    columns (GFLOPS / counts) as time-like via the embedded 'ns'."""
-    tokens = re.findall(r"[a-z]+", key[2].lower())
-    return any(t in _TIME_TOKENS for t in tokens)
+    """Whether higher values of this metric are worse."""
+    return any(t in _TIME_TOKENS for t in _tokens(key))
 
 
-def rankings(metrics):
-    """Row order per (table, column), sorted by value."""
+def _throughput_like(key):
+    """Whether lower values of this metric are worse (qps/rps)."""
+    return any(t in _THROUGHPUT_TOKENS for t in _tokens(key))
+
+
+def _ordered_pairs(metrics, threshold):
+    """Per (table, column): row pairs (a, b) where a's value is below
+    b's by more than `threshold` relative margin. Near-ties produce no
+    pair, so they can never register as a flip."""
     groups = {}
     for (table, row, col), value in metrics.items():
         groups.setdefault((table, col), []).append((row, value))
-    return {
-        group: [row for row, _ in sorted(entries, key=lambda rv: rv[1])]
-        for group, entries in groups.items()
-        if len(entries) > 1
-    }
+    pairs = {}
+    for group, entries in groups.items():
+        sig = set()
+        for ra, va in entries:
+            for rb, vb in entries:
+                if va < vb and (vb - va) > threshold * max(abs(va), abs(vb)):
+                    sig.add((ra, rb))
+        if sig:
+            pairs[group] = sig
+    return pairs
 
 
 def diff(baseline, current, threshold, orders_only=False):
     flips, regressions, changes = [], [], []
 
-    base_rank = rankings(baseline)
-    cur_rank = rankings(current)
-    for group, order in sorted(base_rank.items()):
-        cur = cur_rank.get(group)
-        if cur is not None and sorted(cur) == sorted(order) and cur != order:
-            flips.append(
-                f"ORDER FLIP  {group[0]}/{group[1]}: "
-                f"{' < '.join(order)}  ->  {' < '.join(cur)}"
-            )
+    base_pairs = _ordered_pairs(baseline, threshold)
+    cur_pairs = _ordered_pairs(current, threshold)
+    for group, pairs in sorted(base_pairs.items()):
+        cur = cur_pairs.get(group, set())
+        for a, b in sorted(pairs):
+            if (b, a) in cur:
+                flips.append(
+                    f"ORDER FLIP  {group[0]}/{group[1]}: "
+                    f"{a} < {b}  ->  {b} < {a}"
+                )
     if orders_only:
         return flips, regressions, changes
 
@@ -148,6 +170,10 @@ def diff(baseline, current, threshold, orders_only=False):
         if _time_like(key) and rel > threshold:
             regressions.append(
                 f"REGRESSION  {label}: {b:g} -> {c:g}  (+{rel * 100:.0f}%)"
+            )
+        elif _throughput_like(key) and rel < -threshold:
+            regressions.append(
+                f"REGRESSION  {label}: {b:g} -> {c:g}  ({rel * 100:.0f}%)"
             )
         elif abs(rel) > threshold:
             changes.append(
